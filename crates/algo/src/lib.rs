@@ -1,0 +1,34 @@
+//! The vertex-centric programming model (VCM) and the four graph algorithms
+//! evaluated by the ScalaGraph paper.
+//!
+//! Figure 1 of the paper defines the model: an iteration is a **Scatter**
+//! phase, where every edge of every active vertex produces an update via the
+//! user-defined `Process` function that is folded into the destination's
+//! temporary property via `Reduce`, followed by an **Apply** phase, where
+//! each vertex merges its temporary property into its persistent property
+//! and re-activates itself if the property changed.
+//!
+//! * [`Algorithm`] — the user-facing trait mirroring `Process` / `Reduce` /
+//!   `Apply`.
+//! * [`algorithms`] — BFS, SSSP, CC, and PageRank (Section V-A's workloads).
+//! * [`mod@reference`] — a golden sequential engine implementing Figure 1
+//!   verbatim; every hardware simulator in this workspace is validated
+//!   against it.
+//!
+//! # Example
+//!
+//! ```
+//! use scalagraph_algo::{algorithms::Bfs, reference::ReferenceEngine};
+//! use scalagraph_graph::{generators, Csr};
+//!
+//! let g = Csr::from_edges(8, &generators::binary_tree(8));
+//! let run = ReferenceEngine::new().run(&Bfs::from_root(0), &g);
+//! assert_eq!(run.properties[6], 2); // two levels below the root
+//! ```
+
+pub mod algorithms;
+pub mod model;
+pub mod reference;
+
+pub use model::{Algorithm, EdgeCtx, PropValue};
+pub use reference::{ReferenceEngine, Run};

@@ -1,0 +1,254 @@
+//! Golden reference engine: Figure 1, executed literally and sequentially.
+//!
+//! Every cycle-accurate simulator in this workspace (ScalaGraph itself, the
+//! GraphDynS baseline, the Gunrock model) is validated against the output of
+//! this engine in the integration test suite.
+
+use crate::model::{Algorithm, EdgeCtx};
+use scalagraph_graph::{Csr, VertexId};
+
+/// The result of running an algorithm to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Run<P> {
+    /// Final persistent property of every vertex.
+    pub properties: Vec<P>,
+    /// Number of Scatter/Apply iterations executed.
+    pub iterations: usize,
+    /// Total edges traversed across all Scatter phases (the numerator of
+    /// GTEPS).
+    pub traversed_edges: u64,
+    /// Active-vertex count at the start of each iteration.
+    pub frontier_sizes: Vec<usize>,
+    /// Edges traversed in each iteration's Scatter phase.
+    pub edges_per_iteration: Vec<u64>,
+}
+
+/// Sequential engine executing the vertex-centric model of Figure 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReferenceEngine {
+    /// Hard cap on iterations regardless of convergence; guards against
+    /// non-terminating algorithm definitions. `None` bounds only by the
+    /// algorithm's own [`Algorithm::max_iterations`].
+    pub iteration_cap: Option<usize>,
+}
+
+impl ReferenceEngine {
+    /// Creates an engine with no extra iteration cap.
+    pub fn new() -> Self {
+        ReferenceEngine {
+            iteration_cap: None,
+        }
+    }
+
+    /// Creates an engine that stops after at most `cap` iterations.
+    pub fn with_cap(cap: usize) -> Self {
+        ReferenceEngine {
+            iteration_cap: Some(cap),
+        }
+    }
+
+    /// Runs `algorithm` on `graph` to completion.
+    pub fn run<A: Algorithm>(&self, algorithm: &A, graph: &Csr) -> Run<A::Prop> {
+        let n = graph.num_vertices();
+        let mut properties: Vec<A::Prop> =
+            graph.vertices().map(|v| algorithm.init(v, graph)).collect();
+        let mut active: Vec<VertexId> = algorithm.initial_frontier(graph);
+        dedup_frontier(&mut active, n);
+
+        let mut iterations = 0usize;
+        let mut traversed = 0u64;
+        let mut frontier_sizes = Vec::new();
+        let mut edges_per_iteration = Vec::new();
+
+        let limit = match (self.iteration_cap, algorithm.max_iterations()) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => usize::MAX,
+        };
+
+        while !active.is_empty() && iterations < limit {
+            frontier_sizes.push(active.len());
+            let traversed_before = traversed;
+
+            // Scatter phase (Figure 1 lines 2-7).
+            let mut temp: Vec<A::Prop> = vec![algorithm.reduce_identity(); n];
+            for &v in &active {
+                let src_prop = properties[v as usize];
+                let degree = graph.out_degree(v) as u32;
+                let range = graph.edge_range(v);
+                for idx in range {
+                    let dst = graph.neighbor_at(idx);
+                    let ctx = EdgeCtx {
+                        weight: graph.weight_at(idx),
+                        src: v,
+                        src_degree: degree,
+                    };
+                    let scatter_res = algorithm.process(&ctx, src_prop);
+                    temp[dst as usize] = algorithm.reduce(temp[dst as usize], scatter_res);
+                    traversed += 1;
+                }
+            }
+
+            // Apply phase (Figure 1 lines 9-15).
+            let mut next: Vec<VertexId> = Vec::new();
+            for v in 0..n {
+                let old = properties[v];
+                let new = algorithm.apply(v as VertexId, old, temp[v], graph);
+                if new != old {
+                    properties[v] = new;
+                }
+                if algorithm.activates(old, new) {
+                    next.push(v as VertexId);
+                }
+            }
+            active = next;
+            iterations += 1;
+            edges_per_iteration.push(traversed - traversed_before);
+        }
+
+        Run {
+            properties,
+            iterations,
+            traversed_edges: traversed,
+            frontier_sizes,
+            edges_per_iteration,
+        }
+    }
+}
+
+/// Sorts and deduplicates a frontier in place, asserting ids are in range.
+pub fn dedup_frontier(frontier: &mut Vec<VertexId>, num_vertices: usize) {
+    frontier.sort_unstable();
+    frontier.dedup();
+    if let Some(&last) = frontier.last() {
+        assert!(
+            (last as usize) < num_vertices,
+            "frontier vertex {last} out of range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp, UNREACHED};
+    use scalagraph_graph::{generators, Csr, Edge, EdgeList};
+
+    #[test]
+    fn bfs_levels_on_tree() {
+        let g = Csr::from_edges(15, &generators::binary_tree(15));
+        let run = ReferenceEngine::new().run(&Bfs::from_root(0), &g);
+        for v in 0..15usize {
+            let expected = usize::BITS - (v + 1).leading_zeros() - 1;
+            assert_eq!(run.properties[v], expected, "vertex {v}");
+        }
+        assert_eq!(run.iterations, 4); // levels 0->1, 1->2, 2->3 and one fixpoint pass
+    }
+
+    #[test]
+    fn bfs_unreachable_stays_unreached() {
+        let g = Csr::from_edges(4, &[Edge::new(0, 1)]);
+        let run = ReferenceEngine::new().run(&Bfs::from_root(0), &g);
+        assert_eq!(run.properties, vec![0, 1, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn sssp_prefers_cheap_path() {
+        // 0 -> 1 (10), 0 -> 2 (1), 2 -> 1 (2): best dist(1) = 3.
+        let g = Csr::from_edges(
+            3,
+            &[
+                Edge::weighted(0, 1, 10),
+                Edge::weighted(0, 2, 1),
+                Edge::weighted(2, 1, 2),
+            ],
+        );
+        let run = ReferenceEngine::new().run(&Sssp::from_root(0), &g);
+        assert_eq!(run.properties, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn sssp_zero_weight_edges_terminate() {
+        let g = Csr::from_edges(3, &[Edge::weighted(0, 1, 0), Edge::weighted(1, 0, 0)]);
+        let run = ReferenceEngine::new().run(&Sssp::from_root(0), &g);
+        assert_eq!(run.properties[..2], [0, 0]);
+    }
+
+    #[test]
+    fn cc_on_symmetrized_graph_finds_components() {
+        // Two components: {0,1,2} and {3,4}.
+        let mut list = EdgeList::new(5);
+        list.push(Edge::new(0, 1));
+        list.push(Edge::new(1, 2));
+        list.push(Edge::new(3, 4));
+        list.symmetrize();
+        let g = Csr::from_edge_list(&list);
+        let run = ReferenceEngine::new().run(&ConnectedComponents::new(), &g);
+        assert_eq!(run.properties, vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        let mut list = EdgeList::new(4);
+        // Everyone links to 0; 0 links to 1.
+        list.push(Edge::new(1, 0));
+        list.push(Edge::new(2, 0));
+        list.push(Edge::new(3, 0));
+        list.push(Edge::new(0, 1));
+        let g = Csr::from_edge_list(&list);
+        let run = ReferenceEngine::new().run(&PageRank::new(30), &g);
+        let total: f32 = run.properties.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "ranks sum to {total}");
+        assert!(run.properties[0] > run.properties[2]);
+        assert_eq!(run.iterations, 30);
+    }
+
+    #[test]
+    fn pagerank_handles_rankless_sinks() {
+        // Vertex 1 is a sink; its rank leaks (standard simplification, same
+        // as the accelerator's model).
+        let g = Csr::from_edges(2, &[Edge::new(0, 1)]);
+        let run = ReferenceEngine::new().run(&PageRank::new(10), &g);
+        assert!(run.properties[1] > run.properties[0]);
+    }
+
+    #[test]
+    fn traversed_edges_counts_per_iteration_work() {
+        let g = Csr::from_edges(3, &generators::path(3));
+        let run = ReferenceEngine::new().run(&Bfs::from_root(0), &g);
+        // Iter 1: edges of {0} = 1; iter 2: edges of {1} = 1; iter 3: edges
+        // of {2} = 0.
+        assert_eq!(run.traversed_edges, 2);
+        assert_eq!(run.frontier_sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn iteration_cap_stops_early() {
+        let g = Csr::from_edges(100, &generators::path(100));
+        let run = ReferenceEngine::with_cap(5).run(&Bfs::from_root(0), &g);
+        assert_eq!(run.iterations, 5);
+        assert_eq!(run.properties[10], UNREACHED);
+    }
+
+    #[test]
+    fn empty_frontier_terminates_immediately() {
+        let g = Csr::from_edges(3, &[]);
+        let run = ReferenceEngine::new().run(&Bfs::from_root(5 % 3), &g);
+        assert!(run.iterations <= 1);
+    }
+
+    #[test]
+    fn dedup_frontier_sorts_and_dedups() {
+        let mut f = vec![3, 1, 3, 0];
+        dedup_frontier(&mut f, 4);
+        assert_eq!(f, vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dedup_frontier_rejects_out_of_range() {
+        let mut f = vec![9];
+        dedup_frontier(&mut f, 4);
+    }
+}

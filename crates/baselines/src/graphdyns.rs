@@ -1,0 +1,667 @@
+//! GraphDynS-like centralized-crossbar accelerator simulator.
+//!
+//! GraphDynS (MICRO'19) follows the template of Figure 3: scheduler
+//! elements feed PEs, each PE processes one edge per cycle, and the
+//! resulting update is shuffled through an N×N crossbar to the on-chip
+//! memory partition (MP) holding the destination vertex, which performs the
+//! `Reduce`. The crossbar serializes conflicting updates per output port
+//! but otherwise delivers in a single cycle — behaviourally ideal, which is
+//! exactly why its O(N²) hardware cost limits scaling (Section II-B).
+//!
+//! The paper's **GraphDynS-512** extension — "four mesh-connected tiles
+//! with each consisting of 128 crossbar-connected PEs" — is reproduced by
+//! `tiles > 1`: vertices hash across all tiles, edges are stored with their
+//! source's tile, and cross-tile updates traverse a bandwidth-limited
+//! inter-tile link instead of the local crossbar.
+//!
+//! Setting `with_crossbar: false` gives the "accelerator minus crossbar"
+//! ablation of Figure 4: updates are delivered to MPs without conflict
+//! serialization (results stay correct here, unlike the paper's RTL hack,
+//! because we still perform every `Reduce`).
+
+use scalagraph::stats::{SimResult, SimStats};
+use scalagraph_algo::{Algorithm, EdgeCtx};
+use scalagraph_graph::{Csr, VertexId, EDGES_PER_LINE, LINE_BYTES};
+use scalagraph_hwmodel::{max_frequency_mhz, InterconnectKind};
+use scalagraph::aggregate::AggregationBuffer;
+use std::collections::VecDeque;
+
+/// Configuration of the GraphDynS-like baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphDynsConfig {
+    /// Total processing elements.
+    pub pes: usize,
+    /// PEs per crossbar tile (`pes` for a single-tile design; 128 for the
+    /// paper's GraphDynS-512).
+    pub pes_per_tile: usize,
+    /// Whether the crossbar's conflict serialization is modelled
+    /// (`false` = the Figure 4 "w/o crossbar" ablation).
+    pub with_crossbar: bool,
+    /// Updates per cycle each inter-tile link can carry (multi-tile only).
+    pub intertile_updates_per_cycle: usize,
+    /// Operating clock in MHz; `None` derives the crossbar's synthesizable
+    /// maximum from the hardware model (300 MHz for the no-crossbar
+    /// ablation).
+    pub clock_mhz: Option<f64>,
+    /// Off-chip bandwidth in bytes per cycle for the whole accelerator.
+    pub mem_bytes_per_cycle: f64,
+    /// PE input queue depth.
+    pub pe_queue_capacity: usize,
+    /// AccuGraph flavor: its parallel accumulator sustains a lower MP
+    /// reduce rate under conflicts, modelled as an extra serialization
+    /// factor in per-MP delivery (1.0 = GraphDynS).
+    pub mp_serialization: f64,
+}
+
+impl GraphDynsConfig {
+    /// The paper's GraphDynS-128 operating point: one 128-PE crossbar tile
+    /// at 100 MHz (Section V-A).
+    pub fn graphdyns_128() -> Self {
+        GraphDynsConfig {
+            pes: 128,
+            pes_per_tile: 128,
+            with_crossbar: true,
+            intertile_updates_per_cycle: 48,
+            clock_mhz: Some(100.0),
+            mem_bytes_per_cycle: 460.0e9 / 100.0e6,
+            pe_queue_capacity: 4,
+            mp_serialization: 1.0,
+        }
+    }
+
+    /// The paper's GraphDynS-512 extension: four 128-PE crossbar tiles
+    /// joined by a mesh, still at 100 MHz.
+    pub fn graphdyns_512() -> Self {
+        GraphDynsConfig {
+            pes: 512,
+            pes_per_tile: 128,
+            ..Self::graphdyns_128()
+        }
+    }
+
+    /// A single-tile design with `pes` PEs at the crossbar's modelled
+    /// maximum frequency (used by the Figure 4 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes == 0`.
+    pub fn with_pes(pes: usize) -> Self {
+        assert!(pes > 0);
+        GraphDynsConfig {
+            pes,
+            pes_per_tile: pes,
+            with_crossbar: true,
+            intertile_updates_per_cycle: 48,
+            clock_mhz: None,
+            mem_bytes_per_cycle: 0.0, // resolved in effective_* below
+            pe_queue_capacity: 4,
+            mp_serialization: 1.0,
+        }
+    }
+
+    /// AccuGraph flavor of the same template (used by Figure 4): slightly
+    /// lower conflict tolerance at the memory partitions.
+    pub fn accugraph_with_pes(pes: usize) -> Self {
+        GraphDynsConfig {
+            mp_serialization: 1.15,
+            ..Self::with_pes(pes)
+        }
+    }
+
+    /// Number of crossbar tiles.
+    pub fn tiles(&self) -> usize {
+        self.pes.div_ceil(self.pes_per_tile)
+    }
+
+    /// Effective clock in MHz.
+    pub fn effective_clock_mhz(&self) -> f64 {
+        if let Some(mhz) = self.clock_mhz {
+            return mhz;
+        }
+        let kind = if self.with_crossbar {
+            InterconnectKind::Crossbar
+        } else {
+            InterconnectKind::None
+        };
+        max_frequency_mhz(kind, self.pes_per_tile)
+            .frequency_mhz()
+            .unwrap_or(100.0)
+    }
+
+    /// Effective off-chip bandwidth in bytes per cycle: the U280's
+    /// 460 GB/s at the effective clock unless overridden.
+    pub fn effective_mem_bytes_per_cycle(&self) -> f64 {
+        if self.mem_bytes_per_cycle > 0.0 {
+            self.mem_bytes_per_cycle
+        } else {
+            460.0e9 / (self.effective_clock_mhz() * 1e6)
+        }
+    }
+}
+
+/// A pending edge workload inside a PE queue.
+#[derive(Debug, Clone, Copy)]
+struct EdgeWork<P> {
+    src: VertexId,
+    dst: VertexId,
+    weight: u32,
+    src_degree: u32,
+    src_prop: P,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Update<P> {
+    dst: VertexId,
+    value: P,
+}
+
+/// A fetched run of contiguous edges of one active vertex.
+#[derive(Debug, Clone)]
+struct Segment<P> {
+    src: VertexId,
+    prop: P,
+    src_degree: u32,
+    edges: std::ops::Range<usize>,
+}
+
+/// The GraphDynS-like simulator.
+///
+/// # Example
+///
+/// ```
+/// use scalagraph_baselines::{GraphDyns, GraphDynsConfig};
+/// use scalagraph_algo::algorithms::Bfs;
+/// use scalagraph_graph::{generators, Csr};
+///
+/// let g = Csr::from_edges(64, &generators::binary_tree(64));
+/// let run = GraphDyns::new(GraphDynsConfig::with_pes(32)).run(&Bfs::from_root(0), &g);
+/// assert_eq!(run.properties[1], 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphDyns {
+    config: GraphDynsConfig,
+}
+
+impl GraphDyns {
+    /// Creates the baseline with `config`.
+    pub fn new(config: GraphDynsConfig) -> Self {
+        GraphDyns { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GraphDynsConfig {
+        &self.config
+    }
+
+    /// Runs `algo` on `graph` to completion.
+    pub fn run<A: Algorithm>(&self, algo: &A, graph: &Csr) -> SimResult<A::Prop> {
+        Machine::new(&self.config, algo, graph).run()
+    }
+}
+
+struct Tile<P> {
+    /// Edges of sources homed in this tile (full vertex id space).
+    csr: Csr,
+    /// Active vertices awaiting fetch.
+    pending: VecDeque<(VertexId, P)>,
+    /// Fetched segments awaiting dispatch.
+    segments: VecDeque<Segment<P>>,
+    /// Fetch byte credit.
+    credit: f64,
+    /// Per-PE (local index) input queues.
+    pe_queues: Vec<VecDeque<EdgeWork<P>>>,
+    /// Per-MP (local index) crossbar ingress: one non-coalesced transfer
+    /// per output port per cycle, but same-vertex updates ride along — the
+    /// "vectorized data access" of GraphDynS.
+    mp_ingress: Vec<AggregationBuffer<P>>,
+    /// Per-MP non-coalesced transfer budget for the current cycle.
+    mp_budget: Vec<u8>,
+    /// Updates leaving this tile for remote MPs.
+    egress: VecDeque<Update<P>>,
+    /// Updates arriving from remote tiles.
+    ingress: VecDeque<Update<P>>,
+    pe_rr: usize,
+}
+
+struct Machine<'a, A: Algorithm> {
+    cfg: &'a GraphDynsConfig,
+    algo: &'a A,
+    graph: &'a Csr,
+    tiles: Vec<Tile<A::Prop>>,
+    props: Vec<A::Prop>,
+    temp: Vec<A::Prop>,
+    touched: Vec<bool>,
+    touched_list: Vec<VertexId>,
+    stats: SimStats,
+    now: u64,
+    bytes_per_cycle_per_tile: f64,
+    frontier_sizes: Vec<usize>,
+}
+
+impl<'a, A: Algorithm> Machine<'a, A> {
+    fn new(cfg: &'a GraphDynsConfig, algo: &'a A, graph: &'a Csr) -> Self {
+        let n = graph.num_vertices();
+        let tiles_n = cfg.tiles();
+        // Partition edges by source tile.
+        let mut per_tile: Vec<Vec<scalagraph_graph::Edge>> = vec![Vec::new(); tiles_n];
+        for e in graph.edges() {
+            per_tile[tile_of(cfg, e.src)].push(e);
+        }
+        let tiles = per_tile
+            .into_iter()
+            .map(|edges| {
+                let local = cfg.pes_per_tile.min(cfg.pes);
+                Tile {
+                    csr: Csr::from_edges(n, &edges),
+                    pending: VecDeque::new(),
+                    segments: VecDeque::new(),
+                    credit: 0.0,
+                    pe_queues: (0..local).map(|_| VecDeque::new()).collect(),
+                    mp_ingress: (0..local).map(|_| AggregationBuffer::new(8)).collect(),
+                    mp_budget: vec![0; local],
+                    egress: VecDeque::new(),
+                    ingress: VecDeque::new(),
+                    pe_rr: 0,
+                }
+            })
+            .collect();
+        Machine {
+            cfg,
+            algo,
+            graph,
+            tiles,
+            props: (0..n as u32).map(|v| algo.init(v, graph)).collect(),
+            temp: vec![algo.reduce_identity(); n],
+            touched: vec![false; n],
+            touched_list: Vec::new(),
+            stats: SimStats {
+                slices: 1,
+                ..SimStats::default()
+            },
+            now: 0,
+            bytes_per_cycle_per_tile: cfg.effective_mem_bytes_per_cycle() / tiles_n as f64,
+            frontier_sizes: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> SimResult<A::Prop> {
+        let mut active: Vec<VertexId> = self.algo.initial_frontier(self.graph);
+        scalagraph_algo::reference::dedup_frontier(&mut active, self.graph.num_vertices());
+        let mut active: Vec<(VertexId, A::Prop)> = active
+            .into_iter()
+            .map(|v| (v, self.props[v as usize]))
+            .collect();
+        let limit = self.algo.max_iterations().map_or(u64::MAX, |m| m as u64);
+        let mut iter = 0u64;
+
+        while !active.is_empty() && iter < limit {
+            self.frontier_sizes.push(active.len());
+            // Scatter.
+            for &(v, prop) in &active {
+                let t = tile_of(self.cfg, v);
+                if self.tiles[t].csr.out_degree(v) > 0 {
+                    self.tiles[t].pending.push_back((v, prop));
+                }
+                // Active-list + record fetch accounting (8 B per vertex).
+                self.stats.offchip_bytes_read += 8;
+            }
+            while !self.scatter_drained() {
+                self.scatter_cycle();
+            }
+            // Apply.
+            let dense = !self.algo.is_monotonic();
+            let todo: Vec<VertexId> = if dense {
+                self.touched_list.clear();
+                self.graph.vertices().collect()
+            } else {
+                std::mem::take(&mut self.touched_list)
+            };
+            let mut next = Vec::new();
+            // One vertex per MP per cycle: cycles = max bucket depth.
+            let mut per_mp = vec![0u64; self.cfg.pes];
+            for &v in &todo {
+                per_mp[mp_of(self.cfg, v)] += 1;
+            }
+            let apply_cycles = per_mp.iter().copied().max().unwrap_or(0);
+            self.now += apply_cycles;
+            self.stats.apply_cycles += apply_cycles;
+            for v in todo {
+                let vi = v as usize;
+                let old = self.props[vi];
+                let new = self.algo.apply(v, old, self.temp[vi], self.graph);
+                self.temp[vi] = self.algo.reduce_identity();
+                self.touched[vi] = false;
+                if new != old {
+                    self.props[vi] = new;
+                }
+                if self.algo.activates(old, new) {
+                    self.stats.activations += 1;
+                    self.stats.offchip_bytes_written += 8;
+                    next.push((v, new));
+                }
+            }
+            active = next;
+            iter += 1;
+            self.stats.iterations += 1;
+        }
+
+        for tile in &self.tiles {
+            for b in &tile.mp_ingress {
+                self.stats.agg_merges += b.merges();
+            }
+        }
+        self.stats.cycles = self.now;
+        self.stats.pe_cycle_budget = self.now * self.cfg.pes as u64;
+        SimResult {
+            properties: self.props,
+            stats: self.stats,
+            frontier_sizes: self.frontier_sizes,
+        }
+    }
+
+    fn scatter_drained(&self) -> bool {
+        self.tiles.iter().all(|t| {
+            t.pending.is_empty()
+                && t.segments.is_empty()
+                && t.pe_queues.iter().all(VecDeque::is_empty)
+                && t.mp_ingress.iter().all(AggregationBuffer::is_empty)
+                && t.egress.is_empty()
+                && t.ingress.is_empty()
+        })
+    }
+
+    fn scatter_cycle(&mut self) {
+        self.now += 1;
+        self.stats.scatter_cycles += 1;
+        let tiles_n = self.tiles.len();
+        let algo = self.algo;
+
+        for t in 0..tiles_n {
+            // Fetch: spend byte credit on edge lines of pending actives.
+            self.tiles[t].credit += self.bytes_per_cycle_per_tile;
+            while self.tiles[t].credit >= LINE_BYTES as f64 {
+                let Some(&(v, prop)) = self.tiles[t].pending.front() else {
+                    break;
+                };
+                let range = self.tiles[t].csr.edge_range(v);
+                let lines = range.len().div_ceil(EDGES_PER_LINE).max(1) as f64;
+                let need = lines * LINE_BYTES as f64;
+                if self.tiles[t].credit < need {
+                    break;
+                }
+                self.tiles[t].credit -= need;
+                self.stats.offchip_bytes_read += need as u64;
+                self.stats.offchip_reads += lines as u64;
+                let degree = self.graph.out_degree(v) as u32;
+                self.tiles[t].pending.pop_front();
+                self.tiles[t].segments.push_back(Segment {
+                    src: v,
+                    prop,
+                    src_degree: degree,
+                    edges: range,
+                });
+            }
+
+            // Dispatch: up to one edge per PE per cycle, load-balanced
+            // round-robin (GraphDynS's scheduling contribution).
+            let local = self.tiles[t].pe_queues.len();
+            let mut budget = local;
+            while budget > 0 {
+                let head = match self.tiles[t].segments.front() {
+                    None => break,
+                    Some(seg) if seg.edges.is_empty() => {
+                        self.tiles[t].segments.pop_front();
+                        continue;
+                    }
+                    Some(seg) => (seg.src, seg.prop, seg.src_degree, seg.edges.start),
+                };
+                let (src, prop, src_degree, idx) = head;
+                let pe = self.tiles[t].pe_rr;
+                self.tiles[t].pe_rr = (pe + 1) % local;
+                if self.tiles[t].pe_queues[pe].len() >= self.cfg.pe_queue_capacity {
+                    budget -= 1;
+                    continue;
+                }
+                let work = EdgeWork {
+                    src,
+                    dst: self.tiles[t].csr.neighbor_at(idx),
+                    weight: self.tiles[t].csr.weight_at(idx),
+                    src_degree,
+                    src_prop: prop,
+                };
+                self.tiles[t].segments.front_mut().unwrap().edges.start += 1;
+                self.tiles[t].pe_queues[pe].push_back(work);
+                self.stats.traversed_edges += 1;
+                budget -= 1;
+            }
+
+            // PEs: one Process per cycle, shuffle through the crossbar
+            // into the destination MP's ingress (or the egress queue for
+            // remote destinations). Each output port accepts one
+            // non-coalesced transfer per cycle; additional same-vertex
+            // updates merge into a buffered entry for free (GraphDynS's
+            // vectorized vertex access).
+            for b in self.tiles[t].mp_budget.iter_mut() {
+                *b = 1;
+            }
+            for pe in 0..local {
+                let Some(work) = self.tiles[t].pe_queues[pe].front().copied() else {
+                    continue;
+                };
+                let ctx = EdgeCtx {
+                    weight: work.weight,
+                    src: work.src,
+                    src_degree: work.src_degree,
+                };
+                let value = algo.process(&ctx, work.src_prop);
+                let dst_tile = tile_of(self.cfg, work.dst);
+                let accepted = if !self.cfg.with_crossbar {
+                    // Ablation: conflict-free delivery straight to temp.
+                    self.deliver(work.dst, value);
+                    true
+                } else if dst_tile == t {
+                    let mp_local = mp_of(self.cfg, work.dst) % local;
+                    let budget = self.tiles[t].mp_budget[mp_local];
+                    let ingress = &mut self.tiles[t].mp_ingress[mp_local];
+                    let outcome = ingress.try_push(
+                        work.dst,
+                        value,
+                        if budget > 0 { 16 } else { 0 },
+                        |a, b| algo.reduce(a, b),
+                    );
+                    match outcome {
+                        Some(o) => {
+                            if o != scalagraph::aggregate::PushOutcome::Merged {
+                                self.tiles[t].mp_budget[mp_local] =
+                                    budget.saturating_sub(1);
+                            }
+                            true
+                        }
+                        None => false,
+                    }
+                } else {
+                    self.tiles[t].egress.push_back(Update {
+                        dst: work.dst,
+                        value,
+                    });
+                    self.stats.updates_injected += 1;
+                    true
+                };
+                if accepted {
+                    self.tiles[t].pe_queues[pe].pop_front();
+                    self.stats.gu_busy_cycles += 1;
+                    self.stats.updates_produced += 1;
+                } else {
+                    self.stats.noc_conflicts += 1;
+                }
+            }
+
+            // MPs: one Reduce per cycle (AccuGraph's accumulator stalls an
+            // extra cycle on a deterministic fraction of cycles).
+            if self.cfg.with_crossbar {
+                let serial = self.cfg.mp_serialization;
+                for mp_local in 0..local {
+                    if serial > 1.0 {
+                        let period = (serial / (serial - 1.0)).round() as u64;
+                        if period > 0 && self.now.is_multiple_of(period) {
+                            continue;
+                        }
+                    }
+                    if let Some(u) = self.tiles[t].mp_ingress[mp_local].drain_one() {
+                        self.deliver(u.dst, u.value);
+                    }
+                }
+            }
+        }
+
+        // Inter-tile transport: each tile forwards up to the link width.
+        for t in 0..tiles_n {
+            for _ in 0..self.cfg.intertile_updates_per_cycle {
+                let Some(u) = self.tiles[t].egress.pop_front() else {
+                    break;
+                };
+                let dst_tile = tile_of(self.cfg, u.dst);
+                // Mean hop distance on the 2x2 tile mesh is ~1.3; charge 2
+                // link traversals (out + in) per remote update.
+                self.stats.noc_hops += 2;
+                self.tiles[dst_tile].ingress.push_back(u);
+            }
+            // Remote arrivals compete with the crossbar for MP ports: a
+            // bounded number are folded per cycle.
+            for _ in 0..self.cfg.intertile_updates_per_cycle {
+                let Some(u) = self.tiles[t].ingress.pop_front() else {
+                    break;
+                };
+                self.deliver(u.dst, u.value);
+            }
+        }
+    }
+
+    fn deliver(&mut self, dst: VertexId, value: A::Prop) {
+        let vi = dst as usize;
+        self.temp[vi] = self.algo.reduce(self.temp[vi], value);
+        if !self.touched[vi] {
+            self.touched[vi] = true;
+            self.touched_list.push(dst);
+        }
+        self.stats.updates_delivered += 1;
+    }
+}
+
+/// Memory partition (global) of a vertex: simple hash over all PEs.
+fn mp_of(cfg: &GraphDynsConfig, v: VertexId) -> usize {
+    v as usize % cfg.pes
+}
+
+/// Tile holding a vertex's property/partition.
+fn tile_of(cfg: &GraphDynsConfig, v: VertexId) -> usize {
+    mp_of(cfg, v) / cfg.pes_per_tile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalagraph_algo::algorithms::{Bfs, PageRank, Sssp};
+    use scalagraph_algo::ReferenceEngine;
+    use scalagraph_graph::{generators, EdgeList};
+
+    #[test]
+    fn bfs_matches_reference() {
+        let g = Csr::from_edges(300, &generators::uniform(300, 3000, 1));
+        let algo = Bfs::from_root(0);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let run = GraphDyns::new(GraphDynsConfig::with_pes(32)).run(&algo, &g);
+        assert_eq!(run.properties, golden.properties);
+        assert!(run.stats.cycles > 0);
+    }
+
+    #[test]
+    fn sssp_matches_reference() {
+        let mut list = EdgeList::new(150);
+        for e in generators::uniform(150, 1200, 3) {
+            list.push(e);
+        }
+        list.randomize_weights(255, 4);
+        let g = Csr::from_edge_list(&list);
+        let algo = Sssp::from_root(0);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let run = GraphDyns::new(GraphDynsConfig::graphdyns_128()).run(&algo, &g);
+        assert_eq!(run.properties, golden.properties);
+    }
+
+    #[test]
+    fn pagerank_matches_reference_with_tolerance() {
+        let g = Csr::from_edges(200, &generators::power_law(200, 2000, 0.8, 7));
+        let algo = PageRank::new(4);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let run = GraphDyns::new(GraphDynsConfig::with_pes(64)).run(&algo, &g);
+        for (a, b) in run.properties.iter().zip(&golden.properties) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert_eq!(run.stats.traversed_edges, 4 * 2000);
+    }
+
+    #[test]
+    fn multi_tile_matches_reference_and_counts_intertile_traffic() {
+        let g = Csr::from_edges(400, &generators::uniform(400, 5000, 9));
+        let algo = Bfs::from_root(1);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let cfg = GraphDynsConfig {
+            pes: 64,
+            pes_per_tile: 16,
+            ..GraphDynsConfig::with_pes(64)
+        };
+        let run = GraphDyns::new(cfg).run(&algo, &g);
+        assert_eq!(run.properties, golden.properties);
+        assert!(run.stats.noc_hops > 0, "cross-tile updates must be counted");
+    }
+
+    #[test]
+    fn without_crossbar_is_faster_but_equal_results() {
+        let g = Csr::from_edges(256, &generators::power_law(256, 4000, 0.9, 11));
+        let algo = PageRank::new(2);
+        let with = GraphDyns::new(GraphDynsConfig::with_pes(64)).run(&algo, &g);
+        let without = GraphDyns::new(GraphDynsConfig {
+            with_crossbar: false,
+            ..GraphDynsConfig::with_pes(64)
+        })
+        .run(&algo, &g);
+        for (a, b) in with.properties.iter().zip(&without.properties) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert!(without.stats.cycles <= with.stats.cycles);
+    }
+
+    #[test]
+    fn accugraph_flavor_is_slower() {
+        let g = Csr::from_edges(256, &generators::power_law(256, 6000, 0.9, 13));
+        let algo = PageRank::new(2);
+        let gd = GraphDyns::new(GraphDynsConfig::with_pes(64)).run(&algo, &g);
+        let ag = GraphDyns::new(GraphDynsConfig::accugraph_with_pes(64)).run(&algo, &g);
+        assert!(ag.stats.cycles >= gd.stats.cycles);
+    }
+
+    #[test]
+    fn clock_defaults_follow_hwmodel() {
+        assert_eq!(GraphDynsConfig::graphdyns_128().effective_clock_mhz(), 100.0);
+        let auto = GraphDynsConfig::with_pes(64);
+        let mhz = auto.effective_clock_mhz();
+        assert!((150.0..300.0).contains(&mhz), "crossbar-64 clock {mhz}");
+        let no_xbar = GraphDynsConfig {
+            with_crossbar: false,
+            ..auto
+        };
+        assert_eq!(no_xbar.effective_clock_mhz(), 300.0);
+    }
+
+    #[test]
+    fn utilization_and_stats_sane() {
+        let g = Csr::from_edges(512, &generators::uniform(512, 8000, 15));
+        let run = GraphDyns::new(GraphDynsConfig::with_pes(128)).run(&PageRank::new(2), &g);
+        let s = run.stats;
+        assert_eq!(s.updates_produced, s.traversed_edges);
+        assert_eq!(s.updates_delivered + s.agg_merges, s.updates_produced);
+        assert!(s.pe_utilization() > 0.0 && s.pe_utilization() <= 1.0);
+        assert!(s.offchip_bytes_read > 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline systems the ScalaGraph paper compares against.
+//!
+//! * [`graphdyns`] — a cycle-level simulator of a GraphDynS-like
+//!   accelerator: PEs fully connected to memory partitions through a
+//!   centralized crossbar with virtual output queues (the architecture
+//!   template of Figure 3). A multi-tile variant reproduces the paper's
+//!   GraphDynS-512 (four 128-PE crossbar tiles joined by a small mesh).
+//!   An AccuGraph-like flavor is provided for the motivation study
+//!   (Figure 4).
+//! * [`gunrock`] — a throughput model of Gunrock on an NVIDIA V100:
+//!   frontier-by-frontier execution with a cacheline-granularity memory
+//!   traffic model, an atomic-stall penalty, and per-iteration kernel
+//!   launch overhead — the three mechanisms the paper's GPU comparison
+//!   rests on (Section V-B).
+//!
+//! Both baselines compute real algorithm results (validated against the
+//! golden reference in the integration suite), so comparisons are
+//! apples-to-apples on the same graphs.
+
+pub mod graphdyns;
+pub mod gunrock;
+
+pub use graphdyns::{GraphDyns, GraphDynsConfig};
+pub use gunrock::{GpuRun, GunrockModel};

@@ -1,0 +1,252 @@
+//! Criterion benches wrapping every paper experiment's kernel at a small,
+//! statistically-repeatable scale. The experiment *binaries* print the
+//! paper-style tables; these benches give robust timing for the same code
+//! paths. One group per table/figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalagraph::{Mapping, MemoryPreset, ScalaGraphConfig};
+use scalagraph_baselines::{GraphDyns, GraphDynsConfig, GunrockModel};
+use scalagraph_bench::runners::{run_graphdyns, run_gunrock, run_scalagraph};
+use scalagraph_bench::workloads::{prepare, PreparedGraph, Workload};
+use scalagraph_graph::Dataset;
+use scalagraph_hwmodel::{max_frequency_mhz, EnergyModel, InterconnectKind, ResourceModel, SystemKind};
+
+/// Bench-scale divisor: small graphs so a full `cargo bench` stays in
+/// minutes.
+const SCALE: u64 = 16384;
+
+fn small(dataset: Dataset, workload: Workload) -> PreparedGraph {
+    prepare(dataset, workload, SCALE, 42)
+}
+
+fn bench_tables_1_3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables_1_3_dataset_generation");
+    g.sample_size(10);
+    for d in [Dataset::Pokec, Dataset::Twitter] {
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, d| {
+            b.iter(|| d.generate(SCALE, 42))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_crossbar_effect");
+    g.sample_size(10);
+    let prep = small(Dataset::Pokec, Workload::PageRank);
+    for (name, with_xbar) in [("with_crossbar", true), ("without_crossbar", false)] {
+        g.bench_function(name, |b| {
+            let mut cfg = GraphDynsConfig::with_pes(64);
+            cfg.with_crossbar = with_xbar;
+            b.iter(|| run_graphdyns(&prep, Workload::PageRank, cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_naive_mesh");
+    g.sample_size(10);
+    let prep = small(Dataset::Pokec, Workload::PageRank);
+    g.bench_function("naive_mesh_som_noagg", |b| {
+        let mut cfg = ScalaGraphConfig::with_pes(64);
+        cfg.mapping = Mapping::SourceOriented;
+        cfg.aggregation_registers = 0;
+        b.iter(|| run_scalagraph(&prep, Workload::PageRank, cfg.clone()))
+    });
+    g.finish();
+}
+
+fn bench_fig8_table4_fig16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hwmodel_queries");
+    g.bench_function("fig8_frequency_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for pes in [32, 64, 128, 256, 512, 1024] {
+                for kind in [
+                    InterconnectKind::Crossbar,
+                    InterconnectKind::Benes,
+                    InterconnectKind::Mesh,
+                ] {
+                    acc += max_frequency_mhz(kind, pes).frequency_mhz().unwrap_or(0.0);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("fig16_resource_model", |b| {
+        let m = ResourceModel::u280();
+        b.iter(|| {
+            m.utilization(scalagraph_hwmodel::AcceleratorKind::ScalaGraph, 512)
+                .lut
+                + m.utilization(scalagraph_hwmodel::AcceleratorKind::GraphDyns, 512)
+                    .lut
+        })
+    });
+    g.bench_function("fig15_energy_model", |b| {
+        let m = EnergyModel::u280();
+        b.iter(|| m.energy_joules(SystemKind::ScalaGraph, 512, 1.0))
+    });
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_overall_throughput");
+    g.sample_size(10);
+    let prep = small(Dataset::Pokec, Workload::Bfs);
+    g.bench_function("scalagraph_512", |b| {
+        b.iter(|| run_scalagraph(&prep, Workload::Bfs, ScalaGraphConfig::scalagraph_512()))
+    });
+    g.bench_function("scalagraph_128", |b| {
+        b.iter(|| run_scalagraph(&prep, Workload::Bfs, ScalaGraphConfig::scalagraph_128()))
+    });
+    g.bench_function("graphdyns_128", |b| {
+        b.iter(|| run_graphdyns(&prep, Workload::Bfs, GraphDynsConfig::graphdyns_128()))
+    });
+    g.bench_function("graphdyns_512", |b| {
+        b.iter(|| run_graphdyns(&prep, Workload::Bfs, GraphDynsConfig::graphdyns_512()))
+    });
+    g.bench_function("gunrock_v100", |b| {
+        b.iter(|| run_gunrock(&prep, Workload::Bfs, GunrockModel::v100()))
+    });
+    g.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_energy");
+    g.sample_size(10);
+    let prep = small(Dataset::Pokec, Workload::PageRank);
+    g.bench_function("sg512_run_plus_energy", |b| {
+        let em = EnergyModel::u280();
+        b.iter(|| {
+            let m = run_scalagraph(&prep, Workload::PageRank, ScalaGraphConfig::scalagraph_512());
+            em.energy_joules(SystemKind::ScalaGraph, 512, m.seconds)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig17_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_mapping");
+    g.sample_size(10);
+    let prep = small(Dataset::Pokec, Workload::PageRank);
+    for mapping in Mapping::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(mapping), &mapping, |b, &m| {
+            let mut cfg = ScalaGraphConfig::scalagraph_128();
+            cfg.mapping = m;
+            b.iter(|| run_scalagraph(&prep, Workload::PageRank, cfg.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_aggregation");
+    g.sample_size(10);
+    let prep = small(Dataset::Orkut, Workload::PageRank);
+    for regs in [0usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(regs), &regs, |b, &r| {
+            let mut cfg = ScalaGraphConfig::scalagraph_128();
+            cfg.aggregation_registers = r;
+            b.iter(|| run_scalagraph(&prep, Workload::PageRank, cfg.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig19_load_balance");
+    g.sample_size(10);
+    let prep = small(Dataset::Pokec, Workload::PageRank);
+    for width in [1usize, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("degree_aware_width", width),
+            &width,
+            |b, &w| {
+                let mut cfg = ScalaGraphConfig::scalagraph_128();
+                cfg.max_scheduled_vertices = w;
+                b.iter(|| run_scalagraph(&prep, Workload::PageRank, cfg.clone()))
+            },
+        );
+    }
+    let cc = small(Dataset::Pokec, Workload::Cc);
+    for pipelined in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("inter_phase_pipelining", pipelined),
+            &pipelined,
+            |b, &p| {
+                let mut cfg = ScalaGraphConfig::scalagraph_128();
+                cfg.inter_phase_pipelining = p;
+                b.iter(|| run_scalagraph(&cc, Workload::Cc, cfg.clone()))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig20(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig20_pe_utilization");
+    g.sample_size(10);
+    let prep = small(Dataset::LiveJournal, Workload::PageRank);
+    g.bench_function("scalagraph_128_util", |b| {
+        b.iter(|| {
+            run_scalagraph(&prep, Workload::PageRank, ScalaGraphConfig::scalagraph_128())
+                .pe_utilization
+        })
+    });
+    g.bench_function("graphdyns_128_util", |b| {
+        b.iter(|| {
+            run_graphdyns(&prep, Workload::PageRank, GraphDynsConfig::graphdyns_128())
+                .pe_utilization
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig21(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig21_pe_scaling");
+    g.sample_size(10);
+    let prep = small(Dataset::Orkut, Workload::PageRank);
+    for pes in [32usize, 128, 512, 2048] {
+        g.bench_with_input(BenchmarkId::from_parameter(pes), &pes, |b, &n| {
+            let mut cfg = ScalaGraphConfig::with_pes(n);
+            if n > 1024 {
+                cfg.memory = MemoryPreset::Unlimited;
+            }
+            b.iter(|| run_scalagraph(&prep, Workload::PageRank, cfg.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline_consistency(c: &mut Criterion) {
+    // Not a figure: guards that the baseline machine itself stays fast.
+    let mut g = c.benchmark_group("graphdyns_machine");
+    g.sample_size(10);
+    let prep = small(Dataset::Pokec, Workload::Sssp);
+    g.bench_function("sssp_128pe", |b| {
+        let gd = GraphDyns::new(GraphDynsConfig::graphdyns_128());
+        b.iter(|| {
+            let algo = scalagraph_algo::algorithms::Sssp::from_root(prep.root);
+            gd.run(&algo, &prep.graph).stats.cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_tables_1_3,
+    bench_fig4,
+    bench_fig6,
+    bench_fig8_table4_fig16,
+    bench_fig14,
+    bench_fig15,
+    bench_fig17_table2,
+    bench_fig18,
+    bench_fig19,
+    bench_fig20,
+    bench_fig21,
+    bench_baseline_consistency
+);
+criterion_main!(paper);

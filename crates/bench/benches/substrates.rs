@@ -1,0 +1,126 @@
+//! Criterion benches for the substrate layers themselves: graph
+//! construction, edge re-layout, the mesh NoC, the aggregation buffer, and
+//! the HBM model. These guard the simulator's own performance (wall-clock
+//! per simulated cycle), independent of any paper figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalagraph::aggregate::AggregationBuffer;
+use scalagraph_graph::{generators, relayout, Csr};
+use scalagraph_mem::{Hbm, HbmConfig, MemRequest};
+use scalagraph_noc::{Mesh, MeshConfig, Packet};
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csr_build");
+    for &edges in &[10_000usize, 100_000] {
+        let list = generators::power_law(edges / 10, edges, 0.8, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(edges), &list, |b, l| {
+            b.iter(|| Csr::from_edges(edges / 10, l))
+        });
+    }
+    g.finish();
+}
+
+fn bench_relayout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("degree_aware_relayout");
+    let base = Csr::from_edges(10_000, &generators::power_law(10_000, 100_000, 0.8, 7));
+    g.bench_function("100k_edges_16_lanes", |b| {
+        b.iter(|| {
+            let mut csr = base.clone();
+            relayout::degree_aware_relayout(&mut csr, 16, |v| (v as usize) % 16)
+        })
+    });
+    g.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesh_noc");
+    g.bench_function("16x16_uniform_1000_packets", |b| {
+        b.iter(|| {
+            let mut mesh = Mesh::new(MeshConfig::new(16, 16));
+            let n = 256usize;
+            let mut pending: Vec<(usize, Packet)> = (0..1000u64)
+                .map(|i| {
+                    (
+                        (i * 7 % n as u64) as usize,
+                        Packet {
+                            dst: (i * 13 % n as u64) as usize,
+                            payload: i,
+                            inject_cycle: 0,
+                        },
+                    )
+                })
+                .collect();
+            let mut delivered = 0u64;
+            while delivered < 1000 {
+                pending.retain(|&(src, pkt)| !(mesh.can_inject(src) && {
+                    mesh.try_inject(src, pkt);
+                    true
+                }));
+                mesh.step();
+                for node in 0..n {
+                    while mesh.pop_delivered(node).is_some() {
+                        delivered += 1;
+                    }
+                }
+            }
+            delivered
+        })
+    });
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation_buffer");
+    for &regs in &[0usize, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(regs), &regs, |b, &r| {
+            b.iter(|| {
+                let mut agg: AggregationBuffer<u32> = AggregationBuffer::new(r);
+                let mut out = 0u64;
+                for i in 0..10_000u32 {
+                    agg.push(i % 64, i, |a, b| a.min(b));
+                    if i % 2 == 0 {
+                        out += agg.drain_one().map_or(0, |u| u.value as u64);
+                    }
+                }
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hbm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hbm_model");
+    g.bench_function("u280_10k_requests", |b| {
+        b.iter(|| {
+            let mut hbm = Hbm::new(HbmConfig::u280(250e6));
+            let mut done = 0u64;
+            let mut issued = 0u64;
+            while done < 10_000 {
+                for ch in 0..hbm.num_channels() {
+                    if issued < 10_000 && hbm.try_request(ch, MemRequest::read(issued, 64)) {
+                        issued += 1;
+                    }
+                }
+                hbm.step();
+                for ch in 0..hbm.num_channels() {
+                    while hbm.pop_ready(ch).is_some() {
+                        done += 1;
+                    }
+                }
+            }
+            done
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_csr_build,
+    bench_relayout,
+    bench_mesh,
+    bench_aggregation,
+    bench_hbm
+);
+criterion_main!(substrates);

@@ -1,0 +1,78 @@
+//! Figure 15: energy consumption of ScalaGraph and GraphDynS, normalized
+//! to Gunrock (lower is better).
+//!
+//! Paper shape: ScalaGraph-512 uses ~7.1× less energy than Gunrock, and
+//! ~3.3× / ~2.8× less than GraphDynS-128 / GraphDynS-512; ScalaGraph-128
+//! saves only ~1.3× over GraphDynS-128 (mesh overhead eats the gain at
+//! small parallelism).
+
+use scalagraph::ScalaGraphConfig;
+use scalagraph_baselines::{GraphDynsConfig, GunrockModel};
+use scalagraph_bench::runners::{run_graphdyns, run_gunrock, run_scalagraph};
+use scalagraph_bench::workloads::{prepare, Workload};
+use scalagraph_bench::{print_table, ratio, scale_or};
+use scalagraph_graph::Dataset;
+use scalagraph_hwmodel::{EnergyModel, SystemKind};
+
+fn main() {
+    let scale = scale_or(512);
+    println!("Figure 15 — energy normalized to Gunrock; graphs at 1/{scale}");
+    let em = EnergyModel::u280();
+
+    let cells: Vec<(Workload, Dataset)> = Workload::ALL
+        .iter()
+        .flat_map(|&w| Dataset::EVALUATION.iter().map(move |&d| (w, d)))
+        .collect();
+    let results = scalagraph_bench::sweep::parallel_map(cells, |(workload, dataset)| {
+        let prep = prepare(dataset, workload, scale, 42);
+        let gun = run_gunrock(
+            &prep,
+            workload,
+            GunrockModel::v100_for_paper_graph(
+                dataset.spec().paper_vertices,
+                dataset.spec().paper_edges,
+            ),
+        );
+        let gd128 = run_graphdyns(&prep, workload, GraphDynsConfig::graphdyns_128());
+        let gd512 = run_graphdyns(&prep, workload, GraphDynsConfig::graphdyns_512());
+        let sg128 = run_scalagraph(&prep, workload, ScalaGraphConfig::scalagraph_128());
+        let sg512 = run_scalagraph(&prep, workload, ScalaGraphConfig::scalagraph_512());
+        let e_gun = em.energy_joules(SystemKind::GunrockV100, 0, gun.seconds);
+        let e = [
+            em.energy_joules(SystemKind::GraphDyns, 128, gd128.seconds) / e_gun,
+            em.energy_joules(SystemKind::GraphDyns, 512, gd512.seconds) / e_gun,
+            em.energy_joules(SystemKind::ScalaGraph, 128, sg128.seconds) / e_gun,
+            em.energy_joules(SystemKind::ScalaGraph, 512, sg512.seconds) / e_gun,
+        ];
+        (workload, dataset, e)
+    });
+
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 4];
+    let mut count = 0.0;
+    for (workload, dataset, e) in results {
+        for (s, v) in sums.iter_mut().zip(e) {
+            *s += v;
+        }
+        count += 1.0;
+        rows.push(vec![
+            workload.to_string(),
+            dataset.to_string(),
+            format!("{:.3}", e[0]),
+            format!("{:.3}", e[1]),
+            format!("{:.3}", e[2]),
+            format!("{:.3}", e[3]),
+        ]);
+    }
+    print_table(
+        "Energy normalized to Gunrock (= 1.0)",
+        &["algo", "graph", "GD-128", "GD-512", "SG-128", "SG-512"],
+        &rows,
+    );
+    let m = |i: usize| sums[i] / count;
+    println!("\nMeans (paper targets in parentheses):");
+    println!("  Gunrock / ScalaGraph-512      : {} (7.1x)", ratio(1.0 / m(3)));
+    println!("  GraphDynS-128 / ScalaGraph-512: {} (3.3x)", ratio(m(0) / m(3)));
+    println!("  GraphDynS-512 / ScalaGraph-512: {} (2.8x)", ratio(m(1) / m(3)));
+    println!("  GraphDynS-128 / ScalaGraph-128: {} (1.3x)", ratio(m(0) / m(2)));
+}

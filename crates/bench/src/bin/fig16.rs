@@ -1,0 +1,68 @@
+//! Figure 16: FPGA resource utilization (left table) and the ScalaGraph
+//! power breakdown (right pie), from the calibrated hardware model.
+
+use scalagraph_bench::print_table;
+use scalagraph_hwmodel::{AcceleratorKind, EnergyModel, PowerBreakdown, ResourceModel, SystemKind};
+
+fn main() {
+    println!("Figure 16 — resource utilization and power breakdown");
+    let m = ResourceModel::u280();
+    let pct = |x: f64| format!("{:.1}%", x * 100.0);
+    let configs = [
+        ("GraphDynS-128", AcceleratorKind::GraphDyns, 128usize),
+        ("ScalaGraph-128", AcceleratorKind::ScalaGraph, 128),
+        ("GraphDynS-512", AcceleratorKind::GraphDyns, 512),
+        ("ScalaGraph-512", AcceleratorKind::ScalaGraph, 512),
+    ];
+    let paper = [
+        (22.8, 11.6, 74.7),
+        (10.9, 6.4, 70.8),
+        (85.1, 43.8, 76.1),
+        (39.2, 22.9, 73.2),
+    ];
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .zip(paper)
+        .map(|((name, kind, pes), (pl, pr, pb))| {
+            let u = m.utilization(*kind, *pes);
+            vec![
+                name.to_string(),
+                pct(u.lut),
+                format!("{pl}%"),
+                pct(u.reg),
+                format!("{pr}%"),
+                pct(u.bram),
+                format!("{pb}%"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Resource utilization (model vs paper)",
+        &["accelerator", "LUT", "(paper)", "REG", "(paper)", "BRAM", "(paper)"],
+        &rows,
+    );
+
+    let b = PowerBreakdown::scalagraph();
+    let total_w = EnergyModel::u280().power_watts(SystemKind::ScalaGraph, 512);
+    let rows = vec![
+        vec!["HBM".into(), pct(b.hbm), format!("{:.1} W", b.hbm * total_w)],
+        vec!["SPD".into(), pct(b.spd), format!("{:.1} W", b.spd * total_w)],
+        vec!["RU (NoC)".into(), pct(b.ru), format!("{:.1} W", b.ru * total_w)],
+        vec!["GU".into(), pct(b.gu), format!("{:.1} W", b.gu * total_w)],
+        vec![
+            "Dispatch".into(),
+            pct(b.dispatch),
+            format!("{:.1} W", b.dispatch * total_w),
+        ],
+        vec![
+            "Prefetch/other".into(),
+            pct(b.other),
+            format!("{:.1} W", b.other * total_w),
+        ],
+    ];
+    print_table(
+        &format!("ScalaGraph-512 power breakdown (total {total_w:.1} W)"),
+        &["component", "share", "watts"],
+        &rows,
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 17: effectiveness of the row-oriented mapping (ROM) against
+//! source-oriented (SOM) and destination-oriented (DOM) mappings, running
+//! PageRank (all edges active) on the five evaluation graphs.
+//!
+//! Paper shape: ROM cuts NoC communications by ~61.7% versus SOM (routing
+//! latency 15.6 → 5.9 cycles) and by 28.6–67.0% versus DOM, and runs ~2.6×
+//! faster than SOM; higher-average-degree graphs gain less over DOM.
+
+use scalagraph::{Mapping, ScalaGraphConfig};
+use scalagraph_bench::runners::run_scalagraph;
+use scalagraph_bench::workloads::{prepare, Workload};
+use scalagraph_bench::{f2, print_table, ratio, scale_or};
+use scalagraph_graph::Dataset;
+
+fn main() {
+    let scale = scale_or(2048);
+    println!("Figure 17 — mapping ablation; PageRank on evaluation graphs at 1/{scale}");
+
+    let mut rows = Vec::new();
+    let mut lat = (0.0, 0.0, 0.0);
+    let mut n = 0.0;
+    for dataset in Dataset::EVALUATION {
+        let prep = prepare(dataset, Workload::PageRank, scale, 42);
+        let mut metrics = Vec::new();
+        for mapping in Mapping::ALL {
+            let mut cfg = ScalaGraphConfig::scalagraph_512();
+            cfg.mapping = mapping;
+            metrics.push(run_scalagraph(&prep, Workload::PageRank, cfg));
+        }
+        let (som, dom, rom) = (&metrics[0], &metrics[1], &metrics[2]);
+        lat.0 += som.avg_routing_latency;
+        lat.1 += dom.avg_routing_latency;
+        lat.2 += rom.avg_routing_latency;
+        n += 1.0;
+        rows.push(vec![
+            dataset.to_string(),
+            som.noc_hops.to_string(),
+            dom.noc_hops.to_string(),
+            rom.noc_hops.to_string(),
+            format!(
+                "-{:.1}%",
+                100.0 * (1.0 - rom.noc_hops as f64 / som.noc_hops.max(1) as f64)
+            ),
+            ratio(som.seconds / rom.seconds),
+            ratio(dom.seconds / rom.seconds),
+        ]);
+    }
+    print_table(
+        "NoC communications (link traversals) and speedups",
+        &[
+            "graph",
+            "SOM hops",
+            "DOM hops",
+            "ROM hops",
+            "ROM vs SOM",
+            "ROM speedup vs SOM",
+            "ROM speedup vs DOM",
+        ],
+        &rows,
+    );
+    println!(
+        "\nMean routing latency (cycles): SOM {} | DOM {} | ROM {}  (paper: SOM 15.6 -> ROM 5.9)",
+        f2(lat.0 / n),
+        f2(lat.1 / n),
+        f2(lat.2 / n)
+    );
+}

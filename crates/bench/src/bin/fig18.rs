@@ -1,0 +1,61 @@
+//! Figure 18: effectiveness of the update-aggregation pipeline — (a) NoC
+//! communications as the register count sweeps 0→20, and (b) speedup with
+//! 16 registers versus none.
+//!
+//! Paper shape: communications drop by up to ~50% as registers grow, with
+//! diminishing returns past ~12–16; aggregation yields ~1.57× speedup.
+
+use scalagraph::ScalaGraphConfig;
+use scalagraph_bench::runners::run_scalagraph;
+use scalagraph_bench::workloads::{prepare, Workload};
+use scalagraph_bench::{print_table, ratio, scale_or};
+use scalagraph_graph::Dataset;
+
+fn main() {
+    let scale = scale_or(2048);
+    println!("Figure 18 — update aggregation; PageRank at 1/{scale}");
+
+    let registers = [0usize, 4, 8, 12, 16, 20];
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for dataset in Dataset::EVALUATION {
+        let prep = prepare(dataset, Workload::PageRank, scale, 42);
+        let mut row = vec![dataset.to_string()];
+        let mut base_hops = 0u64;
+        let mut base_secs = 0.0;
+        let mut secs16 = 0.0;
+        for &regs in &registers {
+            let mut cfg = ScalaGraphConfig::scalagraph_512();
+            cfg.aggregation_registers = regs;
+            let m = run_scalagraph(&prep, Workload::PageRank, cfg);
+            if regs == 0 {
+                base_hops = m.noc_hops.max(1);
+                base_secs = m.seconds;
+            }
+            if regs == 16 {
+                secs16 = m.seconds;
+            }
+            row.push(format!(
+                "{:.2}",
+                m.noc_hops as f64 / base_hops as f64
+            ));
+        }
+        speedups.push((dataset.to_string(), base_secs / secs16));
+        rows.push(row);
+    }
+    print_table(
+        "(a) NoC communications normalized to 0 registers",
+        &["graph", "0", "4", "8", "12", "16", "20"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = speedups
+        .iter()
+        .map(|(g, s)| vec![g.clone(), ratio(*s)])
+        .collect();
+    print_table(
+        "(b) Speedup of 16 registers over none (paper mean: 1.57x)",
+        &["graph", "speedup"],
+        &rows,
+    );
+}

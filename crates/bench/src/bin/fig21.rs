@@ -1,0 +1,66 @@
+//! Figure 21: performance scaling of ScalaGraph with PE counts 32→4,096.
+//!
+//! Paper shape: near-linear speedup up to 512 PEs on the U280's 460 GB/s;
+//! 1,024 PEs gains only ~1.16× over 512 (off-chip bandwidth saturates);
+//! with "sufficient off-chip bandwidth" each further doubling gains ~1.47×.
+
+use scalagraph::{MemoryPreset, ScalaGraphConfig};
+use scalagraph_bench::runners::run_scalagraph;
+use scalagraph_bench::workloads::{prepare, Workload};
+use scalagraph_bench::{print_table, ratio, scale_or};
+use scalagraph_graph::Dataset;
+
+fn main() {
+    let scale = scale_or(256);
+    println!("Figure 21 — PE scaling; PageRank on Orkut at 1/{scale}");
+
+    let prep = prepare(Dataset::Orkut, Workload::PageRank, scale, 42);
+
+    // On-FPGA series: U280 bandwidth, 32 to 1,024 PEs.
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    let mut prev = 0.0;
+    for pes in [32usize, 64, 128, 256, 512, 1024] {
+        let cfg = ScalaGraphConfig::with_pes(pes);
+        let m = run_scalagraph(&prep, Workload::PageRank, cfg);
+        if pes == 32 {
+            base = m.gteps;
+        }
+        let vs_prev = if prev > 0.0 { m.gteps / prev } else { 1.0 };
+        prev = m.gteps;
+        rows.push(vec![
+            pes.to_string(),
+            format!("{:.2}", m.gteps),
+            ratio(m.gteps / base),
+            ratio(vs_prev),
+        ]);
+    }
+    print_table(
+        "U280 (460 GB/s): speedup normalized to 32 PEs — paper: near-linear to 512, ~1.16x for 512->1024 (bandwidth saturates)",
+        &["PEs", "GTEPS", "vs 32 PEs", "vs previous"],
+        &rows,
+    );
+
+    // Beyond the FPGA: the paper's cycle-accurate simulator "with
+    // sufficient off-chip bandwidth" — one consistent memory model across
+    // the whole series so doubling ratios are meaningful.
+    let mut rows = Vec::new();
+    let mut prev = 0.0;
+    for pes in [1024usize, 2048, 4096] {
+        let mut cfg = ScalaGraphConfig::with_pes(pes);
+        cfg.memory = MemoryPreset::Unlimited;
+        let m = run_scalagraph(&prep, Workload::PageRank, cfg);
+        let vs_prev = if prev > 0.0 { m.gteps / prev } else { 1.0 };
+        prev = m.gteps;
+        rows.push(vec![
+            pes.to_string(),
+            format!("{:.2}", m.gteps),
+            ratio(vs_prev),
+        ]);
+    }
+    print_table(
+        "Unlimited bandwidth: paper reports ~1.47x per PE doubling beyond 1,024",
+        &["PEs", "GTEPS", "per doubling"],
+        &rows,
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 4: the effect of the centralized crossbar on (a) maximal
+//! frequency and (b) performance, for AccuGraph and GraphDynS prototypes
+//! with and without the crossbar, scaling 4→512 PEs.
+//!
+//! Paper shape: with the crossbar, frequency collapses past 64 PEs
+//! (300→~100 MHz) and performance stalls or drops at 128 PEs; 256+ PEs
+//! route-fail. Without the crossbar both scale nearly linearly at 300 MHz.
+//! One PageRank iteration over the Table I graphs characterizes maximal
+//! throughput.
+
+use scalagraph_algo::algorithms::PageRank;
+use scalagraph_baselines::{GraphDyns, GraphDynsConfig};
+use scalagraph_bench::{print_table, ratio, scale_or};
+use scalagraph_graph::Dataset;
+use scalagraph_hwmodel::{max_frequency_mhz, InterconnectKind};
+
+fn main() {
+    let scale = scale_or(4096);
+    println!("Figure 4 — crossbar effect; one PageRank iteration, Table I graphs at 1/{scale}");
+
+    // (a) Maximal frequency.
+    let pes_list = [4usize, 8, 16, 32, 64, 128, 256, 512];
+    let rows: Vec<Vec<String>> = pes_list
+        .iter()
+        .map(|&pes| {
+            let with = max_frequency_mhz(InterconnectKind::Crossbar, pes)
+                .frequency_mhz()
+                .map_or("route-fail".into(), |f| format!("{f:.0} MHz"));
+            let without = max_frequency_mhz(InterconnectKind::None, pes)
+                .frequency_mhz()
+                .map_or("route-fail".into(), |f| format!("{f:.0} MHz"));
+            vec![pes.to_string(), with.clone(), without.clone(), with, without]
+        })
+        .collect();
+    print_table(
+        "(a) Maximal frequency",
+        &["PEs", "AccuGraph", "AccuGraph w/o xbar", "GraphDynS", "GraphDynS w/o xbar"],
+        &rows,
+    );
+
+    // (b) Performance, normalized to the 4-PE crossbar build, averaged
+    // over the four motivation graphs.
+    let algo = PageRank::new(1);
+    let graphs: Vec<_> = Dataset::MOTIVATION
+        .iter()
+        .map(|d| d.generate(scale, 42))
+        .collect();
+
+    let run = |cfg: GraphDynsConfig| -> f64 {
+        let clock = cfg.effective_clock_mhz();
+        graphs
+            .iter()
+            .map(|g| GraphDyns::new(cfg).run(&algo, g).stats.gteps(clock))
+            .sum::<f64>()
+            / graphs.len() as f64
+    };
+
+    let variants: [(&str, fn(usize) -> GraphDynsConfig, bool); 4] = [
+        ("AccuGraph", GraphDynsConfig::accugraph_with_pes, true),
+        ("AccuGraph w/o xbar", GraphDynsConfig::accugraph_with_pes, false),
+        ("GraphDynS", GraphDynsConfig::with_pes, true),
+        ("GraphDynS w/o xbar", GraphDynsConfig::with_pes, false),
+    ];
+
+    let mut baselines = Vec::new();
+    let mut rows = Vec::new();
+    for &pes in &pes_list {
+        let mut row = vec![pes.to_string()];
+        for (vi, (_, make, with_xbar)) in variants.iter().enumerate() {
+            let mut cfg = make(pes);
+            cfg.with_crossbar = *with_xbar;
+            let routed = !*with_xbar
+                || max_frequency_mhz(InterconnectKind::Crossbar, pes).is_routed();
+            if !routed {
+                row.push("route-fail".into());
+                continue;
+            }
+            let gteps = run(cfg);
+            if baselines.len() <= vi {
+                baselines.push(gteps);
+            }
+            row.push(ratio(gteps / baselines[vi]));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "(b) Performance normalized to 4 PEs",
+        &["PEs", "AccuGraph", "AccuGraph w/o xbar", "GraphDynS", "GraphDynS w/o xbar"],
+        &rows,
+    );
+}

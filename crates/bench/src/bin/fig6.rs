@@ -1,0 +1,72 @@
+//! Figure 6: overheads of naively dropping a mesh NoC into a graph
+//! accelerator — increased on-chip communications and load imbalance.
+//!
+//! The paper measures a ~6.9× slowdown from mesh communications plus a
+//! further ~1.74× from power-law load imbalance when running PageRank on a
+//! 16×16 mesh without ScalaGraph's co-designs. We reproduce the
+//! decomposition in two steps: (1) a naive mesh (source-oriented mapping,
+//! no aggregation) against an idealized iso-frequency crossbar on the same
+//! graph; and (2) the *extra* naive-mesh penalty a power-law graph pays
+//! over a degree-uniform twin with identical vertex/edge counts — the
+//! load-imbalance component.
+
+use scalagraph::{Mapping, ScalaGraphConfig};
+use scalagraph_algo::algorithms::PageRank;
+use scalagraph_baselines::{GraphDyns, GraphDynsConfig};
+use scalagraph_bench::{print_table, ratio, scale_or};
+use scalagraph_graph::{generators, Csr, Dataset};
+
+fn naive_mesh_config() -> ScalaGraphConfig {
+    let mut cfg = ScalaGraphConfig::with_pes(256);
+    cfg.mapping = Mapping::SourceOriented;
+    cfg.aggregation_registers = 0;
+    cfg.clock_mhz = Some(250.0);
+    cfg
+}
+
+fn ideal_config() -> GraphDynsConfig {
+    let mut cfg = GraphDynsConfig::with_pes(256);
+    cfg.pes_per_tile = 256;
+    cfg.clock_mhz = Some(250.0);
+    cfg
+}
+
+fn cycles_naive(graph: &Csr, algo: &PageRank) -> u64 {
+    scalagraph::run_on(algo, graph, naive_mesh_config()).stats.cycles
+}
+
+fn cycles_ideal(graph: &Csr, algo: &PageRank) -> u64 {
+    GraphDyns::new(ideal_config()).run(algo, graph).stats.cycles
+}
+
+fn main() {
+    let scale = scale_or(2048);
+    println!("Figure 6 — cost of a naive mesh (PageRank at 1/{scale}, 256 PEs, iso-frequency)");
+
+    let algo = PageRank::new(2);
+    let mut rows = Vec::new();
+    for dataset in Dataset::MOTIVATION {
+        let graph = dataset.generate(scale, 42);
+        // A degree-uniform twin: same |V| and |E|, no skew.
+        let twin = Csr::from_edges(
+            graph.num_vertices(),
+            &generators::uniform(graph.num_vertices(), graph.num_edges(), 42),
+        );
+
+        let comm = cycles_naive(&twin, &algo) as f64 / cycles_ideal(&twin, &algo) as f64;
+        let naive_skew = cycles_naive(&graph, &algo) as f64 / cycles_ideal(&graph, &algo) as f64;
+        let imbalance = naive_skew / comm;
+
+        rows.push(vec![
+            dataset.to_string(),
+            ratio(comm),
+            ratio(imbalance),
+            ratio(naive_skew),
+        ]);
+    }
+    print_table(
+        "Naive-mesh slowdown vs idealized crossbar (paper: ~6.9x comm, ~1.74x further imbalance)",
+        &["graph", "mesh comm (uniform twin)", "x power-law imbalance", "total"],
+        &rows,
+    );
+}

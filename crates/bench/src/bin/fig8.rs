@@ -1,0 +1,38 @@
+//! Figure 8: maximum frequency of four interconnects (crossbar, multi-stage
+//! crossbar, Benes, 2D mesh) as the PE count grows from 4 to 1,024.
+//!
+//! Paper shape: the crossbar collapses fastest and route-fails at 256 PEs;
+//! Benes and the multi-stage crossbar degrade more slowly but fail at 512;
+//! the mesh holds near-300 MHz through 1,024 PEs.
+
+use scalagraph_bench::print_table;
+use scalagraph_hwmodel::{max_frequency_mhz, InterconnectKind};
+
+fn main() {
+    println!("Figure 8 — interconnect frequency vs PE count (modelled U280 synthesis)");
+    let kinds = [
+        ("Crossbar", InterconnectKind::Crossbar),
+        ("MultiStage(x2)", InterconnectKind::MultiStageCrossbar { mux: 2 }),
+        ("Benes", InterconnectKind::Benes),
+        ("Mesh", InterconnectKind::Mesh),
+    ];
+    let pes = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let rows: Vec<Vec<String>> = pes
+        .iter()
+        .map(|&n| {
+            let mut row = vec![n.to_string()];
+            for (_, k) in kinds {
+                row.push(match max_frequency_mhz(k, n).frequency_mhz() {
+                    Some(f) => format!("{f:.0} MHz"),
+                    None => "route-fail".to_string(),
+                });
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Max frequency",
+        &["PEs", "Crossbar", "MultiStage(x2)", "Benes", "Mesh"],
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Developer probe: dumps detailed counters for one configuration to find
+//! bottlenecks. Not part of the paper reproduction.
+
+use scalagraph::{ScalaGraphConfig, Simulator};
+use scalagraph_algo::algorithms::PageRank;
+use scalagraph_baselines::{GraphDyns, GraphDynsConfig};
+use scalagraph_bench::scale_or;
+use scalagraph_bench::workloads::{prepare, Workload};
+use scalagraph_graph::Dataset;
+
+fn main() {
+    let scale = scale_or(1024);
+    for dataset in [Dataset::Orkut, Dataset::Rmat24, Dataset::Pokec] {
+        let prep = prepare(dataset, Workload::PageRank, scale, 42);
+        let algo = PageRank::new(2);
+        println!(
+            "\n=== {dataset} |V|={} |E|={} maxdeg={}",
+            prep.graph.num_vertices(),
+            prep.graph.num_edges(),
+            prep.graph
+                .vertices()
+                .map(|v| prep.graph.out_degree(v))
+                .max()
+                .unwrap()
+        );
+        for pes in [128usize, 512] {
+            let cfg = ScalaGraphConfig::with_pes(pes);
+            let clock = cfg.effective_clock_mhz();
+            let r = Simulator::new(&algo, &prep.graph, cfg).run();
+            let s = r.stats;
+            println!(
+                "SG-{pes}: cyc={} sc={} ap={} util={:.2} gteps={:.1} hops={} conf={} lat={:.1} merges={} bw_util={:.2}",
+                s.cycles,
+                s.scatter_cycles,
+                s.apply_cycles,
+                s.pe_utilization(),
+                s.gteps(clock),
+                s.noc_hops,
+                s.noc_conflicts,
+                s.avg_routing_latency(),
+                s.agg_merges,
+                s.offchip_bytes() as f64 / (s.cycles as f64 * 1840.0)
+            );
+        }
+        for (name, cfg) in [
+            ("GD-128", GraphDynsConfig::graphdyns_128()),
+            ("GD-512", GraphDynsConfig::graphdyns_512()),
+        ] {
+            let clock = cfg.effective_clock_mhz();
+            let r = GraphDyns::new(cfg).run(&algo, &prep.graph);
+            let s = r.stats;
+            println!(
+                "{name}: cyc={} sc={} ap={} util={:.2} gteps={:.1} hops={} conf={} merges={}",
+                s.cycles,
+                s.scatter_cycles,
+                s.apply_cycles,
+                s.pe_utilization(),
+                s.gteps(clock),
+                s.noc_hops,
+                s.noc_conflicts,
+                s.agg_merges,
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Developer probe 2: parameter sensitivity of ScalaGraph-512 on one
+//! workload, to locate the binding constraint. Not part of the paper
+//! reproduction.
+
+use scalagraph::{MemoryPreset, ScalaGraphConfig, Simulator};
+use scalagraph_algo::algorithms::PageRank;
+use scalagraph_bench::scale_or;
+use scalagraph_bench::workloads::{prepare, Workload};
+use scalagraph_graph::Dataset;
+
+fn main() {
+    let scale = scale_or(512);
+    let prep = prepare(Dataset::Twitter, Workload::PageRank, scale, 42);
+    // link width sensitivity
+
+    let algo = PageRank::new(2);
+    println!(
+        "TW 1/{scale}: |V|={} |E|={}",
+        prep.graph.num_vertices(),
+        prep.graph.num_edges()
+    );
+    let base = ScalaGraphConfig::scalagraph_512();
+    let variants: Vec<(&str, ScalaGraphConfig)> = vec![
+        ("baseline", base.clone()),
+        ("link width 1", {
+            let mut c = base.clone();
+            c.link_width = 1;
+            c
+        }),
+        ("link width 2", {
+            let mut c = base.clone();
+            c.link_width = 2;
+            c
+        }),
+        ("link width 2 agg0", {
+            let mut c = base.clone();
+            c.link_width = 2;
+            c.aggregation_registers = 0;
+            c
+        }),
+        ("link width 4", {
+            let mut c = base.clone();
+            c.link_width = 4;
+            c
+        }),
+        ("link width 4 agg0", {
+            let mut c = base.clone();
+            c.link_width = 4;
+            c.aggregation_registers = 0;
+            c
+        }),
+        ("unlimited memory", {
+            let mut c = base.clone();
+            c.memory = MemoryPreset::Unlimited;
+            c
+        }),
+        ("link width 32", {
+            let mut c = base.clone();
+            c.link_width = 32;
+            c
+        }),
+        ("agg regs 64", {
+            let mut c = base.clone();
+            c.aggregation_registers = 64;
+            c
+        }),
+        ("gu queue 32", {
+            let mut c = base.clone();
+            c.gu_queue_capacity = 32;
+            c
+        }),
+        ("router queue 32", {
+            let mut c = base.clone();
+            c.router_queue_capacity = 32;
+            c
+        }),
+        ("all of the above", {
+            let mut c = base.clone();
+            c.memory = MemoryPreset::Unlimited;
+            c.link_width = 32;
+            c.aggregation_registers = 64;
+            c.gu_queue_capacity = 32;
+            c.router_queue_capacity = 32;
+            c
+        }),
+    ];
+    for (name, cfg) in variants {
+        let clock = cfg.effective_clock_mhz();
+        let r = Simulator::new(&algo, &prep.graph, cfg).run();
+        let s = r.stats;
+        println!(
+            "{name:<18} cyc={:>8} gteps={:>6.1} util={:.2} conf={:>9} lat={:>5.1} merges={:>8} bw={:.2} vl={} el={} pig={} starve={:.2}",
+            s.cycles,
+            s.gteps(clock),
+            s.pe_utilization(),
+            s.noc_conflicts,
+            s.avg_routing_latency(),
+            s.agg_merges,
+            s.offchip_bytes() as f64 / (s.cycles as f64 * 1840.0),
+            s.vpref_lines,
+            s.epref_lines,
+            s.epref_piggybacks,
+            s.dispatch_starved_row_cycles as f64 / (s.scatter_cycles as f64 * 32.0)
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Table IV: maximum frequency of ScalaGraph (mesh) against GraphDynS
+//! (crossbar) from 32 to 1,024 PEs.
+//!
+//! Paper values (MHz): ScalaGraph 304/293/292/285/274/258, GraphDynS
+//! 270/227/112/−/−/−.
+
+use scalagraph_bench::print_table;
+use scalagraph_hwmodel::{max_frequency_mhz, InterconnectKind};
+
+fn main() {
+    println!("Table IV — maximal frequency (MHz); '-' denotes synthesis failure");
+    let pes = [32usize, 64, 128, 256, 512, 1024];
+    let paper_sg = [304.0, 293.0, 292.0, 285.0, 274.0, 258.0];
+    let paper_gd = [Some(270.0), Some(227.0), Some(112.0), None, None, None];
+
+    let fmt = |o: Option<f64>| o.map_or("-".to_string(), |f| format!("{f:.0}"));
+    let rows: Vec<Vec<String>> = pes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            vec![
+                n.to_string(),
+                fmt(max_frequency_mhz(InterconnectKind::Mesh, n).frequency_mhz()),
+                format!("{:.0}", paper_sg[i]),
+                fmt(max_frequency_mhz(InterconnectKind::Crossbar, n).frequency_mhz()),
+                fmt(paper_gd[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Max frequency",
+        &[
+            "PEs",
+            "ScalaGraph (model)",
+            "ScalaGraph (paper)",
+            "GraphDynS (model)",
+            "GraphDynS (paper)",
+        ],
+        &rows,
+    );
+}

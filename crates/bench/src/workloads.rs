@@ -1,0 +1,111 @@
+//! Workload construction: (dataset, algorithm) pairs as the paper runs
+//! them — SSSP on weighted graphs, CC on symmetrized graphs, BFS/SSSP
+//! rooted at a hub.
+
+use scalagraph_graph::{Csr, Dataset, VertexId};
+
+/// The four evaluation algorithms (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Breadth-first search from a hub root.
+    Bfs,
+    /// Single-source shortest paths (weights 0..=255) from a hub root.
+    Sssp,
+    /// Connected components on the symmetrized graph.
+    Cc,
+    /// PageRank, fixed iteration count.
+    PageRank,
+}
+
+impl Workload {
+    /// All workloads in the paper's figure order.
+    pub const ALL: [Workload; 4] = [
+        Workload::Bfs,
+        Workload::Sssp,
+        Workload::Cc,
+        Workload::PageRank,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Bfs => "BFS",
+            Workload::Sssp => "SSSP",
+            Workload::Cc => "CC",
+            Workload::PageRank => "PR",
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The number of PageRank iterations the harness runs (a fixed schedule,
+/// as accelerator evaluations conventionally do).
+pub const PAGERANK_ITERATIONS: usize = 5;
+
+/// A prepared input: graph plus the root (where applicable).
+#[derive(Debug, Clone)]
+pub struct PreparedGraph {
+    /// The device-ready graph (weighted for SSSP, symmetrized for CC).
+    pub graph: Csr,
+    /// Hub root used by BFS/SSSP.
+    pub root: VertexId,
+}
+
+/// Builds the input graph for `dataset` under `workload` semantics at
+/// `1/scale` of paper size.
+pub fn prepare(dataset: Dataset, workload: Workload, scale: u64, seed: u64) -> PreparedGraph {
+    let graph = match workload {
+        Workload::Sssp => dataset.generate_weighted(scale, seed),
+        Workload::Cc => {
+            let mut list = dataset.edge_list(scale, seed);
+            list.symmetrize();
+            Csr::from_edge_list(&list)
+        }
+        Workload::Bfs | Workload::PageRank => dataset.generate(scale, seed),
+    };
+    let root = Dataset::pick_root(&graph);
+    PreparedGraph { graph, root }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sssp_prepared_is_weighted() {
+        let p = prepare(Dataset::Pokec, Workload::Sssp, 4096, 1);
+        assert!(p.graph.is_weighted());
+    }
+
+    #[test]
+    fn cc_prepared_is_symmetric() {
+        let p = prepare(Dataset::Pokec, Workload::Cc, 4096, 1);
+        let r = p.graph.reverse();
+        for v in p.graph.vertices().take(50) {
+            let mut a = p.graph.neighbors(v).to_vec();
+            let mut b = r.neighbors(v).to_vec();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            assert_eq!(a, b, "vertex {v} not symmetric");
+        }
+    }
+
+    #[test]
+    fn bfs_root_has_edges() {
+        let p = prepare(Dataset::LiveJournal, Workload::Bfs, 8192, 2);
+        assert!(p.graph.out_degree(p.root) > 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Workload::PageRank.label(), "PR");
+        assert_eq!(Workload::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,227 @@
+//! Accelerator configuration.
+
+use crate::mapping::Mapping;
+use crate::placement::Placement;
+use scalagraph_hwmodel::{max_frequency_mhz, InterconnectKind, OPERATING_CLOCK_MHZ};
+use scalagraph_mem::HbmConfig;
+
+/// Off-chip memory preset for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemoryPreset {
+    /// One U280 HBM2 stack per tile (the paper's hardware: 230 GB/s,
+    /// 16 pseudo-channels each).
+    U280,
+    /// Unlimited bandwidth (the >1,024-PE scalability study of Section
+    /// V-E).
+    Unlimited,
+    /// Explicit per-tile memory configuration.
+    Custom(HbmConfig),
+}
+
+/// Full configuration of a ScalaGraph instance.
+///
+/// Defaults mirror the paper's ScalaGraph-512: two tiles of 16×16 PEs, a
+/// 16-register aggregation pipeline, 16-way degree-aware scheduling,
+/// inter-phase pipelining on, row-oriented mapping, 250 MHz.
+///
+/// # Example
+///
+/// ```
+/// use scalagraph::ScalaGraphConfig;
+///
+/// let cfg = ScalaGraphConfig::scalagraph_512();
+/// assert_eq!(cfg.placement.num_pes(), 512);
+/// let small = ScalaGraphConfig::with_pes(128);
+/// assert_eq!(small.placement.num_pes(), 128);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalaGraphConfig {
+    /// PE array geometry.
+    pub placement: Placement,
+    /// Workload-to-PE mapping (Section IV-A).
+    pub mapping: Mapping,
+    /// Registers in each RU's update-aggregation pipeline (Section IV-B);
+    /// 0 disables aggregation (pure FIFO).
+    pub aggregation_registers: usize,
+    /// Maximum distinct low-degree vertices the degree-aware scheduler may
+    /// dispatch in one cycle (Section IV-C); 1 disables the mechanism.
+    pub max_scheduled_vertices: usize,
+    /// Inter-phase pipelining (Section IV-D). Automatically disabled at run
+    /// time for non-monotonic algorithms regardless of this flag.
+    pub inter_phase_pipelining: bool,
+    /// Vertices whose properties fit on-chip simultaneously (total
+    /// scratchpad capacity); larger graphs are sliced (Section III-A).
+    pub spd_capacity_vertices: usize,
+    /// Off-chip memory per tile.
+    pub memory: MemoryPreset,
+    /// Operating clock in MHz; `None` derives it from the hardware model
+    /// (min of 250 MHz and the mesh's synthesizable maximum).
+    pub clock_mhz: Option<f64>,
+    /// Updates one NoC link carries per cycle. FPGA NoC links are wide
+    /// (256-bit) buses, so one link transfer moves up to four 8-byte
+    /// vertex updates; the update-aggregation pipeline keeps this width
+    /// sufficient (without aggregation the columns congest, Figure 18).
+    pub link_width: usize,
+    /// GU input queue depth, in edge workloads.
+    pub gu_queue_capacity: usize,
+    /// Router output queue depth, in updates.
+    pub router_queue_capacity: usize,
+}
+
+impl ScalaGraphConfig {
+    /// The paper's flagship configuration: 512 PEs as two 16×16 tiles.
+    pub fn scalagraph_512() -> Self {
+        Self::with_pes(512)
+    }
+
+    /// The 128-PE configuration used for iso-PE comparisons: two 16×4
+    /// tiles.
+    pub fn scalagraph_128() -> Self {
+        Self::with_pes(128)
+    }
+
+    /// A configuration with `pes` processing elements, built the way the
+    /// scalability study does (Section V-E): two tiles, 16 rows each,
+    /// growing one column at a time — 32 PEs is 2×(16×1), 1,024 is
+    /// 2×(16×32).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pes` is a positive multiple of 32.
+    pub fn with_pes(pes: usize) -> Self {
+        assert!(
+            pes >= 32 && pes.is_multiple_of(32),
+            "PE count must be a positive multiple of 32 (two tiles of 16 rows)"
+        );
+        let cols = pes / 32;
+        ScalaGraphConfig {
+            placement: Placement::new(2, 16, cols),
+            mapping: Mapping::RowOriented,
+            aggregation_registers: 16,
+            max_scheduled_vertices: 16,
+            inter_phase_pipelining: true,
+            // 6 MB of scratchpad at 4 bytes per property plus a temporary
+            // slot: ~768 K vertices resident.
+            spd_capacity_vertices: 768 * 1024,
+            memory: MemoryPreset::U280,
+            clock_mhz: None,
+            link_width: 4,
+            gu_queue_capacity: 16,
+            router_queue_capacity: 8,
+        }
+    }
+
+    /// The effective clock in MHz: an explicit override, or the paper's
+    /// methodology — the conservative 250 MHz operating point, capped by
+    /// the mesh's synthesizable frequency at this PE count. Above the
+    /// U280's route-out limit the paper itself switches to a simulator
+    /// pinned at 250 MHz, which we mirror.
+    pub fn effective_clock_mhz(&self) -> f64 {
+        if let Some(mhz) = self.clock_mhz {
+            return mhz;
+        }
+        match max_frequency_mhz(InterconnectKind::Mesh, self.placement.num_pes()) {
+            scalagraph_hwmodel::SynthesisOutcome::Routed { fmax_mhz } => {
+                fmax_mhz.min(OPERATING_CLOCK_MHZ)
+            }
+            scalagraph_hwmodel::SynthesisOutcome::RouteFailure => OPERATING_CLOCK_MHZ,
+        }
+    }
+
+    /// Per-tile memory configuration at the effective clock.
+    pub fn tile_memory(&self) -> HbmConfig {
+        let clock_hz = self.effective_clock_mhz() * 1e6;
+        match self.memory {
+            MemoryPreset::U280 => HbmConfig::u280_stack(clock_hz),
+            // The >1,024-PE study assumes "sufficient off-chip bandwidth"
+            // (Section V-E): pseudo-channels — and with them the
+            // prefetcher count — grow with the PE array width so the
+            // frontend never becomes the artificial limiter.
+            MemoryPreset::Unlimited => HbmConfig::unlimited(self.placement.cols.max(16)),
+            MemoryPreset::Custom(c) => c,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent settings (zero queues or scheduler width, or
+    /// a scheduler width above the row width... the EDU dispatches one
+    /// 64-byte line per cycle, so at most 16 vertices can be scheduled).
+    pub fn validate(&self) {
+        assert!(self.gu_queue_capacity > 0, "GU queue must be non-empty");
+        assert!(
+            self.router_queue_capacity > 0,
+            "router queue must be non-empty"
+        );
+        assert!(self.link_width > 0, "link width must be positive");
+        assert!(
+            (1..=16).contains(&self.max_scheduled_vertices),
+            "degree-aware scheduler width must be in 1..=16"
+        );
+        assert!(self.spd_capacity_vertices > 0, "SPD capacity must be positive");
+    }
+}
+
+impl Default for ScalaGraphConfig {
+    fn default() -> Self {
+        Self::scalagraph_512()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_geometry() {
+        let c512 = ScalaGraphConfig::scalagraph_512();
+        assert_eq!(c512.placement.tiles, 2);
+        assert_eq!(c512.placement.cols, 16);
+        let c128 = ScalaGraphConfig::scalagraph_128();
+        assert_eq!(c128.placement.cols, 4);
+        let c32 = ScalaGraphConfig::with_pes(32);
+        assert_eq!(c32.placement.cols, 1);
+    }
+
+    #[test]
+    fn effective_clock_is_250_up_to_1024() {
+        for pes in [32, 128, 512, 1024] {
+            let c = ScalaGraphConfig::with_pes(pes);
+            assert_eq!(c.effective_clock_mhz(), 250.0, "{pes} PEs");
+        }
+        // Beyond the FPGA: simulator pinned at 250 MHz (Section V-E).
+        assert_eq!(ScalaGraphConfig::with_pes(4096).effective_clock_mhz(), 250.0);
+    }
+
+    #[test]
+    fn clock_override_wins() {
+        let mut c = ScalaGraphConfig::scalagraph_128();
+        c.clock_mhz = Some(100.0);
+        assert_eq!(c.effective_clock_mhz(), 100.0);
+    }
+
+    #[test]
+    fn tile_memory_presets() {
+        let c = ScalaGraphConfig::scalagraph_512();
+        assert_eq!(c.tile_memory().channels, 16);
+        let mut u = ScalaGraphConfig::scalagraph_512();
+        u.memory = MemoryPreset::Unlimited;
+        assert!(u.tile_memory().total_bytes_per_cycle() > 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn rejects_odd_pe_count() {
+        let _ = ScalaGraphConfig::with_pes(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler width")]
+    fn validate_rejects_wide_scheduler() {
+        let mut c = ScalaGraphConfig::scalagraph_128();
+        c.max_scheduled_vertices = 20;
+        c.validate();
+    }
+}

@@ -1,0 +1,137 @@
+//! Workload-to-PE mapping strategies (Section IV-A).
+//!
+//! Where an edge workload executes determines how far its update must
+//! travel. The paper compares three mappings (Figure 10, Table II):
+//!
+//! * **Source-oriented** (SOM): all edges of a vertex execute at the PE
+//!   holding the source's property; updates route 2D to the destination's
+//!   home PE — O(M·√K) Scatter traffic.
+//! * **Destination-oriented** (DOM): edges execute at the destination's
+//!   home PE against a local replica of every source — zero Scatter
+//!   traffic, but Apply must refresh replicas in all K PEs: O(N·K), plus
+//!   O(N·K) extra storage and off-chip CSR duplication.
+//! * **Row-oriented** (ROM, ScalaGraph's contribution): the edge executes
+//!   in the destination's *column* (and tile), at the source's row — all
+//!   routing is intra-column, halving Scatter traffic versus SOM while
+//!   keeping Apply local.
+
+/// The workload-to-PE mapping used by a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mapping {
+    /// Source-oriented mapping (Graphicionado, AccuGraph, GraphDynS).
+    SourceOriented,
+    /// Destination-oriented mapping (GraphP, GraphQ-style).
+    DestinationOriented,
+    /// Row-oriented mapping (ScalaGraph, the default).
+    #[default]
+    RowOriented,
+}
+
+impl Mapping {
+    /// All mappings, in the order of Figure 17's bars.
+    pub const ALL: [Mapping; 3] = [
+        Mapping::SourceOriented,
+        Mapping::DestinationOriented,
+        Mapping::RowOriented,
+    ];
+
+    /// Short label used in experiment output ("SOM"/"DOM"/"ROM").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mapping::SourceOriented => "SOM",
+            Mapping::DestinationOriented => "DOM",
+            Mapping::RowOriented => "ROM",
+        }
+    }
+}
+
+impl std::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Analytic per-iteration communication volumes of Table II, in units of
+/// "vertex-update traversals".
+///
+/// `k` is the PE count, `n` the number of active vertices, and `m` the
+/// number of active edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommunicationEstimate {
+    /// On-chip Scatter-phase traffic.
+    pub scatter: f64,
+    /// On-chip Apply-phase traffic.
+    pub apply: f64,
+    /// Off-chip traffic in element units.
+    pub offchip: f64,
+}
+
+impl Mapping {
+    /// Table II's asymptotic communication estimate for this mapping.
+    pub fn estimate(&self, k: usize, n: u64, m: u64) -> CommunicationEstimate {
+        let sqrt_k = (k as f64).sqrt();
+        match self {
+            Mapping::SourceOriented => CommunicationEstimate {
+                scatter: m as f64 * sqrt_k,
+                apply: n as f64,
+                offchip: (n + m) as f64,
+            },
+            Mapping::DestinationOriented => CommunicationEstimate {
+                scatter: 0.0,
+                apply: (n as f64) * (k as f64),
+                offchip: n as f64 * k as f64 + m as f64,
+            },
+            Mapping::RowOriented => CommunicationEstimate {
+                scatter: m as f64 * sqrt_k / 2.0,
+                apply: n as f64,
+                offchip: (n + m) as f64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Mapping::RowOriented.label(), "ROM");
+        assert_eq!(Mapping::default(), Mapping::RowOriented);
+        assert_eq!(Mapping::SourceOriented.to_string(), "SOM");
+    }
+
+    #[test]
+    fn rom_scatter_is_half_of_som() {
+        let som = Mapping::SourceOriented.estimate(256, 1000, 10_000);
+        let rom = Mapping::RowOriented.estimate(256, 1000, 10_000);
+        assert!((rom.scatter - som.scatter / 2.0).abs() < 1e-9);
+        assert_eq!(rom.apply, som.apply);
+    }
+
+    #[test]
+    fn dom_apply_grows_with_k() {
+        let d256 = Mapping::DestinationOriented.estimate(256, 1000, 10_000);
+        let d512 = Mapping::DestinationOriented.estimate(512, 1000, 10_000);
+        assert_eq!(d256.scatter, 0.0);
+        assert!(d512.apply > d256.apply);
+        assert!(d512.offchip > d256.offchip);
+    }
+
+    #[test]
+    fn dom_total_exceeds_rom_when_k_large_and_degree_low() {
+        // "When K is large, the amount of communication incurred may exceed
+        // that incurred by the source-oriented mapping."
+        let k = 4096;
+        let n = 100_000u64;
+        let m = 300_000u64; // avg degree 3
+        let dom = Mapping::DestinationOriented.estimate(k, n, m);
+        let rom = Mapping::RowOriented.estimate(k, n, m);
+        assert!(
+            dom.scatter + dom.apply > rom.scatter + rom.apply,
+            "dom {} rom {}",
+            dom.scatter + dom.apply,
+            rom.scatter + rom.apply
+        );
+    }
+}

@@ -1,0 +1,1278 @@
+//! The cycle-accurate ScalaGraph engine.
+//!
+//! One [`Simulator::run`] executes a vertex-centric algorithm to completion
+//! on the modelled accelerator, advancing all hardware units one clock
+//! cycle at a time:
+//!
+//! * per-tile **HBM** pseudo-channels ([`scalagraph_mem::Hbm`]),
+//! * per-tile **prefetchers** (VPref batches active-vertex records eight to
+//!   a 64-byte line; EPref fetches 64-byte edge lines with adjacent-line
+//!   merging — the locality the degree-aware scheduler exploits),
+//! * per-row **dispatching units** (up to one 64-byte line of edges per
+//!   row per cycle, from at most `max_scheduled_vertices` distinct
+//!   sources),
+//! * per-PE **graph units** (one `Process` per cycle),
+//! * per-PE **routing units** — XY mesh routing with the update-aggregation
+//!   buffer on every output port,
+//! * per-PE **scratchpads** (one `Reduce` per cycle, one `Apply` per
+//!   cycle).
+//!
+//! Phases follow Figure 9: a Scatter wave drains fully before its Apply
+//! pass starts; with inter-phase pipelining (Section IV-D) the *next*
+//! Scatter wave runs concurrently with the current Apply pass, fed by
+//! freshly applied vertices.
+
+use crate::aggregate::{AggregationBuffer, PendingUpdate};
+use crate::config::ScalaGraphConfig;
+use crate::device::DeviceGraph;
+use crate::mapping::Mapping;
+use crate::stats::{SimResult, SimStats};
+use scalagraph_algo::{Algorithm, EdgeCtx};
+use scalagraph_graph::{Csr, VertexId, EDGES_PER_LINE, LINE_BYTES};
+use scalagraph_mem::{Hbm, MemRequest};
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+
+/// Safety cap on simulated cycles; reaching it means the machine deadlocked
+/// or the workload diverged, so the simulator panics loudly instead of
+/// spinning forever.
+const CYCLE_SAFETY_CAP: u64 = 2_000_000_000;
+
+/// An edge workload travelling from dispatcher to GU.
+#[derive(Debug, Clone, Copy)]
+struct EdgeWork<P> {
+    src: VertexId,
+    dst: VertexId,
+    weight: u32,
+    src_degree: u32,
+    src_prop: P,
+}
+
+/// A partially-reduced vertex update in flight (value plus earliest
+/// injection cycle, for latency accounting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Flit<P> {
+    value: P,
+    inject: u64,
+}
+
+/// Output directions of a routing unit. `EJECT` feeds the local SPD.
+const EJECT: usize = 0;
+const NORTH: usize = 1;
+const SOUTH: usize = 2;
+const WEST: usize = 3;
+const EAST: usize = 4;
+const NUM_DIRS: usize = 5;
+
+/// An active vertex queued in a tile's frontend.
+#[derive(Debug, Clone, Copy)]
+struct ActiveVertex<P> {
+    v: VertexId,
+    prop: P,
+}
+
+/// A record-fetched vertex whose edge lines are being issued; `cursor` is
+/// the next un-issued flat edge index.
+#[derive(Debug, Clone, Copy)]
+struct EdgeCursor<P> {
+    av: ActiveVertex<P>,
+    cursor: usize,
+    end: usize,
+    degree: u32,
+}
+
+/// A run of contiguous edges of one source vertex, ready for dispatch.
+#[derive(Debug, Clone)]
+struct Segment<P> {
+    src: VertexId,
+    prop: P,
+    src_degree: u32,
+    edges: Range<usize>,
+}
+
+/// Per-tile fetch/dispatch frontend.
+struct TileFrontend<P> {
+    hbm: Hbm,
+    channel_rr: usize,
+    next_tag: u64,
+    /// Actives awaiting a vertex-record fetch.
+    vpref_pending: VecDeque<ActiveVertex<P>>,
+    /// Record-line fetches in flight: tag → batch.
+    vpref_inflight: HashMap<u64, Vec<ActiveVertex<P>>>,
+    /// Records fetched; edge lines being issued.
+    records_ready: VecDeque<EdgeCursor<P>>,
+    /// Edge-line fetches in flight: tag → segments the line carries.
+    line_inflight: HashMap<u64, Vec<Segment<P>>>,
+    /// Most recently issued edge line `(line id, tag)`, for adjacent-line
+    /// merging across consecutive active vertices.
+    last_line: Option<(usize, u64)>,
+    /// Per-row dispatch queues of fetched segments.
+    row_queues: Vec<VecDeque<Segment<P>>>,
+    /// Activations awaiting active-list write-back (batched 8 per line).
+    write_backlog: u64,
+}
+
+impl<P: Copy> TileFrontend<P> {
+    fn new(hbm: Hbm, rows: usize) -> Self {
+        TileFrontend {
+            hbm,
+            channel_rr: 0,
+            next_tag: 0,
+            vpref_pending: VecDeque::new(),
+            vpref_inflight: HashMap::new(),
+            records_ready: VecDeque::new(),
+            line_inflight: HashMap::new(),
+            last_line: None,
+            row_queues: (0..rows).map(|_| VecDeque::new()).collect(),
+            write_backlog: 0,
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.vpref_pending.is_empty()
+            && self.vpref_inflight.is_empty()
+            && self.records_ready.is_empty()
+            && self.line_inflight.is_empty()
+            && self.row_queues.iter().all(VecDeque::is_empty)
+    }
+
+    fn fresh_tag(&mut self) -> u64 {
+        self.next_tag += 1;
+        self.next_tag
+    }
+}
+
+/// One PE's per-cycle state: GU input queue, router output buffers, apply
+/// queue.
+struct Node<P> {
+    gu_queue: VecDeque<EdgeWork<P>>,
+    out: Vec<AggregationBuffer<Flit<P>>>,
+    apply_queue: VecDeque<VertexId>,
+}
+
+/// Phase of the global machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// A Scatter wave is in flight (no Apply pass).
+    Scatter,
+    /// An Apply pass is in flight; under inter-phase pipelining the next
+    /// Scatter wave runs concurrently with it.
+    Apply,
+}
+
+/// The cycle-accurate simulator. See the [module docs](self) for the
+/// machine model.
+///
+/// # Example
+///
+/// ```
+/// use scalagraph::{ScalaGraphConfig, Simulator};
+/// use scalagraph_algo::algorithms::Bfs;
+/// use scalagraph_graph::{generators, Csr};
+///
+/// let graph = Csr::from_edges(64, &generators::binary_tree(64));
+/// let cfg = ScalaGraphConfig::with_pes(32);
+/// let result = Simulator::new(&Bfs::from_root(0), &graph, cfg).run();
+/// assert_eq!(result.properties[1], 1);
+/// assert!(result.stats.cycles > 0);
+/// ```
+pub struct Simulator<'a, A: Algorithm> {
+    algo: &'a A,
+    graph: &'a Csr,
+    config: ScalaGraphConfig,
+    device: DeviceGraph,
+}
+
+impl<'a, A: Algorithm> Simulator<'a, A> {
+    /// Prepares a simulator: validates the configuration and lays the
+    /// graph out across tiles (and slices, if it exceeds on-chip
+    /// capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`ScalaGraphConfig::validate`]).
+    pub fn new(algo: &'a A, graph: &'a Csr, config: ScalaGraphConfig) -> Self {
+        config.validate();
+        let device = DeviceGraph::prepare(graph, &config);
+        Simulator {
+            algo,
+            graph,
+            config,
+            device,
+        }
+    }
+
+    /// The device layout prepared for this run.
+    pub fn device(&self) -> &DeviceGraph {
+        &self.device
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ScalaGraphConfig {
+        &self.config
+    }
+
+    /// Runs the algorithm to completion and returns final properties plus
+    /// statistics.
+    pub fn run(&mut self) -> SimResult<A::Prop> {
+        Engine::new(self.algo, self.graph, &self.config, &self.device).run()
+    }
+}
+
+/// Convenience one-shot run with a fresh simulator.
+pub fn run_on<A: Algorithm>(
+    algo: &A,
+    graph: &Csr,
+    config: ScalaGraphConfig,
+) -> SimResult<A::Prop> {
+    Simulator::new(algo, graph, config).run()
+}
+
+struct Engine<'a, A: Algorithm> {
+    algo: &'a A,
+    graph: &'a Csr,
+    cfg: &'a ScalaGraphConfig,
+    dev: &'a DeviceGraph,
+
+    props: Vec<A::Prop>,
+    temp: Vec<A::Prop>,
+    touched: Vec<bool>,
+    touched_list: Vec<VertexId>,
+
+    tiles: Vec<TileFrontend<A::Prop>>,
+    nodes: Vec<Node<A::Prop>>,
+
+    stats: SimStats,
+    now: u64,
+
+    phase: Phase,
+    /// Iteration index of the scatter wave currently being fed/executed.
+    scatter_iter: u64,
+    /// Slice index of the current scatter wave.
+    slice: usize,
+    /// Whether the current scatter wave still accepts input (the apply
+    /// pass feeding it has not finished).
+    scatter_input_open: bool,
+    /// Buffered activations for the next wave.
+    next_active: Vec<ActiveVertex<A::Prop>>,
+    /// Whether inter-phase pipelining is engaged for this run.
+    pipelined: bool,
+    /// Full active list of the current iteration (replayed per slice).
+    iter_active: Vec<ActiveVertex<A::Prop>>,
+    /// Pending DOM replica broadcasts (drained one per cycle).
+    broadcast_backlog: u64,
+    /// Iteration limit.
+    limit: u64,
+
+    frontier_sizes: Vec<usize>,
+    apply_inflight: usize,
+    /// Cycles the frontends must wait before fetching the next wave's
+    /// actives: the active-list write-back/read-back round trip that
+    /// inter-phase pipelining exists to hide (Figure 13).
+    fetch_stall: u64,
+    /// Staging area for updates crossing a link this cycle (reused
+    /// allocation).
+    staged: Vec<PendingUpdate<Flit<A::Prop>>>,
+    /// Per-node GU busy counters (trace only).
+    gu_busy_per_node: Vec<u64>,
+    /// Per-(tile,row) dispatched-edge counters (trace only).
+    dispatched_per_row: Vec<u64>,
+}
+
+impl<'a, A: Algorithm> Engine<'a, A> {
+    fn new(
+        algo: &'a A,
+        graph: &'a Csr,
+        cfg: &'a ScalaGraphConfig,
+        dev: &'a DeviceGraph,
+    ) -> Self {
+        let n = graph.num_vertices();
+        let placement = cfg.placement;
+        let nodes = (0..placement.num_pes())
+            .map(|_| Node {
+                gu_queue: VecDeque::new(),
+                out: (0..NUM_DIRS)
+                    .map(|_| AggregationBuffer::new(cfg.aggregation_registers))
+                    .collect(),
+                apply_queue: VecDeque::new(),
+            })
+            .collect();
+        let tiles = (0..placement.tiles)
+            .map(|_| TileFrontend::new(Hbm::new(cfg.tile_memory()), placement.rows_per_tile))
+            .collect();
+
+        let pipelined =
+            cfg.inter_phase_pipelining && algo.is_monotonic() && dev.num_slices() == 1;
+        let limit = algo.max_iterations().map_or(u64::MAX, |m| m as u64);
+
+        Engine {
+            algo,
+            graph,
+            cfg,
+            dev,
+            props: (0..n as u32).map(|v| algo.init(v, graph)).collect(),
+            temp: vec![algo.reduce_identity(); n],
+            touched: vec![false; n],
+            touched_list: Vec::new(),
+            tiles,
+            nodes,
+            stats: SimStats {
+                slices: dev.num_slices() as u64,
+                inter_phase_used: pipelined,
+                ..SimStats::default()
+            },
+            now: 0,
+            phase: Phase::Scatter,
+            scatter_iter: 0,
+            slice: 0,
+            scatter_input_open: false,
+            next_active: Vec::new(),
+            pipelined,
+            iter_active: Vec::new(),
+            broadcast_backlog: 0,
+            limit,
+            frontier_sizes: Vec::new(),
+            apply_inflight: 0,
+            fetch_stall: 0,
+            staged: Vec::new(),
+            gu_busy_per_node: vec![0; placement.num_pes()],
+            dispatched_per_row: vec![0; placement.tiles * placement.rows_per_tile],
+        }
+    }
+
+    fn run(mut self) -> SimResult<A::Prop> {
+        let mut initial: Vec<VertexId> = self.algo.initial_frontier(self.graph);
+        scalagraph_algo::reference::dedup_frontier(&mut initial, self.graph.num_vertices());
+        self.iter_active = initial
+            .into_iter()
+            .map(|v| ActiveVertex {
+                v,
+                prop: self.props[v as usize],
+            })
+            .collect();
+
+        if self.iter_active.is_empty() || self.limit == 0 {
+            return self.finish();
+        }
+        self.frontier_sizes.push(self.iter_active.len());
+        self.feed_scatter_inputs();
+
+        loop {
+            if self.advance_phases() {
+                break;
+            }
+            self.step();
+            assert!(
+                self.now < CYCLE_SAFETY_CAP,
+                "simulation exceeded the cycle safety cap — machine deadlock?"
+            );
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> SimResult<A::Prop> {
+        if std::env::var_os("SCALAGRAPH_TRACE").is_some() {
+            let mut busy: Vec<(u64, usize)> = self
+                .gu_busy_per_node
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b, i))
+                .collect();
+            busy.sort_unstable();
+            busy.reverse();
+            eprintln!(
+                "[trace] top GU busy: {:?} | median {} | rows min/max {:?}/{:?}",
+                &busy[..8.min(busy.len())],
+                busy[busy.len() / 2].0,
+                self.dispatched_per_row.iter().min(),
+                self.dispatched_per_row.iter().max(),
+            );
+        }
+        for t in &self.tiles {
+            let m = t.hbm.stats();
+            self.stats.offchip_bytes_read += m.bytes_read;
+            self.stats.offchip_bytes_written += m.bytes_written;
+            self.stats.offchip_reads += m.reads;
+        }
+        for node in &self.nodes {
+            for buf in &node.out {
+                self.stats.agg_merges += buf.merges();
+            }
+        }
+        self.stats.cycles = self.now;
+        self.stats.pe_cycle_budget = self.now * self.cfg.placement.num_pes() as u64;
+        SimResult {
+            properties: self.props,
+            stats: self.stats,
+            frontier_sizes: self.frontier_sizes,
+        }
+    }
+
+    /// Loads the current iteration's active list into the tile frontends
+    /// for the current slice. Vertices with no edges in a tile's partition
+    /// are skipped there.
+    fn feed_scatter_inputs(&mut self) {
+        for idx in 0..self.iter_active.len() {
+            let av = self.iter_active[idx];
+            for t in 0..self.cfg.placement.tiles {
+                if self.dev.degree_in(self.slice, t, av.v) > 0 {
+                    self.tiles[t].vpref_pending.push_back(av);
+                }
+            }
+        }
+    }
+
+    /// Feeds one freshly applied active vertex into the pipelined next
+    /// scatter wave.
+    fn feed_pipelined_activation(&mut self, av: ActiveVertex<A::Prop>) {
+        for t in 0..self.cfg.placement.tiles {
+            if self.dev.degree_in(0, t, av.v) > 0 {
+                self.tiles[t].vpref_pending.push_back(av);
+            }
+        }
+    }
+
+    /// One clock cycle for every hardware unit.
+    fn step(&mut self) {
+        self.now += 1;
+        if !self.scatter_machine_empty() || self.scatter_input_open {
+            self.stats.scatter_cycles += 1;
+        }
+        if self.phase == Phase::Apply {
+            self.stats.apply_cycles += 1;
+        }
+
+        if self.now.is_multiple_of(8192) && std::env::var_os("SCALAGRAPH_TRACE").is_some() {
+            for (i, tile) in self.tiles.iter().enumerate() {
+                eprintln!(
+                    "[trace] cyc {} tile {i}: vpend={} vinfl={} rec={} linfl={} rows={} gu={} idle_hbm={}",
+                    self.now,
+                    tile.vpref_pending.len(),
+                    tile.vpref_inflight.len(),
+                    tile.records_ready.len(),
+                    tile.line_inflight.len(),
+                    tile.row_queues.iter().map(|q| q.len()).sum::<usize>(),
+                    self.nodes.iter().map(|n| n.gu_queue.len()).sum::<usize>(),
+                    tile.hbm.is_idle(),
+                );
+            }
+        }
+        self.step_memory();
+        if self.fetch_stall > 0 {
+            self.fetch_stall -= 1;
+        } else {
+            self.step_prefetch();
+        }
+        self.step_dispatch();
+        self.step_routing();
+        self.step_gu();
+        self.step_spd();
+        if self.phase == Phase::Apply {
+            self.step_apply();
+        }
+        if self.broadcast_backlog > 0 {
+            self.broadcast_backlog -= 1;
+        }
+    }
+
+    // ----- memory + prefetch -------------------------------------------
+
+    fn step_memory(&mut self) {
+        for t in 0..self.tiles.len() {
+            self.tiles[t].hbm.step();
+            for ch in 0..self.tiles[t].hbm.num_channels() {
+                while let Some(resp) = self.tiles[t].hbm.pop_ready(ch) {
+                    if let Some(batch) = self.tiles[t].vpref_inflight.remove(&resp.tag) {
+                        let csr = self.dev.tile_csr(self.slice, t);
+                        for av in batch {
+                            let range = csr.edge_range(av.v);
+                            // The vertex record carries the *global*
+                            // out-degree (PageRank normalizes by it), not
+                            // this tile partition's share.
+                            let degree = self.graph.out_degree(av.v) as u32;
+                            self.tiles[t].records_ready.push_back(EdgeCursor {
+                                av,
+                                cursor: range.start,
+                                end: range.end,
+                                degree,
+                            });
+                        }
+                    } else if let Some(segs) = self.tiles[t].line_inflight.remove(&resp.tag) {
+                        if self.tiles[t].last_line.is_some_and(|(_, tag)| tag == resp.tag) {
+                            self.tiles[t].last_line = None;
+                        }
+                        for seg in segs {
+                            let row = self.cfg.placement.row_of(seg.src);
+                            self.tiles[t].row_queues[row].push_back(seg);
+                        }
+                    }
+                    // Write completions carry no payload.
+                }
+            }
+        }
+    }
+
+    fn step_prefetch(&mut self) {
+        for t in 0..self.tiles.len() {
+            // Flush pending active-list write-backs: one 64-byte line per
+            // eight activations.
+            while self.tiles[t].write_backlog >= 8 {
+                let ch = self.tiles[t].channel_rr;
+                if !self.tiles[t].hbm.can_accept(ch) {
+                    break;
+                }
+                let tag = self.tiles[t].fresh_tag();
+                self.tiles[t]
+                    .hbm
+                    .try_request(ch, MemRequest::write(tag, LINE_BYTES as u32));
+                self.tiles[t].write_backlog -= 8;
+                self.tiles[t].channel_rr = (ch + 1) % self.tiles[t].hbm.num_channels();
+            }
+
+            // VPref: each prefetcher (one per pseudo-channel) can fetch a
+            // record line of eight actives per cycle.
+            for _ in 0..self.tiles[t].hbm.num_channels() {
+                if self.tiles[t].vpref_pending.is_empty() {
+                    break;
+                }
+                let ch = self.tiles[t].channel_rr;
+                if !self.tiles[t].hbm.can_accept(ch) {
+                    // This pseudo-channel is saturated; try the next one.
+                    self.tiles[t].channel_rr = (ch + 1) % self.tiles[t].hbm.num_channels();
+                    continue;
+                }
+                let take = self.tiles[t].vpref_pending.len().min(8);
+                let batch: Vec<_> = self.tiles[t].vpref_pending.drain(..take).collect();
+                let tag = self.tiles[t].fresh_tag();
+                self.tiles[t]
+                    .hbm
+                    .try_request(ch, MemRequest::read(tag, LINE_BYTES as u32));
+                self.tiles[t].vpref_inflight.insert(tag, batch);
+                self.stats.vpref_lines += 1;
+                self.tiles[t].channel_rr = (ch + 1) % self.tiles[t].hbm.num_channels();
+            }
+
+            // EPref: issue edge lines of record-ready vertices, up to one
+            // request per pseudo-channel per cycle. A line shared with the
+            // previous vertex piggybacks on the in-flight fetch (the
+            // degree-aware scheduler's locality).
+            let mut budget = self.tiles[t].hbm.num_channels();
+            while budget > 0 {
+                let Some(head) = self.tiles[t].records_ready.front().copied() else {
+                    break;
+                };
+                if head.cursor >= head.end {
+                    self.tiles[t].records_ready.pop_front();
+                    continue;
+                }
+                let line = head.cursor / EDGES_PER_LINE;
+                let lo = head.cursor;
+                let hi = head.end.min((line + 1) * EDGES_PER_LINE);
+                let seg = Segment {
+                    src: head.av.v,
+                    prop: head.av.prop,
+                    src_degree: head.degree,
+                    edges: lo..hi,
+                };
+                let piggybacked = match self.tiles[t].last_line {
+                    Some((ll, tag)) if ll == line => {
+                        self.tiles[t]
+                            .line_inflight
+                            .get_mut(&tag)
+                            .expect("last_line tag must be in flight")
+                            .push(seg.clone());
+                        self.stats.epref_piggybacks += 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if !piggybacked {
+                    let mut ch = self.tiles[t].channel_rr;
+                    let channels = self.tiles[t].hbm.num_channels();
+                    let mut scanned = 0;
+                    while !self.tiles[t].hbm.can_accept(ch) && scanned < channels {
+                        ch = (ch + 1) % channels;
+                        scanned += 1;
+                    }
+                    if scanned == channels {
+                        break;
+                    }
+                    self.tiles[t].channel_rr = ch;
+                    let tag = self.tiles[t].fresh_tag();
+                    self.tiles[t]
+                        .hbm
+                        .try_request(ch, MemRequest::read(tag, LINE_BYTES as u32));
+                    self.tiles[t].line_inflight.insert(tag, vec![seg]);
+                    self.stats.epref_lines += 1;
+                    self.tiles[t].last_line = Some((line, tag));
+                    self.tiles[t].channel_rr = (ch + 1) % self.tiles[t].hbm.num_channels();
+                    budget -= 1;
+                }
+                self.tiles[t].records_ready.front_mut().unwrap().cursor = hi;
+            }
+        }
+    }
+
+    // ----- dispatch ------------------------------------------------------
+
+    fn step_dispatch(&mut self) {
+        let placement = self.cfg.placement;
+        let cols = placement.cols;
+        // The EDU drives each of its row's PE lanes independently: per
+        // cycle a lane accepts one edge, so a congested lane (for example
+        // a hub vertex's column) must not stall the other lanes. Segments
+        // are scanned in order; a segment stopped by a busy or full lane
+        // rotates to the back so later segments can fill the free lanes.
+        let scan_window = 2 * cols.max(16);
+        for t in 0..self.tiles.len() {
+            for row in 0..placement.rows_per_tile {
+                if self.tiles[t].row_queues[row].is_empty() {
+                    self.stats.dispatch_starved_row_cycles += 1;
+                    continue;
+                }
+                // Lane ownership this cycle: a lane accepts edges of one
+                // segment only (the line occupying that slot); residual
+                // same-lane edges within one line are absorbed by the
+                // dispatch skew buffer (Section IV-C), so they do not
+                // block their own line.
+                let mut lane_owner: Vec<u16> = vec![u16::MAX; cols];
+                let mut edges_left = cols;
+                // Distinct source vertices scheduled this cycle (Section
+                // IV-C): a vertex may span several line segments; they all
+                // count once.
+                let mut srcs_used: Vec<VertexId> = Vec::with_capacity(self.cfg.max_scheduled_vertices);
+                let mut scanned = 0usize;
+                while edges_left > 0 && scanned < scan_window {
+                    let Some(mut seg) = self.tiles[t].row_queues[row].pop_front() else {
+                        break;
+                    };
+                    scanned += 1;
+                    if !srcs_used.contains(&seg.src) {
+                        if srcs_used.len() >= self.cfg.max_scheduled_vertices {
+                            // Vertex budget exhausted: this segment must
+                            // wait for the next cycle.
+                            self.tiles[t].row_queues[row].push_back(seg);
+                            continue;
+                        }
+                        srcs_used.push(seg.src);
+                    }
+                    let csr = self.dev.tile_csr(self.slice, t);
+                    let seg_id = scanned as u16;
+                    while edges_left > 0 && !seg.edges.is_empty() {
+                        let idx = seg.edges.start;
+                        let dst = csr.neighbor_at(idx);
+                        let target = target_node(self.cfg, seg.src, dst);
+                        let lane = target % cols;
+                        if (lane_owner[lane] != u16::MAX && lane_owner[lane] != seg_id)
+                            || self.nodes[target].gu_queue.len() >= self.cfg.gu_queue_capacity
+                        {
+                            break;
+                        }
+                        self.nodes[target].gu_queue.push_back(EdgeWork {
+                            src: seg.src,
+                            dst,
+                            weight: csr.weight_at(idx),
+                            src_degree: seg.src_degree,
+                            src_prop: seg.prop,
+                        });
+                        lane_owner[lane] = seg_id;
+                        edges_left -= 1;
+                        seg.edges.start += 1;
+                        self.dispatched_per_row[t * placement.rows_per_tile + row] += 1;
+                        self.stats.traversed_edges += 1;
+                    }
+                    if !seg.edges.is_empty() {
+                        // Rotate so the next scan reaches fresh segments
+                        // whose head edges may target free lanes.
+                        self.tiles[t].row_queues[row].push_back(seg);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- compute -------------------------------------------------------
+
+    fn step_gu(&mut self) {
+        let algo = self.algo;
+        let cap = self.cfg.router_queue_capacity;
+        for node in 0..self.nodes.len() {
+            let Some(work) = self.nodes[node].gu_queue.front().copied() else {
+                continue;
+            };
+            let ctx = EdgeCtx {
+                weight: work.weight,
+                src: work.src,
+                src_degree: work.src_degree,
+            };
+            let value = algo.process(&ctx, work.src_prop);
+            let home = self.cfg.placement.home_node(work.dst);
+            let dir = route_dir(self.cfg, node, home);
+            let flit = Flit {
+                value,
+                inject: self.now,
+            };
+            let accepted = self.nodes[node].out[dir]
+                .try_push(work.dst, flit, cap, |a, b| Flit {
+                    value: algo.reduce(a.value, b.value),
+                    inject: a.inject.min(b.inject),
+                })
+                .is_some();
+            if accepted {
+                self.nodes[node].gu_queue.pop_front();
+                self.stats.gu_busy_cycles += 1;
+                self.gu_busy_per_node[node] += 1;
+                self.stats.updates_produced += 1;
+                if dir != EJECT {
+                    self.stats.updates_injected += 1;
+                }
+            } else {
+                self.stats.noc_conflicts += 1;
+            }
+        }
+    }
+
+    // ----- routing -------------------------------------------------------
+
+    fn step_routing(&mut self) {
+        let n_nodes = self.nodes.len();
+        // Snapshot free space per (node, buffer).
+        let mut free: Vec<[usize; NUM_DIRS]> = Vec::with_capacity(n_nodes);
+        for node in &self.nodes {
+            let mut f = [0usize; NUM_DIRS];
+            for (d, slot) in f.iter_mut().enumerate() {
+                let b = &node.out[d];
+                let cap = b.capacity() + self.cfg.router_queue_capacity;
+                *slot = cap.saturating_sub(b.len());
+            }
+            free.push(f);
+        }
+
+        // Decide moves: up to `link_width` updates per (node, link) per
+        // cycle — links are 64-byte buses carrying several 8-byte updates.
+        let algo = self.algo;
+        let cap = self.cfg.router_queue_capacity;
+        let width = self.cfg.link_width;
+        let mut moves: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for node in 0..n_nodes {
+            for dir in [NORTH, SOUTH, WEST, EAST] {
+                let mut granted = 0usize;
+                // All updates sharing this link this cycle head the same
+                // way physically; per-update destination buffers may
+                // differ, so reserve per update.
+                while granted < width {
+                    let Some(update) = self.nodes[node].out[dir].peek_next() else {
+                        break;
+                    };
+                    // peek_next is stable only until we drain, so resolve
+                    // the route for the head, reserve, and mark the move;
+                    // actual drains happen in order below.
+                    let dst = update.dst;
+                    let to = neighbor(self.cfg, node, dir);
+                    let home = self.cfg.placement.home_node(dst);
+                    let to_dir = route_dir(self.cfg, to, home);
+                    if free[to][to_dir] == 0 {
+                        self.stats.noc_conflicts += 1;
+                        break;
+                    }
+                    free[to][to_dir] -= 1;
+                    // Drain immediately into a staging list so the next
+                    // peek sees the following update.
+                    let update = self.nodes[node].out[dir]
+                        .drain_one()
+                        .expect("peeked update vanished");
+                    self.stats.noc_hops += 1;
+                    moves.push((to, to_dir, update.dst as usize, 0));
+                    // Stash the flit out-of-band keyed by move order.
+                    self.staged.push(update);
+                    granted += 1;
+                }
+            }
+        }
+
+        for (i, (to, to_dir, _, _)) in moves.into_iter().enumerate() {
+            let update = self.staged[i];
+            let res = self.nodes[to].out[to_dir].try_push(
+                update.dst,
+                update.value,
+                cap,
+                |a, b| Flit {
+                    value: algo.reduce(a.value, b.value),
+                    inject: a.inject.min(b.inject),
+                },
+            );
+            debug_assert!(res.is_some(), "reserved slot must accept");
+        }
+        self.staged.clear();
+    }
+
+    // ----- scratchpads ---------------------------------------------------
+
+    fn step_spd(&mut self) {
+        for node in 0..self.nodes.len() {
+            let Some(update) = self.nodes[node].out[EJECT].drain_one() else {
+                continue;
+            };
+            let v = update.dst as usize;
+            debug_assert_eq!(self.cfg.placement.home_node(update.dst), node);
+            self.temp[v] = self.algo.reduce(self.temp[v], update.value.value);
+            if !self.touched[v] {
+                self.touched[v] = true;
+                self.touched_list.push(update.dst);
+            }
+            self.stats.updates_delivered += 1;
+            self.stats.routing_latency_sum += self.now.saturating_sub(update.value.inject);
+            self.stats.routing_latency_count += 1;
+        }
+    }
+
+    // ----- apply ---------------------------------------------------------
+
+    fn step_apply(&mut self) {
+        let k = self.cfg.placement.num_pes() as u64;
+        for node in 0..self.nodes.len() {
+            let Some(v) = self.nodes[node].apply_queue.pop_front() else {
+                continue;
+            };
+            self.apply_inflight -= 1;
+            let vi = v as usize;
+            let old = self.props[vi];
+            let new = self.algo.apply(v, old, self.temp[vi], self.graph);
+            self.temp[vi] = self.algo.reduce_identity();
+            self.touched[vi] = false;
+            if new != old {
+                self.props[vi] = new;
+            }
+            if self.algo.activates(old, new) {
+                self.stats.activations += 1;
+                let tile = self.cfg.placement.tile_of(v);
+                self.tiles[tile].write_backlog += 1;
+                if self.cfg.mapping == Mapping::DestinationOriented {
+                    // Replica refresh in every PE (Section IV-A).
+                    self.stats.noc_hops += k - 1;
+                    self.broadcast_backlog += 1;
+                }
+                let av = ActiveVertex { v, prop: new };
+                if self.scatter_input_open {
+                    self.feed_pipelined_activation(av);
+                }
+                self.next_active.push(av);
+            }
+        }
+    }
+
+    /// Starts the apply pass for the slice just scattered.
+    fn begin_apply(&mut self) {
+        debug_assert_eq!(self.apply_inflight, 0);
+        if self.dense_apply() {
+            // Fixed-schedule algorithms apply every resident vertex.
+            self.touched_list.clear();
+            let iv = self.dev.interval(self.slice);
+            for v in iv.start..iv.end {
+                let node = self.cfg.placement.home_node(v);
+                self.nodes[node].apply_queue.push_back(v);
+                self.apply_inflight += 1;
+            }
+        } else {
+            let list = std::mem::take(&mut self.touched_list);
+            for v in list {
+                let node = self.cfg.placement.home_node(v);
+                self.nodes[node].apply_queue.push_back(v);
+                self.apply_inflight += 1;
+            }
+        }
+        if std::env::var_os("SCALAGRAPH_TRACE").is_some() {
+            eprintln!("[trace] cycle {}: begin_apply (inflight {})", self.now, self.apply_inflight);
+        }
+        self.phase = Phase::Apply;
+    }
+
+    fn dense_apply(&self) -> bool {
+        !self.algo.is_monotonic()
+    }
+
+    // ----- phase sequencing ---------------------------------------------
+
+    fn scatter_machine_empty(&self) -> bool {
+        self.tiles.iter().all(TileFrontend::is_drained)
+            && self
+                .nodes
+                .iter()
+                .all(|n| n.gu_queue.is_empty() && n.out.iter().all(AggregationBuffer::is_empty))
+    }
+
+    fn apply_machine_empty(&self) -> bool {
+        self.apply_inflight == 0 && self.broadcast_backlog == 0
+    }
+
+    /// Runs the phase state machine to quiescence; returns `true` when the
+    /// whole run has completed.
+    fn advance_phases(&mut self) -> bool {
+        loop {
+            match self.phase {
+                Phase::Scatter => {
+                    if self.scatter_input_open || !self.scatter_machine_empty() {
+                        return false;
+                    }
+                    // The scatter wave (scatter_iter, slice) has drained.
+                    if self.dense_apply() || !self.touched_list.is_empty() {
+                        self.begin_apply();
+                        if self.pipelined {
+                            // Open the next wave: activations from this
+                            // apply pass stream straight into it.
+                            self.scatter_iter += 1;
+                            self.scatter_input_open = self.scatter_iter < self.limit;
+                        }
+                        continue;
+                    }
+                    // No apply work from this wave.
+                    if self.pipelined {
+                        // Converged: nothing was updated, nothing pending.
+                        return true;
+                    }
+                    if self.next_wave() {
+                        continue;
+                    }
+                    return true;
+                }
+                Phase::Apply => {
+                    if !self.apply_machine_empty() {
+                        return false;
+                    }
+                    self.phase = Phase::Scatter;
+                    if self.pipelined {
+                        // Close the pipelined wave's input and record the
+                        // iteration that just fully completed.
+                        self.scatter_input_open = false;
+                        self.stats.iterations += 1;
+                        let next = std::mem::take(&mut self.next_active);
+                        if !next.is_empty() {
+                            self.frontier_sizes.push(next.len());
+                        }
+                        self.iter_active = next;
+                        continue;
+                    }
+                    if self.next_wave() {
+                        continue;
+                    }
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Non-pipelined sequencing: start the next slice of this iteration,
+    /// or wrap up the iteration and start the next one. Returns `false`
+    /// when the run is complete.
+    fn next_wave(&mut self) -> bool {
+        if std::env::var_os("SCALAGRAPH_TRACE").is_some() {
+            eprintln!("[trace] cycle {}: wave done (iter {}, slice {})", self.now, self.scatter_iter, self.slice);
+        }
+        if self.slice + 1 < self.dev.num_slices() {
+            self.slice += 1;
+            self.feed_scatter_inputs();
+            return true;
+        }
+        // Iteration complete.
+        self.stats.iterations += 1;
+        self.scatter_iter += 1;
+        self.slice = 0;
+        self.iter_active = std::mem::take(&mut self.next_active);
+        if self.iter_active.is_empty() || self.scatter_iter >= self.limit {
+            return false;
+        }
+        // Without inter-phase pipelining, "Scatter phase starts only when
+        // Apply phase in the last iteration finishes writing back all
+        // active vertices" (Section IV-D): charge the write-back flush and
+        // the read-back latency of the new active list.
+        let channels = self.cfg.tile_memory().channels.max(1) as u64;
+        let writeback = self.iter_active.len() as u64 / (8 * channels);
+        self.fetch_stall = writeback + self.cfg.tile_memory().latency_cycles as u64;
+        self.frontier_sizes.push(self.iter_active.len());
+        self.feed_scatter_inputs();
+        true
+    }
+}
+
+// ----- helpers ------------------------------------------------------------
+
+/// The PE that executes an edge workload under the configured mapping.
+fn target_node(cfg: &ScalaGraphConfig, src: VertexId, dst: VertexId) -> usize {
+    let p = cfg.placement;
+    match cfg.mapping {
+        // ROM: the destination's tile and column, the source's row — all
+        // NoC traffic becomes intra-column and intra-tile (Section IV-A).
+        Mapping::RowOriented => p.node(p.tile_of(dst), p.row_of(src), p.col_of(dst)),
+        // SOM: the source's home PE.
+        Mapping::SourceOriented => p.home_node(src),
+        // DOM: the destination's home PE (the source replica is local).
+        Mapping::DestinationOriented => p.home_node(dst),
+    }
+}
+
+/// Neighbor of `node` in direction `dir` on the global mesh.
+fn neighbor(cfg: &ScalaGraphConfig, node: usize, dir: usize) -> usize {
+    let cols = cfg.placement.cols;
+    match dir {
+        NORTH => node - cols,
+        SOUTH => node + cols,
+        WEST => node - 1,
+        EAST => node + 1,
+        _ => unreachable!("eject has no neighbor"),
+    }
+}
+
+/// XY routing decision from `node` towards `home` (column first, then
+/// row).
+fn route_dir(cfg: &ScalaGraphConfig, node: usize, home: usize) -> usize {
+    let cols = cfg.placement.cols;
+    let (r, c) = (node / cols, node % cols);
+    let (hr, hc) = (home / cols, home % cols);
+    if hc > c {
+        EAST
+    } else if hc < c {
+        WEST
+    } else if hr > r {
+        SOUTH
+    } else if hr < r {
+        NORTH
+    } else {
+        EJECT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryPreset;
+    use scalagraph_algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp, UNREACHED};
+    use scalagraph_algo::ReferenceEngine;
+    use scalagraph_graph::{generators, Dataset, EdgeList};
+
+    fn cfg32() -> ScalaGraphConfig {
+        ScalaGraphConfig::with_pes(32)
+    }
+
+    fn bfs_matches_reference(graph: &Csr, cfg: ScalaGraphConfig, root: VertexId) {
+        let algo = Bfs::from_root(root);
+        let golden = ReferenceEngine::new().run(&algo, graph);
+        let sim = run_on(&algo, graph, cfg);
+        assert_eq!(sim.properties, golden.properties);
+    }
+
+    #[test]
+    fn bfs_on_tree_matches_reference() {
+        let g = Csr::from_edges(127, &generators::binary_tree(127));
+        bfs_matches_reference(&g, cfg32(), 0);
+    }
+
+    #[test]
+    fn bfs_on_random_graph_matches_reference() {
+        let g = Csr::from_edges(500, &generators::uniform(500, 4000, 7));
+        bfs_matches_reference(&g, cfg32(), 3);
+    }
+
+    #[test]
+    fn bfs_on_power_law_matches_reference() {
+        let g = Csr::from_edges(400, &generators::power_law(400, 5000, 0.8, 9));
+        let root = Dataset::pick_root(&g);
+        bfs_matches_reference(&g, cfg32(), root);
+    }
+
+    #[test]
+    fn bfs_without_pipelining_matches_reference() {
+        let g = Csr::from_edges(300, &generators::uniform(300, 2500, 11));
+        let mut cfg = cfg32();
+        cfg.inter_phase_pipelining = false;
+        bfs_matches_reference(&g, cfg, 0);
+    }
+
+    #[test]
+    fn sssp_matches_reference() {
+        let mut list = EdgeList::new(200);
+        for e in generators::uniform(200, 1500, 13) {
+            list.push(e);
+        }
+        list.randomize_weights(255, 5);
+        let g = Csr::from_edge_list(&list);
+        let algo = Sssp::from_root(0);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let sim = run_on(&algo, &g, cfg32());
+        assert_eq!(sim.properties, golden.properties);
+    }
+
+    #[test]
+    fn cc_matches_reference_on_symmetrized_graph() {
+        let mut list = EdgeList::new(150);
+        for e in generators::uniform(150, 600, 17) {
+            list.push(e);
+        }
+        list.symmetrize();
+        let g = Csr::from_edge_list(&list);
+        let algo = ConnectedComponents::new();
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let sim = run_on(&algo, &g, cfg32());
+        assert_eq!(sim.properties, golden.properties);
+    }
+
+    #[test]
+    fn pagerank_matches_reference_within_float_tolerance() {
+        let g = Csr::from_edges(120, &generators::power_law(120, 1200, 0.8, 21));
+        let algo = PageRank::new(5);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let sim = run_on(&algo, &g, cfg32());
+        assert!(!sim.stats.inter_phase_used, "PR must not pipeline");
+        assert_eq!(sim.stats.iterations, 5);
+        for (a, b) in sim.properties.iter().zip(&golden.properties) {
+            assert!((a - b).abs() < 1e-4, "rank {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_mappings_agree_on_results() {
+        let g = Csr::from_edges(256, &generators::uniform(256, 3000, 23));
+        let algo = Bfs::from_root(1);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        for mapping in Mapping::ALL {
+            let mut cfg = cfg32();
+            cfg.mapping = mapping;
+            let sim = run_on(&algo, &g, cfg);
+            assert_eq!(sim.properties, golden.properties, "{mapping}");
+        }
+    }
+
+    #[test]
+    fn rom_produces_less_traffic_than_som() {
+        let g = Csr::from_edges(512, &generators::uniform(512, 8000, 29));
+        let algo = PageRank::new(2);
+        let mut rom_cfg = ScalaGraphConfig::with_pes(64);
+        rom_cfg.mapping = Mapping::RowOriented;
+        let mut som_cfg = ScalaGraphConfig::with_pes(64);
+        som_cfg.mapping = Mapping::SourceOriented;
+        let rom = run_on(&algo, &g, rom_cfg);
+        let som = run_on(&algo, &g, som_cfg);
+        assert!(
+            rom.stats.noc_hops < som.stats.noc_hops,
+            "ROM {} vs SOM {}",
+            rom.stats.noc_hops,
+            som.stats.noc_hops
+        );
+    }
+
+    #[test]
+    fn aggregation_reduces_traffic() {
+        let g = Csr::from_edges(256, &generators::power_law(256, 6000, 0.9, 31));
+        let algo = PageRank::new(2);
+        let mut with = cfg32();
+        with.aggregation_registers = 16;
+        let mut without = cfg32();
+        without.aggregation_registers = 0;
+        let w = run_on(&algo, &g, with);
+        let wo = run_on(&algo, &g, without);
+        assert!(w.stats.agg_merges > 0 || w.stats.noc_hops <= wo.stats.noc_hops);
+        // Results must agree regardless.
+        for (a, b) in w.properties.iter().zip(&wo.properties) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sliced_execution_matches_reference() {
+        let g = Csr::from_edges(300, &generators::uniform(300, 3000, 37));
+        let mut cfg = cfg32();
+        cfg.spd_capacity_vertices = 64; // forces ~5 slices
+        let algo = Bfs::from_root(0);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let sim = run_on(&algo, &g, cfg);
+        assert!(sim.stats.slices >= 4);
+        assert!(!sim.stats.inter_phase_used);
+        assert_eq!(sim.properties, golden.properties);
+    }
+
+    #[test]
+    fn pipelining_preserves_results_and_saves_cycles() {
+        let g = Csr::from_edges(600, &generators::power_law(600, 8000, 0.8, 41));
+        let algo = Bfs::from_root(Dataset::pick_root(&g));
+        let mut on = cfg32();
+        on.inter_phase_pipelining = true;
+        let mut off = cfg32();
+        off.inter_phase_pipelining = false;
+        let a = run_on(&algo, &g, on);
+        let b = run_on(&algo, &g, off);
+        assert_eq!(a.properties, b.properties);
+        assert!(a.stats.inter_phase_used);
+        assert!(
+            a.stats.cycles < b.stats.cycles,
+            "pipelined {} !< serial {}",
+            a.stats.cycles,
+            b.stats.cycles
+        );
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        let g = Csr::from_edges(64, &generators::path(32));
+        let sim = run_on(&Bfs::from_root(0), &g, cfg32());
+        assert_eq!(sim.properties[31], 31);
+        assert_eq!(sim.properties[40], UNREACHED);
+    }
+
+    #[test]
+    fn empty_graph_and_empty_frontier_terminate() {
+        let g = Csr::from_edges(10, &[]);
+        let sim = run_on(&Bfs::from_root(0), &g, cfg32());
+        assert_eq!(sim.properties[0], 0);
+        assert_eq!(sim.properties[5], UNREACHED);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = Csr::from_edges(256, &generators::uniform(256, 4000, 43));
+        let sim = run_on(&PageRank::new(3), &g, cfg32());
+        let s = sim.stats;
+        assert_eq!(s.traversed_edges, 3 * 4000);
+        assert_eq!(s.updates_produced, s.traversed_edges);
+        // Deliveries + merges == produced (each update either merges into
+        // another or eventually reaches an SPD).
+        assert_eq!(s.updates_delivered + s.agg_merges, s.updates_produced);
+        assert!(s.offchip_bytes_read > 0);
+        assert!(s.pe_utilization() > 0.0 && s.pe_utilization() <= 1.0);
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn unlimited_memory_is_not_slower() {
+        let g = Csr::from_edges(512, &generators::uniform(512, 10_000, 47));
+        let algo = PageRank::new(2);
+        let mut fast = cfg32();
+        fast.memory = MemoryPreset::Unlimited;
+        let limited = run_on(&algo, &g, cfg32());
+        let unlimited = run_on(&algo, &g, fast);
+        assert!(unlimited.stats.cycles <= limited.stats.cycles);
+    }
+
+    #[test]
+    fn more_pes_do_not_slow_down_pagerank() {
+        let g = Csr::from_edges(1024, &generators::uniform(1024, 30_000, 53));
+        let algo = PageRank::new(2);
+        let small = run_on(&algo, &g, ScalaGraphConfig::with_pes(32));
+        let large = run_on(&algo, &g, ScalaGraphConfig::with_pes(128));
+        assert!(
+            large.stats.cycles < small.stats.cycles,
+            "128 PEs {} !< 32 PEs {}",
+            large.stats.cycles,
+            small.stats.cycles
+        );
+    }
+
+    #[test]
+    fn dom_counts_broadcast_traffic() {
+        let g = Csr::from_edges(128, &generators::uniform(128, 1000, 59));
+        let mut cfg = cfg32();
+        cfg.mapping = Mapping::DestinationOriented;
+        let sim = run_on(&Bfs::from_root(0), &g, cfg);
+        // DOM has no scatter routing, so hops come only from broadcasts.
+        assert!(sim.stats.noc_hops >= sim.stats.activations * 31);
+    }
+}

@@ -1,0 +1,146 @@
+//! Simulation statistics and derived metrics.
+
+/// Counters accumulated over one simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycles during which a Scatter wave was in flight.
+    pub scatter_cycles: u64,
+    /// Cycles during which an Apply pass was in flight.
+    pub apply_cycles: u64,
+    /// Iterations (Scatter waves) executed.
+    pub iterations: u64,
+    /// Edges dispatched to GUs across all iterations (the GTEPS numerator).
+    pub traversed_edges: u64,
+    /// Vertex updates produced by GUs.
+    pub updates_produced: u64,
+    /// Updates that entered the NoC (excludes GU-local deliveries).
+    pub updates_injected: u64,
+    /// Updates folded into scratchpad temporaries.
+    pub updates_delivered: u64,
+    /// Updates eliminated by the aggregation pipelines.
+    pub agg_merges: u64,
+    /// Total NoC link traversals ("the amount of traffic injected into the
+    /// on-chip network", the metric of Figures 6/17/18).
+    pub noc_hops: u64,
+    /// Cycles an update spent blocked by arbitration or back-pressure.
+    pub noc_conflicts: u64,
+    /// Sum of per-update routing latencies (inject to SPD arrival).
+    pub routing_latency_sum: u64,
+    /// Updates contributing to `routing_latency_sum`.
+    pub routing_latency_count: u64,
+    /// Cycles in which each GU was executing, summed over GUs.
+    pub gu_busy_cycles: u64,
+    /// `cycles × num_pes`, the denominator of PE utilization.
+    pub pe_cycle_budget: u64,
+    /// Bytes read from HBM.
+    pub offchip_bytes_read: u64,
+    /// Bytes written to HBM.
+    pub offchip_bytes_written: u64,
+    /// HBM read requests issued.
+    pub offchip_reads: u64,
+    /// Graph slices processed per iteration (1 = whole graph resident).
+    pub slices: u64,
+    /// Whether inter-phase pipelining was actually engaged.
+    pub inter_phase_used: bool,
+    /// Total vertex activations across iterations.
+    pub activations: u64,
+    /// Edge lines fetched by the EPrefs.
+    pub epref_lines: u64,
+    /// Edge-line fetches avoided by piggybacking on a shared in-flight
+    /// line (degree-aware locality).
+    pub epref_piggybacks: u64,
+    /// Record lines fetched by the VPrefs.
+    pub vpref_lines: u64,
+    /// Scatter cycles in which a dispatcher row had no fetched segments.
+    pub dispatch_starved_row_cycles: u64,
+}
+
+impl SimStats {
+    /// Mean GU (PE) utilization in `[0, 1]` — Figure 20's metric.
+    pub fn pe_utilization(&self) -> f64 {
+        if self.pe_cycle_budget == 0 {
+            0.0
+        } else {
+            self.gu_busy_cycles as f64 / self.pe_cycle_budget as f64
+        }
+    }
+
+    /// Mean routing latency in cycles per delivered NoC update — the
+    /// "average packet routing latency" of Section V-C.
+    pub fn avg_routing_latency(&self) -> f64 {
+        if self.routing_latency_count == 0 {
+            0.0
+        } else {
+            self.routing_latency_sum as f64 / self.routing_latency_count as f64
+        }
+    }
+
+    /// Wall-clock seconds at `clock_mhz`.
+    pub fn seconds(&self, clock_mhz: f64) -> f64 {
+        self.cycles as f64 / (clock_mhz * 1e6)
+    }
+
+    /// Throughput in giga-traversed-edges per second at `clock_mhz` —
+    /// Figure 14's metric.
+    pub fn gteps(&self, clock_mhz: f64) -> f64 {
+        let s = self.seconds(clock_mhz);
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.traversed_edges as f64 / s / 1e9
+        }
+    }
+
+    /// Total off-chip traffic in bytes.
+    pub fn offchip_bytes(&self) -> u64 {
+        self.offchip_bytes_read + self.offchip_bytes_written
+    }
+}
+
+/// The outcome of a simulated run: final properties plus statistics.
+#[derive(Debug, Clone)]
+pub struct SimResult<P> {
+    /// Final vertex properties.
+    pub properties: Vec<P>,
+    /// Simulation counters.
+    pub stats: SimStats,
+    /// Active-vertex count entering each iteration.
+    pub frontier_sizes: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_and_latency_guard_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.pe_utilization(), 0.0);
+        assert_eq!(s.avg_routing_latency(), 0.0);
+        assert_eq!(s.gteps(250.0), 0.0);
+    }
+
+    #[test]
+    fn gteps_math() {
+        let s = SimStats {
+            cycles: 1000,
+            traversed_edges: 250_000,
+            ..Default::default()
+        };
+        // 1000 cycles at 250 MHz = 4 us; 250k edges / 4 us = 62.5 GTEPS.
+        assert!((s.gteps(250.0) - 62.5).abs() < 1e-9);
+        assert!((s.seconds(250.0) - 4e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let s = SimStats {
+            gu_busy_cycles: 300,
+            pe_cycle_budget: 400,
+            ..Default::default()
+        };
+        assert!((s.pe_utilization() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or validating graph data structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex identifier.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// The CSR offset array is not monotonically non-decreasing, or its last
+    /// entry disagrees with the neighbor array length.
+    MalformedOffsets {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A weighted view was requested on an unweighted graph.
+    MissingWeights,
+    /// The weights array length does not match the neighbor array length.
+    WeightLengthMismatch {
+        /// Number of edges in the graph.
+        edges: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// A partition request was invalid (for example, zero partitions).
+    InvalidPartition {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::MalformedOffsets { detail } => {
+                write!(f, "malformed CSR offsets: {detail}")
+            }
+            GraphError::MissingWeights => write!(f, "graph has no edge weights"),
+            GraphError::WeightLengthMismatch { edges, weights } => write!(
+                f,
+                "weight array length {weights} does not match edge count {edges}"
+            ),
+            GraphError::InvalidPartition { detail } => {
+                write!(f, "invalid partition request: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

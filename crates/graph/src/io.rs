@@ -1,0 +1,280 @@
+//! Graph file I/O: the SNAP/Graph500 interchange formats the paper's
+//! datasets ship in.
+//!
+//! * [`read_edge_list`] parses whitespace-separated text edge lists
+//!   (`src dst [weight]` per line, `#`/`%` comments) — the format of the
+//!   SNAP downloads (Pokec, LiveJournal, Orkut, Twitter).
+//! * [`write_edge_list`] writes the same format.
+//! * [`read_csr_binary`] / [`write_csr_binary`] store a [`Csr`] in a
+//!   compact little-endian binary layout for fast reloads.
+//!
+//! # Example
+//!
+//! ```
+//! use scalagraph_graph::{generators, io, Csr};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let g = Csr::from_edges(100, &generators::uniform(100, 500, 1));
+//! let dir = std::env::temp_dir().join("scalagraph_io_doc");
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("g.bin");
+//! io::write_csr_binary(&g, &path)?;
+//! let back = io::read_csr_binary(&path)?;
+//! assert_eq!(g, back);
+//! # std::fs::remove_file(path)?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Csr, Edge, EdgeList, VertexId};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes prefixing the binary CSR format.
+const CSR_MAGIC: &[u8; 8] = b"SCLGCSR1";
+
+/// Reads a whitespace-separated text edge list. Lines starting with `#` or
+/// `%` are comments; each data line is `src dst` or `src dst weight`.
+/// The vertex count is `max endpoint + 1` unless `num_vertices` widens it.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] on filesystem failures or malformed lines
+/// (non-numeric fields, fewer than two fields).
+pub fn read_edge_list<P: AsRef<Path>>(
+    path: P,
+    num_vertices: Option<usize>,
+) -> io::Result<EdgeList> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_vertex: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {what}", lineno + 1),
+            )
+        };
+        let src: u64 = it
+            .next()
+            .ok_or_else(|| bad("missing source"))?
+            .parse()
+            .map_err(|_| bad("source is not an integer"))?;
+        let dst: u64 = it
+            .next()
+            .ok_or_else(|| bad("missing destination"))?
+            .parse()
+            .map_err(|_| bad("destination is not an integer"))?;
+        let weight: u32 = match it.next() {
+            Some(w) => w.parse().map_err(|_| bad("weight is not an integer"))?,
+            None => 0,
+        };
+        if src > u64::from(u32::MAX) || dst > u64::from(u32::MAX) {
+            return Err(bad("vertex id exceeds 32 bits"));
+        }
+        max_vertex = max_vertex.max(src).max(dst);
+        edges.push(Edge::weighted(src as VertexId, dst as VertexId, weight));
+    }
+    let implied = if edges.is_empty() {
+        0
+    } else {
+        max_vertex as usize + 1
+    };
+    let n = num_vertices.unwrap_or(implied).max(implied);
+    EdgeList::from_vec(n, edges).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes an edge list as `src dst weight` text (weight omitted when the
+/// list is unweighted throughout).
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] on filesystem failures.
+pub fn write_edge_list<P: AsRef<Path>>(list: &EdgeList, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# scalagraph edge list: {} vertices", list.num_vertices())?;
+    let weighted = list.iter().any(|e| e.weight != 0);
+    for e in list {
+        if weighted {
+            writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
+        } else {
+            writeln!(w, "{} {}", e.src, e.dst)?;
+        }
+    }
+    w.flush()
+}
+
+fn put_u64(w: &mut impl Write, x: u64) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes a [`Csr`] in the compact binary format.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] on filesystem failures.
+pub fn write_csr_binary<P: AsRef<Path>>(graph: &Csr, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(CSR_MAGIC)?;
+    put_u64(&mut w, graph.num_vertices() as u64)?;
+    put_u64(&mut w, graph.num_edges() as u64)?;
+    put_u64(&mut w, u64::from(graph.is_weighted()))?;
+    for &o in graph.offsets() {
+        put_u64(&mut w, o)?;
+    }
+    for &n in graph.neighbor_array() {
+        w.write_all(&n.to_le_bytes())?;
+    }
+    if graph.is_weighted() {
+        for v in graph.vertices() {
+            for &wt in graph.edge_weights(v).expect("weighted graph") {
+                w.write_all(&wt.to_le_bytes())?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Reads a [`Csr`] written by [`write_csr_binary`].
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] on filesystem failures, a bad magic number, or
+/// structurally invalid content.
+pub fn read_csr_binary<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != CSR_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a scalagraph binary CSR file",
+        ));
+    }
+    let n = get_u64(&mut r)? as usize;
+    let m = get_u64(&mut r)? as usize;
+    let weighted = get_u64(&mut r)? != 0;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(get_u64(&mut r)?);
+    }
+    let mut neighbors = Vec::with_capacity(m);
+    let mut b4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut b4)?;
+        neighbors.push(u32::from_le_bytes(b4));
+    }
+    let weights = if weighted {
+        let mut ws = Vec::with_capacity(m);
+        for _ in 0..m {
+            r.read_exact(&mut b4)?;
+            ws.push(u32::from_le_bytes(b4));
+        }
+        Some(ws)
+    } else {
+        None
+    };
+    Csr::from_raw_parts(offsets, neighbors, weights)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("scalagraph_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}_{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn text_roundtrip_unweighted() {
+        let path = tmp("unweighted.txt");
+        let mut list = EdgeList::new(50);
+        for e in generators::uniform(50, 300, 7) {
+            list.push(e);
+        }
+        write_edge_list(&list, &path).unwrap();
+        let back = read_edge_list(&path, Some(50)).unwrap();
+        assert_eq!(list.as_slice(), back.as_slice());
+        assert_eq!(back.num_vertices(), 50);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn text_roundtrip_weighted() {
+        let path = tmp("weighted.txt");
+        let mut list = EdgeList::new(20);
+        for e in generators::uniform(20, 80, 9) {
+            list.push(e);
+        }
+        list.randomize_weights(255, 3);
+        write_edge_list(&list, &path).unwrap();
+        let back = read_edge_list(&path, None).unwrap();
+        assert_eq!(list.as_slice(), back.as_slice());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn text_parses_comments_and_infers_vertices() {
+        let path = tmp("comments.txt");
+        std::fs::write(&path, "# SNAP style header\n% matrix-market style\n0 3\n2 1\n").unwrap();
+        let list = read_edge_list(&path, None).unwrap();
+        assert_eq!(list.num_vertices(), 4);
+        assert_eq!(list.len(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let path = tmp("garbage.txt");
+        std::fs::write(&path, "0 not_a_number\n").unwrap();
+        let err = read_edge_list(&path, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn binary_roundtrip_weighted_and_unweighted() {
+        for weighted in [false, true] {
+            let path = tmp(if weighted { "w.bin" } else { "u.bin" });
+            let mut list = EdgeList::new(64);
+            for e in generators::power_law(64, 500, 0.8, 11) {
+                list.push(e);
+            }
+            if weighted {
+                list.randomize_weights(255, 5);
+            }
+            let g = Csr::from_edge_list(&list);
+            write_csr_binary(&g, &path).unwrap();
+            let back = read_csr_binary(&path).unwrap();
+            assert_eq!(g, back);
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+
+    #[test]
+    fn binary_rejects_wrong_magic() {
+        let path = tmp("bad.bin");
+        std::fs::write(&path, b"NOTACSR!xxxxxxxx").unwrap();
+        assert!(read_csr_binary(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Graph storage, generators, and layout transformations for the ScalaGraph
+//! reproduction.
+//!
+//! This crate provides every graph-side substrate the ScalaGraph accelerator
+//! (HPCA 2022) depends on:
+//!
+//! * [`Csr`] — compressed-sparse-row storage, the on-device format used by
+//!   the paper (Section III-B: "The compressed sparse row (CSR) format is
+//!   used for space-saving").
+//! * [`EdgeList`] — the interchange format produced by the generators and
+//!   consumed by the CSR builder.
+//! * [`generators`] — seedable synthetic graph generators (R-MAT, power-law
+//!   configuration model, uniform, and a set of structured test graphs).
+//! * [`io`] — SNAP-style text edge lists and a compact binary CSR format,
+//!   for running the real datasets where available.
+//! * [`datasets`] — presets matching the paper's evaluation datasets
+//!   (Table I / Table III) at a configurable down-scaling factor.
+//! * [`partition`] — Graphicionado-style vertex-interval slicing used when a
+//!   graph's vertex properties do not fit on-chip (Section III-A).
+//! * [`relayout`] — the degree-aware edge re-layout of Section IV-C: edges of
+//!   each vertex are re-ordered so that an edge's position inside a 64-byte
+//!   line equals the PE column its destination vertex hashes to.
+//! * [`stats`] — degree-distribution and traversal statistics.
+//! * [`transform`] — vertex relabelings (random, degree, BFS order) for
+//!   order-sensitivity studies.
+//!
+//! # Example
+//!
+//! ```
+//! use scalagraph_graph::{generators, Csr};
+//!
+//! let edges = generators::rmat(1 << 10, 8 * (1 << 10), 42);
+//! let graph = Csr::from_edges(1 << 10, &edges);
+//! assert_eq!(graph.num_vertices(), 1 << 10);
+//! let avg = graph.num_edges() as f64 / graph.num_vertices() as f64;
+//! assert!(avg > 1.0);
+//! ```
+
+pub mod csr;
+pub mod datasets;
+pub mod edgelist;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod partition;
+pub mod relayout;
+pub mod stats;
+pub mod transform;
+
+pub use csr::{Csr, CsrBuilder};
+pub use datasets::{Dataset, DatasetSpec};
+pub use edgelist::{Edge, EdgeList};
+pub use error::GraphError;
+pub use partition::{Partitioner, VertexInterval};
+pub use stats::DegreeStats;
+
+/// Identifier of a vertex. The paper represents each edge in 4 bytes, which
+/// bounds vertex identifiers to 32 bits; we adopt the same width.
+pub type VertexId = u32;
+
+/// Edge weight used by weighted algorithms (SSSP). The paper associates each
+/// edge with "a random integer between 0 and 255" (Section V-A).
+pub type Weight = u32;
+
+/// Number of bytes in one off-chip memory access line (one HBM beat). Both
+/// the paper's motivation (Section II-A) and the degree-aware scheduler
+/// (Section IV-C) are phrased in terms of 64-byte lines.
+pub const LINE_BYTES: usize = 64;
+
+/// Number of bytes used to encode one edge in the CSR neighbor array
+/// (Section I: "each edge represented in 4 bytes").
+pub const EDGE_BYTES: usize = 4;
+
+/// Number of edges per 64-byte line: 16. This equals the PE-row width of the
+/// accelerator, which is what makes one line dispatchable to one row of PEs
+/// in a single cycle.
+pub const EDGES_PER_LINE: usize = LINE_BYTES / EDGE_BYTES;

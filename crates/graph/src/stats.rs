@@ -1,0 +1,148 @@
+//! Degree-distribution and throughput statistics.
+
+use crate::Csr;
+
+/// Summary statistics of a graph's out-degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Mean out-degree.
+    pub avg: f64,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Median out-degree.
+    pub median: usize,
+    /// Fraction of vertices with out-degree zero.
+    pub isolated_fraction: f64,
+    /// Gini coefficient of the out-degree distribution — 0 for perfectly
+    /// uniform degrees, approaching 1 for extreme hub concentration. Used to
+    /// verify the synthetic stand-ins preserve power-law skew.
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics over `graph`'s out-degrees.
+    pub fn of(graph: &Csr) -> Self {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return DegreeStats {
+                vertices: 0,
+                edges: 0,
+                avg: 0.0,
+                max: 0,
+                median: 0,
+                isolated_fraction: 0.0,
+                gini: 0.0,
+            };
+        }
+        let mut degrees: Vec<usize> = graph.vertices().map(|v| graph.out_degree(v)).collect();
+        degrees.sort_unstable();
+        let edges = graph.num_edges();
+        let max = *degrees.last().unwrap();
+        let median = degrees[n / 2];
+        let isolated = degrees.iter().take_while(|&&d| d == 0).count();
+
+        // Gini over sorted degrees: G = (2 * sum(i * d_i) / (n * sum d)) -
+        // (n + 1) / n, with i starting at 1.
+        let total: f64 = edges as f64;
+        let gini = if total == 0.0 {
+            0.0
+        } else {
+            let weighted: f64 = degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+        };
+
+        DegreeStats {
+            vertices: n,
+            edges,
+            avg: edges as f64 / n as f64,
+            max,
+            median,
+            isolated_fraction: isolated as f64 / n as f64,
+            gini,
+        }
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} avg={:.1} max={} median={} gini={:.3}",
+            self.vertices, self.edges, self.avg, self.max, self.median, self.gini
+        )
+    }
+}
+
+/// Converts a traversed-edge count and a time in seconds to GTEPS
+/// (giga-traversed-edges per second), the throughput unit of Figure 14.
+pub fn gteps(traversed_edges: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        0.0
+    } else {
+        traversed_edges as f64 / seconds / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, Csr};
+
+    #[test]
+    fn stats_on_uniform_graph() {
+        let g = Csr::from_edges(100, &generators::uniform(100, 1000, 1));
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.vertices, 100);
+        assert_eq!(s.edges, 1000);
+        assert!((s.avg - 10.0).abs() < 1e-9);
+        assert!(s.gini < 0.4, "uniform graph should have low gini: {}", s.gini);
+    }
+
+    #[test]
+    fn stats_on_star_graph() {
+        let g = Csr::from_edges(101, &generators::star(101));
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.median, 0);
+        assert!(s.gini > 0.9, "star should have extreme gini: {}", s.gini);
+    }
+
+    #[test]
+    fn power_law_more_skewed_than_uniform() {
+        let u = DegreeStats::of(&Csr::from_edges(500, &generators::uniform(500, 5000, 2)));
+        let p = DegreeStats::of(&Csr::from_edges(
+            500,
+            &generators::power_law(500, 5000, 0.9, 2),
+        ));
+        assert!(p.gini > u.gini + 0.1, "power-law gini {} vs uniform {}", p.gini, u.gini);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = DegreeStats::of(&Csr::from_edges(0, &[]));
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn gteps_math() {
+        assert!((gteps(2_000_000_000, 1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(gteps(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let g = Csr::from_edges(10, &generators::path(10));
+        let s = DegreeStats::of(&g).to_string();
+        assert!(s.contains("|V|=10"));
+        assert!(s.contains("|E|=9"));
+    }
+}

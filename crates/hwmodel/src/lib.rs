@@ -1,0 +1,10 @@
+//! FPGA hardware cost model (frequency, resources, power/energy).
+
+pub mod energy;
+pub mod frequency;
+pub mod resources;
+
+pub use energy::{EnergyModel, PowerBreakdown};
+pub use frequency::{max_frequency_mhz, InterconnectKind, SynthesisOutcome, OPERATING_CLOCK_MHZ};
+pub use resources::{AcceleratorKind, FpgaDevice, ResourceModel, ResourceUtilization, U280};
+pub use energy::SystemKind;

@@ -1,0 +1,222 @@
+//! FPGA resource-utilization model, calibrated to the table in Figure 16.
+//!
+//! The paper reports post-synthesis utilization on the U280:
+//!
+//! | Accelerator     | LUT   | REG   | BRAM  |
+//! |-----------------|-------|-------|-------|
+//! | GraphDynS-128   | 22.8% | 11.6% | 74.7% |
+//! | ScalaGraph-128  | 10.9% |  6.4% | 70.8% |
+//! | GraphDynS-512   | 85.1% | 43.8% | 76.1% |
+//! | ScalaGraph-512  | 39.2% | 22.9% | 73.2% |
+//!
+//! ScalaGraph scales linearly in PEs (mesh interconnect); GraphDynS beyond
+//! 128 PEs is built as crossbar tiles joined by a mesh, so its cost is
+//! per-tile. BRAM is dominated by the fixed scratchpad (6 MB of the U280's
+//! 9 MB) plus small per-PE buffering.
+
+/// Capacity of the target FPGA device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaDevice {
+    /// Lookup tables available.
+    pub luts: u64,
+    /// Flip-flop registers available.
+    pub regs: u64,
+    /// Block RAM capacity in bytes.
+    pub bram_bytes: u64,
+}
+
+/// The Xilinx Alveo U280 (XCU280): 1.3 M LUTs, 2.6 M registers, 9 MB BRAM
+/// (Section V-A).
+pub const U280: FpgaDevice = FpgaDevice {
+    luts: 1_304_000,
+    regs: 2_607_000,
+    bram_bytes: 9 * 1024 * 1024,
+};
+
+/// Which accelerator's structure is being estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AcceleratorKind {
+    /// ScalaGraph: distributed scratchpads over a mesh; linear in PEs.
+    ScalaGraph,
+    /// GraphDynS: up to 128 PEs behind a full crossbar per tile; larger
+    /// configurations replicate tiles and join them with a small mesh.
+    GraphDyns,
+}
+
+/// Fractional utilization of each resource class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceUtilization {
+    /// LUT fraction used (0.0–1.0; may exceed 1.0 when over-subscribed).
+    pub lut: f64,
+    /// Register fraction used.
+    pub reg: f64,
+    /// BRAM fraction used.
+    pub bram: f64,
+}
+
+impl ResourceUtilization {
+    /// Whether the design fits the device with routing headroom. FPGA
+    /// designs above ~90% LUT utilization generally fail to route.
+    pub fn fits(&self) -> bool {
+        self.lut <= 0.90 && self.reg <= 0.90 && self.bram <= 1.0
+    }
+}
+
+/// Parameterized resource model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceModel {
+    device: FpgaDevice,
+}
+
+// ScalaGraph linear fit through the Figure 16 points (128 and 512 PEs):
+//   LUT(N) = 19_060 + 961 * N
+//   REG(N) = 24_000 + 1_120 * N
+const SG_LUT_BASE: f64 = 19_060.0;
+const SG_LUT_PER_PE: f64 = 961.0;
+const SG_REG_BASE: f64 = 24_000.0;
+const SG_REG_PER_PE: f64 = 1_120.0;
+
+// GraphDynS tile model (one tile holds up to 128 crossbar-connected PEs):
+//   LUT_tile(n) = 30_000 + 961 * n + 8.8 * n^2   (297k at n = 128)
+//   REG_tile(n) = 15_000 + 1_120 * n + 8.5 * n^2  (~151k at n = 128)
+// Multi-tile designs pay tiles * tile cost plus a small inter-tile mesh;
+// the 0.925 factor reproduces the published 512-PE point (85.1% LUT).
+const GD_LUT_BASE: f64 = 30_000.0;
+const GD_LUT_PER_PE: f64 = 961.0;
+const GD_LUT_XBAR: f64 = 8.8;
+const GD_REG_BASE: f64 = 15_000.0;
+const GD_REG_PER_PE: f64 = 1_120.0;
+const GD_REG_XBAR: f64 = 8.5;
+const GD_TILE_SHARING: f64 = 0.925;
+const GD_TILE_PES: usize = 128;
+
+// BRAM: a fixed 6 MB scratchpad (Section V-A) plus per-PE line buffers.
+// GraphDynS additionally spends ~0.7 MB of BRAM on its centralized VOQ and
+// prefetch structures.
+const SPD_BYTES: f64 = 6.0 * 1024.0 * 1024.0;
+const SG_BRAM_PER_PE: f64 = 1_200.0;
+const GD_BRAM_FIXED: f64 = 0.7 * 1024.0 * 1024.0;
+const GD_BRAM_PER_PE: f64 = 350.0;
+
+impl ResourceModel {
+    /// Model for a given device.
+    pub fn new(device: FpgaDevice) -> Self {
+        ResourceModel { device }
+    }
+
+    /// Model for the Alveo U280.
+    pub fn u280() -> Self {
+        Self::new(U280)
+    }
+
+    /// The device being modelled.
+    pub fn device(&self) -> FpgaDevice {
+        self.device
+    }
+
+    /// Estimated utilization for `kind` with `pes` processing elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes == 0`.
+    pub fn utilization(&self, kind: AcceleratorKind, pes: usize) -> ResourceUtilization {
+        assert!(pes > 0, "need at least one PE");
+        let n = pes as f64;
+        let (luts, regs, bram) = match kind {
+            AcceleratorKind::ScalaGraph => (
+                SG_LUT_BASE + SG_LUT_PER_PE * n,
+                SG_REG_BASE + SG_REG_PER_PE * n,
+                SPD_BYTES + SG_BRAM_PER_PE * n,
+            ),
+            AcceleratorKind::GraphDyns => {
+                let tiles = pes.div_ceil(GD_TILE_PES);
+                let per_tile = (pes as f64 / tiles as f64).ceil();
+                let tile_lut =
+                    GD_LUT_BASE + GD_LUT_PER_PE * per_tile + GD_LUT_XBAR * per_tile * per_tile;
+                let tile_reg =
+                    GD_REG_BASE + GD_REG_PER_PE * per_tile + GD_REG_XBAR * per_tile * per_tile;
+                let sharing = if tiles > 1 { GD_TILE_SHARING } else { 1.0 };
+                (
+                    tile_lut * tiles as f64 * sharing,
+                    tile_reg * tiles as f64 * sharing,
+                    SPD_BYTES + GD_BRAM_FIXED + GD_BRAM_PER_PE * n,
+                )
+            }
+        };
+        ResourceUtilization {
+            lut: luts / self.device.luts as f64,
+            reg: regs / self.device.regs as f64,
+            bram: bram / self.device.bram_bytes as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(x: f64) -> f64 {
+        x * 100.0
+    }
+
+    #[test]
+    fn scalagraph_matches_figure_16() {
+        let m = ResourceModel::u280();
+        let u128 = m.utilization(AcceleratorKind::ScalaGraph, 128);
+        assert!((pct(u128.lut) - 10.9).abs() < 1.0, "lut {}", pct(u128.lut));
+        assert!((pct(u128.reg) - 6.4).abs() < 1.0, "reg {}", pct(u128.reg));
+        assert!((pct(u128.bram) - 70.8).abs() < 4.0, "bram {}", pct(u128.bram));
+        let u512 = m.utilization(AcceleratorKind::ScalaGraph, 512);
+        assert!((pct(u512.lut) - 39.2).abs() < 1.5, "lut {}", pct(u512.lut));
+        assert!((pct(u512.reg) - 22.9).abs() < 1.5, "reg {}", pct(u512.reg));
+        assert!((pct(u512.bram) - 73.2).abs() < 4.0, "bram {}", pct(u512.bram));
+    }
+
+    #[test]
+    fn graphdyns_matches_figure_16() {
+        let m = ResourceModel::u280();
+        let u128 = m.utilization(AcceleratorKind::GraphDyns, 128);
+        assert!((pct(u128.lut) - 22.8).abs() < 1.5, "lut {}", pct(u128.lut));
+        assert!((pct(u128.reg) - 11.6).abs() < 1.5, "reg {}", pct(u128.reg));
+        let u512 = m.utilization(AcceleratorKind::GraphDyns, 512);
+        assert!((pct(u512.lut) - 85.1).abs() < 3.0, "lut {}", pct(u512.lut));
+        assert!((pct(u512.reg) - 43.8).abs() < 3.0, "reg {}", pct(u512.reg));
+    }
+
+    #[test]
+    fn paper_ratios_hold() {
+        // "ScalaGraph requires 2.1x fewer LUTs and 1.8x fewer REGs than
+        // GraphDynS" at equal PE counts.
+        let m = ResourceModel::u280();
+        let s = m.utilization(AcceleratorKind::ScalaGraph, 128);
+        let g = m.utilization(AcceleratorKind::GraphDyns, 128);
+        assert!(g.lut / s.lut > 1.8, "lut ratio {}", g.lut / s.lut);
+        assert!(g.reg / s.reg > 1.5, "reg ratio {}", g.reg / s.reg);
+    }
+
+    #[test]
+    fn scalagraph_fits_at_1024_graphdyns_overflows() {
+        let m = ResourceModel::u280();
+        assert!(m.utilization(AcceleratorKind::ScalaGraph, 1024).fits());
+        // Beyond 1024 the LUTs exhaust (Section V-E).
+        assert!(!m.utilization(AcceleratorKind::ScalaGraph, 2048).fits());
+        assert!(!m.utilization(AcceleratorKind::GraphDyns, 1024).fits());
+    }
+
+    #[test]
+    fn utilization_grows_monotonically() {
+        let m = ResourceModel::u280();
+        let mut last = 0.0;
+        for pes in [32, 64, 128, 256, 512, 1024] {
+            let u = m.utilization(AcceleratorKind::ScalaGraph, pes);
+            assert!(u.lut > last);
+            last = u.lut;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_panics() {
+        let _ = ResourceModel::u280().utilization(AcceleratorKind::ScalaGraph, 0);
+    }
+}

@@ -1,0 +1,517 @@
+//! Off-chip memory models for the ScalaGraph reproduction.
+//!
+//! The Alveo U280 card the paper targets carries two 4 GB HBM2 stacks with
+//! 460 GB/s aggregate bandwidth, exposed as 32 pseudo-channels; each
+//! prefetcher in ScalaGraph "connects to a pseudo channel of HBM to achieve
+//! high memory-level parallelism" (Section III-A). This crate models that
+//! memory at request granularity: per-pseudo-channel queues with a byte-rate
+//! service budget and a fixed latency pipe, which is the level of detail the
+//! paper's throughput arguments operate at (bandwidth × line size ×
+//! frequency, Section I).
+//!
+//! # Example
+//!
+//! ```
+//! use scalagraph_mem::{Hbm, HbmConfig, MemRequest};
+//!
+//! let mut hbm = Hbm::new(HbmConfig::u280(250_000_000.0));
+//! assert!(hbm.try_request(0, MemRequest::read(42, 64)));
+//! let mut done = None;
+//! for _ in 0..1000 {
+//!     hbm.step();
+//!     if let Some(r) = hbm.pop_ready(0) {
+//!         done = Some(r);
+//!         break;
+//!     }
+//! }
+//! assert_eq!(done.unwrap().tag, 42);
+//! ```
+
+use std::collections::VecDeque;
+
+/// One off-chip memory request. The `tag` is opaque to the memory model;
+/// simulators use it to route the response back to the issuing unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Caller-owned identifier returned unchanged with the response.
+    pub tag: u64,
+    /// Transfer size in bytes (usually one 64-byte line).
+    pub bytes: u32,
+    /// Whether this is a write (writes consume bandwidth but produce no
+    /// response data; they still complete through the latency pipe so
+    /// write-backs can be ordered).
+    pub write: bool,
+}
+
+impl MemRequest {
+    /// A read of `bytes` bytes tagged `tag`.
+    pub fn read(tag: u64, bytes: u32) -> Self {
+        MemRequest {
+            tag,
+            bytes,
+            write: false,
+        }
+    }
+
+    /// A write of `bytes` bytes tagged `tag`.
+    pub fn write(tag: u64, bytes: u32) -> Self {
+        MemRequest {
+            tag,
+            bytes,
+            write: true,
+        }
+    }
+}
+
+/// Configuration of an off-chip memory device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmConfig {
+    /// Number of independent pseudo-channels.
+    pub channels: usize,
+    /// Service rate per channel, in bytes per accelerator cycle.
+    pub bytes_per_cycle_per_channel: f64,
+    /// Access latency in accelerator cycles (queueing excluded).
+    pub latency_cycles: u32,
+    /// Maximum outstanding requests per channel; `try_request` fails beyond
+    /// this depth, modelling finite AXI outstanding-transaction budgets.
+    pub queue_depth: usize,
+    /// Maximum extra latency, in cycles, added per request (uniform,
+    /// deterministic per seed). Real HBM latency varies with bank state and
+    /// refresh; simulators must produce identical *results* regardless —
+    /// the timing-independence property tests exercise this knob.
+    pub latency_jitter: u32,
+}
+
+impl HbmConfig {
+    /// Returns this configuration with latency jitter up to `jitter`
+    /// cycles.
+    pub fn with_jitter(self, jitter: u32) -> Self {
+        HbmConfig {
+            latency_jitter: jitter,
+            ..self
+        }
+    }
+}
+
+impl HbmConfig {
+    /// The U280's two HBM2 stacks: 32 pseudo-channels, 460 GB/s aggregate,
+    /// ~128 ns access latency. `clock_hz` is the accelerator clock the
+    /// byte-rate is expressed against (the paper uses 250 MHz).
+    pub fn u280(clock_hz: f64) -> Self {
+        Self::from_bandwidth(460.0e9, 32, clock_hz)
+    }
+
+    /// A single U280 HBM stack (one ScalaGraph tile's private stack):
+    /// 16 pseudo-channels, 230 GB/s.
+    pub fn u280_stack(clock_hz: f64) -> Self {
+        Self::from_bandwidth(230.0e9, 16, clock_hz)
+    }
+
+    /// A representative DDR4-2400 channel: 19.2 GB/s, one channel
+    /// (Section II-B's comparison point).
+    pub fn ddr4(clock_hz: f64) -> Self {
+        Self::from_bandwidth(19.2e9, 1, clock_hz)
+    }
+
+    /// An idealized memory with effectively unlimited bandwidth, used by the
+    /// >1,024-PE scalability study (Section V-E: "a cycle-accurate simulator
+    /// > ... with sufficient off-chip bandwidth").
+    pub fn unlimited(channels: usize) -> Self {
+        HbmConfig {
+            channels,
+            bytes_per_cycle_per_channel: 1.0e9,
+            latency_cycles: 32,
+            queue_depth: usize::MAX / 2,
+            latency_jitter: 0,
+        }
+    }
+
+    /// Builds a config from an aggregate bandwidth in bytes/second split
+    /// evenly over `channels`, relative to `clock_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` or `clock_hz <= 0`.
+    pub fn from_bandwidth(bytes_per_second: f64, channels: usize, clock_hz: f64) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        assert!(clock_hz > 0.0, "clock must be positive");
+        HbmConfig {
+            channels,
+            bytes_per_cycle_per_channel: bytes_per_second / channels as f64 / clock_hz,
+            latency_cycles: (128e-9 * clock_hz).round() as u32,
+            // Cover the latency-bandwidth product (~0.9 lines/cycle * 32
+            // cycles = 29 outstanding) with headroom, as HBM AXI masters
+            // are provisioned in practice.
+            queue_depth: 64,
+            latency_jitter: 0,
+        }
+    }
+
+    /// Aggregate bandwidth in bytes per cycle.
+    pub fn total_bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle_per_channel * self.channels as f64
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Channel {
+    pending: VecDeque<MemRequest>,
+    in_flight: VecDeque<(u64, MemRequest)>, // (ready_cycle, request)
+    ready: VecDeque<MemRequest>,
+    credit: f64,
+}
+
+/// Cumulative traffic statistics of a memory device.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemStats {
+    /// Bytes read (serviced).
+    pub bytes_read: u64,
+    /// Bytes written (serviced).
+    pub bytes_written: u64,
+    /// Read requests serviced.
+    pub reads: u64,
+    /// Write requests serviced.
+    pub writes: u64,
+    /// Cycles in which at least one channel serviced data.
+    pub busy_cycles: u64,
+    /// Total cycles stepped.
+    pub cycles: u64,
+}
+
+impl MemStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Achieved bandwidth as a fraction of the configured peak.
+    pub fn utilization(&self, config: &HbmConfig) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / (self.cycles as f64 * config.total_bytes_per_cycle())
+        }
+    }
+}
+
+/// A clocked multi-pseudo-channel memory device.
+///
+/// Per cycle, each channel accrues `bytes_per_cycle_per_channel` of service
+/// credit; queued requests are drained in order as credit allows, then
+/// complete `latency_cycles` later.
+#[derive(Debug, Clone)]
+pub struct Hbm {
+    config: HbmConfig,
+    channels: Vec<Channel>,
+    now: u64,
+    stats: MemStats,
+    /// Xorshift state for deterministic latency jitter.
+    jitter_state: u64,
+}
+
+impl Hbm {
+    /// Creates a memory device from a configuration.
+    pub fn new(config: HbmConfig) -> Self {
+        Hbm {
+            channels: vec![Channel::default(); config.channels],
+            config,
+            now: 0,
+            stats: MemStats::default(),
+            jitter_state: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        if self.config.latency_jitter == 0 {
+            return 0;
+        }
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        x % (self.config.latency_jitter as u64 + 1)
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &HbmConfig {
+        &self.config
+    }
+
+    /// Number of pseudo-channels.
+    pub fn num_channels(&self) -> usize {
+        self.config.channels
+    }
+
+    /// Enqueues a request on `channel`. Returns `false` (dropping nothing)
+    /// when the channel queue is full — the caller must retry next cycle,
+    /// exactly like a stalled AXI master.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range or `bytes == 0`.
+    pub fn try_request(&mut self, channel: usize, request: MemRequest) -> bool {
+        assert!(request.bytes > 0, "zero-byte memory request");
+        let ch = &mut self.channels[channel];
+        if ch.pending.len() + ch.in_flight.len() >= self.config.queue_depth {
+            return false;
+        }
+        ch.pending.push_back(request);
+        true
+    }
+
+    /// Whether `channel` can accept another request this cycle.
+    pub fn can_accept(&self, channel: usize) -> bool {
+        let ch = &self.channels[channel];
+        ch.pending.len() + ch.in_flight.len() < self.config.queue_depth
+    }
+
+    /// Advances the device by one cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        self.stats.cycles += 1;
+        let mut any_busy = false;
+        let base_latency = self.config.latency_cycles as u64;
+        let jitter_on = self.config.latency_jitter > 0;
+        for i in 0..self.channels.len() {
+            let jitter = if jitter_on { self.next_jitter() } else { 0 };
+            let ch = &mut self.channels[i];
+            // Service the head of the queue with this cycle's credit. Idle
+            // channels do not bank unbounded credit: cap carry-over at one
+            // cycle's worth so a long-idle channel cannot burst above peak.
+            if ch.pending.is_empty() {
+                ch.credit = ch.credit.min(self.config.bytes_per_cycle_per_channel);
+            }
+            ch.credit += self.config.bytes_per_cycle_per_channel;
+            while let Some(front) = ch.pending.front() {
+                if ch.credit < front.bytes as f64 {
+                    break;
+                }
+                ch.credit -= front.bytes as f64;
+                let req = ch.pending.pop_front().unwrap();
+                ch.in_flight
+                    .push_back((self.now + base_latency + jitter, req));
+                any_busy = true;
+            }
+            // Retire in-flight requests whose latency elapsed (zero-latency
+            // configurations complete in the same cycle they are serviced).
+            while ch
+                .in_flight
+                .front()
+                .is_some_and(|&(ready, _)| ready <= self.now)
+            {
+                let (_, req) = ch.in_flight.pop_front().unwrap();
+                if req.write {
+                    self.stats.bytes_written += req.bytes as u64;
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.bytes_read += req.bytes as u64;
+                    self.stats.reads += 1;
+                    ch.ready.push_back(req);
+                }
+            }
+        }
+        if any_busy {
+            self.stats.busy_cycles += 1;
+        }
+    }
+
+    /// Pops the next completed read on `channel`, if any.
+    pub fn pop_ready(&mut self, channel: usize) -> Option<MemRequest> {
+        self.channels[channel].ready.pop_front()
+    }
+
+    /// Whether every queue in the device is empty (no pending, in-flight, or
+    /// unconsumed responses).
+    pub fn is_idle(&self) -> bool {
+        self.channels
+            .iter()
+            .all(|c| c.pending.is_empty() && c.in_flight.is_empty() && c.ready.is_empty())
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Current cycle count.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> HbmConfig {
+        HbmConfig {
+            channels: 2,
+            bytes_per_cycle_per_channel: 64.0,
+            latency_cycles: 4,
+            queue_depth: 3,
+            latency_jitter: 0,
+        }
+    }
+
+    #[test]
+    fn read_completes_after_latency() {
+        let mut hbm = Hbm::new(tiny_config());
+        assert!(hbm.try_request(0, MemRequest::read(7, 64)));
+        // Serviced on cycle 1, ready at cycle 1 + 4.
+        for c in 1..=4 {
+            hbm.step();
+            assert!(hbm.pop_ready(0).is_none(), "ready too early at cycle {c}");
+        }
+        hbm.step();
+        assert_eq!(hbm.pop_ready(0).unwrap().tag, 7);
+        assert!(hbm.is_idle());
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        // 64 B/cycle, requests of 64 B: exactly one serviced per cycle.
+        let mut hbm = Hbm::new(HbmConfig {
+            queue_depth: 1000,
+            ..tiny_config()
+        });
+        for i in 0..10 {
+            assert!(hbm.try_request(0, MemRequest::read(i, 64)));
+        }
+        let mut completions = Vec::new();
+        for cycle in 1..=30 {
+            hbm.step();
+            while let Some(r) = hbm.pop_ready(0) {
+                completions.push((cycle, r.tag));
+            }
+        }
+        assert_eq!(completions.len(), 10);
+        // One completion per cycle once the pipe fills.
+        for w in completions.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, 1);
+        }
+    }
+
+    #[test]
+    fn half_rate_channel_services_every_other_cycle() {
+        let mut hbm = Hbm::new(HbmConfig {
+            channels: 1,
+            bytes_per_cycle_per_channel: 32.0,
+            latency_cycles: 0,
+            queue_depth: 100,
+            latency_jitter: 0,
+        });
+        for i in 0..4 {
+            hbm.try_request(0, MemRequest::read(i, 64));
+        }
+        let mut done = 0;
+        for _ in 0..8 {
+            hbm.step();
+            while hbm.pop_ready(0).is_some() {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 4, "32 B/cycle serves four 64 B lines in 8 cycles");
+    }
+
+    #[test]
+    fn queue_depth_back_pressure() {
+        let mut hbm = Hbm::new(tiny_config());
+        assert!(hbm.try_request(1, MemRequest::read(0, 64)));
+        assert!(hbm.try_request(1, MemRequest::read(1, 64)));
+        assert!(hbm.try_request(1, MemRequest::read(2, 64)));
+        assert!(!hbm.try_request(1, MemRequest::read(3, 64)));
+        assert!(!hbm.can_accept(1));
+        assert!(hbm.can_accept(0));
+    }
+
+    #[test]
+    fn writes_consume_bandwidth_but_produce_no_response() {
+        let mut hbm = Hbm::new(tiny_config());
+        hbm.try_request(0, MemRequest::write(9, 64));
+        for _ in 0..10 {
+            hbm.step();
+        }
+        assert!(hbm.pop_ready(0).is_none());
+        assert_eq!(hbm.stats().bytes_written, 64);
+        assert_eq!(hbm.stats().writes, 1);
+        assert!(hbm.is_idle());
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut hbm = Hbm::new(tiny_config());
+        hbm.try_request(0, MemRequest::read(0, 64));
+        hbm.try_request(1, MemRequest::read(1, 64));
+        for _ in 0..5 {
+            hbm.step();
+        }
+        assert_eq!(hbm.pop_ready(0).unwrap().tag, 0);
+        assert_eq!(hbm.pop_ready(1).unwrap().tag, 1);
+    }
+
+    #[test]
+    fn stats_utilization() {
+        let mut hbm = Hbm::new(HbmConfig {
+            queue_depth: 1000,
+            ..tiny_config()
+        });
+        for i in 0..8 {
+            hbm.try_request(0, MemRequest::read(i, 64));
+        }
+        for _ in 0..20 {
+            hbm.step();
+        }
+        let u = hbm.stats().utilization(hbm.config());
+        // 8 lines * 64 B over 20 cycles * 128 B/cycle peak = 0.2.
+        assert!((u - 0.2).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let u280 = HbmConfig::u280(250e6);
+        assert_eq!(u280.channels, 32);
+        assert!((u280.total_bytes_per_cycle() - 1840.0).abs() < 1.0);
+        assert_eq!(u280.latency_cycles, 32);
+        let ddr = HbmConfig::ddr4(250e6);
+        assert!((ddr.total_bytes_per_cycle() - 76.8).abs() < 0.1);
+        let unl = HbmConfig::unlimited(32);
+        assert!(unl.total_bytes_per_cycle() > 1e10);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let run = |jitter: u32| -> Vec<u64> {
+            let mut hbm = Hbm::new(tiny_config().with_jitter(jitter));
+            let mut completions = Vec::new();
+            let mut issued = 0u64;
+            for cycle in 1..=400u64 {
+                if issued < 20 && hbm.try_request(0, MemRequest::read(issued, 64)) {
+                    issued += 1;
+                }
+                hbm.step();
+                while hbm.pop_ready(0).is_some() {
+                    completions.push(cycle);
+                }
+            }
+            assert_eq!(completions.len(), 20, "jitter {jitter}: all must complete");
+            completions
+        };
+        let a = run(8);
+        let b = run(8);
+        assert_eq!(a, b, "same jitter config must be deterministic");
+        let c = run(0);
+        assert_ne!(a, c, "jitter must change completion timing");
+        // Jittered completions never beat the base latency.
+        for (i, &cycle) in c.iter().enumerate() {
+            assert!(a[i] >= cycle);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_byte_request_panics() {
+        let mut hbm = Hbm::new(tiny_config());
+        let _ = hbm.try_request(0, MemRequest::read(0, 0));
+    }
+}

@@ -1,0 +1,13 @@
+//! Cycle-level on-chip interconnect simulators (mesh, crossbar, Benes).
+//!
+//! Implemented in the modules below; see crate docs in each.
+
+pub mod butterfly;
+pub mod crossbar;
+pub mod mesh;
+pub mod stats;
+
+pub use butterfly::{BflyPacket, Butterfly};
+pub use crossbar::{Crossbar, CrossbarKind};
+pub use mesh::{Mesh, MeshConfig, Packet};
+pub use stats::NocStats;

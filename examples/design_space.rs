@@ -1,0 +1,60 @@
+//! Design-space exploration: how each of ScalaGraph's four co-designs
+//! contributes to performance on one workload — the kind of ablation a
+//! user would run before committing an accelerator configuration.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use scalagraph_suite::algo::algorithms::PageRank;
+use scalagraph_suite::graph::Dataset;
+use scalagraph_suite::scalagraph::{Mapping, ScalaGraphConfig, Simulator};
+
+fn main() {
+    let graph = Dataset::LiveJournal.generate(2048, 42);
+    let algo = PageRank::new(3);
+    println!(
+        "Ablating ScalaGraph-512 co-designs on LiveJournal/2048 ({} edges, PageRank x3)\n",
+        graph.num_edges()
+    );
+
+    let run = |name: &str, config: ScalaGraphConfig| {
+        let clock = config.effective_clock_mhz();
+        let r = Simulator::new(&algo, &graph, config).run();
+        println!(
+            "{name:<42} {:>9} cycles {:>7.2} GTEPS {:>11} NoC hops",
+            r.stats.cycles,
+            r.stats.gteps(clock),
+            r.stats.noc_hops
+        );
+        r.stats.cycles
+    };
+
+    let full = run("full ScalaGraph-512", ScalaGraphConfig::scalagraph_512());
+
+    let mut no_rom = ScalaGraphConfig::scalagraph_512();
+    no_rom.mapping = Mapping::SourceOriented;
+    run("- row-oriented mapping (SOM instead)", no_rom);
+
+    let mut no_agg = ScalaGraphConfig::scalagraph_512();
+    no_agg.aggregation_registers = 0;
+    run("- update aggregation (FIFO routers)", no_agg);
+
+    let mut no_sched = ScalaGraphConfig::scalagraph_512();
+    no_sched.max_scheduled_vertices = 1;
+    run("- degree-aware scheduling (1 vertex/cycle)", no_sched);
+
+    let mut no_pipe = ScalaGraphConfig::scalagraph_512();
+    no_pipe.inter_phase_pipelining = false;
+    run("- inter-phase pipelining", no_pipe);
+
+    let mut naive = ScalaGraphConfig::scalagraph_512();
+    naive.mapping = Mapping::SourceOriented;
+    naive.aggregation_registers = 0;
+    naive.max_scheduled_vertices = 1;
+    naive.inter_phase_pipelining = false;
+    let worst = run("naive mesh (all co-designs off)", naive);
+
+    println!(
+        "\nThe co-designs together buy {:.1}x over a naive distributed design.",
+        worst as f64 / full as f64
+    );
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Rebuilds the quoted output blocks in EXPERIMENTS.md from out/experiments/.
+
+Run scripts/run_all_experiments.sh first. Prose and the headline table are
+kept; only the fenced code blocks following each "## <title> (`--bin X`)"
+heading are replaced with the fresh capture of X.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "out" / "experiments"
+MD = ROOT / "EXPERIMENTS.md"
+
+
+def main() -> int:
+    text = MD.read_text()
+    # Find headings that name a regenerator binary, then replace the next
+    # fenced block.
+    pattern = re.compile(r"\(`--bin (\w+)`\)(.*?)```\n(.*?)```", re.S)
+
+    def sub(m: re.Match) -> str:
+        name, prose, _old = m.groups()
+        path = OUT / f"{name}.txt"
+        if not path.exists():
+            print(f"  (no fresh capture for {name}, keeping old block)")
+            return m.group(0)
+        fresh = path.read_text().strip()
+        print(f"  refreshed {name}")
+        return f"(`--bin {name}`){prose}```\n{fresh}\n```"
+
+    MD.write_text(pattern.sub(sub, text))
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (plus the extension
+# experiments) into out/experiments/. Scale can be overridden per run:
+#   SCALAGRAPH_SCALE=256 scripts/run_all_experiments.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out=out/experiments
+mkdir -p "$out"
+bins=(tables_1_3 fig4 fig6 fig8 table2 fig14 fig15 fig16 fig17 fig18 \
+      fig19a fig19b fig20 fig21 table4 ext_noc ext_reorder)
+for b in "${bins[@]}"; do
+    echo "== $b"
+    cargo run --release -q -p scalagraph-bench --bin "$b" > "$out/$b.txt"
+done
+echo "All experiment outputs written to $out/"

@@ -1,0 +1,199 @@
+//! `scalagraph-sim` — command-line driver for the ScalaGraph simulator.
+//!
+//! Runs one of the paper's algorithms on a dataset stand-in, a SNAP-format
+//! edge-list file, or a binary CSR, on a configurable accelerator, and
+//! prints the performance counters.
+//!
+//! ```text
+//! scalagraph-sim [options]
+//!   --algo <bfs|sssp|cc|pagerank>   algorithm            [bfs]
+//!   --graph <PK|LJ|OR|RM|TW|FL>     dataset stand-in     [PK]
+//!   --file <path>                   edge-list file instead of a stand-in
+//!   --csr <path>                    binary CSR file instead of a stand-in
+//!   --scale <divisor>               stand-in down-scale  [2048]
+//!   --pes <n>                       PE count (multiple of 32) [512]
+//!   --mapping <som|dom|rom>         workload mapping     [rom]
+//!   --agg <n>                       aggregation registers [16]
+//!   --sched <n>                     degree-aware width 1..=16 [16]
+//!   --no-pipeline                   disable inter-phase pipelining
+//!   --iters <n>                     PageRank iterations  [5]
+//!   --seed <n>                      generator seed       [42]
+//!   --baseline                      also run the GraphDynS-128 baseline
+//! ```
+
+use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
+use scalagraph_suite::algo::Algorithm;
+use scalagraph_suite::baselines::{GraphDyns, GraphDynsConfig};
+use scalagraph_suite::graph::{io, Csr, Dataset, EdgeList};
+use scalagraph_suite::scalagraph::{Mapping, ScalaGraphConfig, SimResult, Simulator};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    eprintln!("{}", include_str!("scalagraph-sim.rs").lines()
+        .skip(2)
+        .take_while(|l| l.starts_with("//!"))
+        .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
+        .collect::<Vec<_>>()
+        .join("\n"));
+    exit(2)
+}
+
+fn parse_args() -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let key = match a.strip_prefix("--") {
+            Some(k) => k.to_string(),
+            None => usage_and_exit(&format!("unexpected argument `{a}`")),
+        };
+        match key.as_str() {
+            "no-pipeline" | "baseline" => {
+                map.insert(key, "true".into());
+            }
+            _ => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_and_exit(&format!("--{key} needs a value")));
+                map.insert(key, v);
+            }
+        }
+    }
+    map
+}
+
+fn load_graph(args: &HashMap<String, String>, weighted: bool, symmetric: bool) -> Csr {
+    let seed: u64 = args.get("seed").map_or(42, |s| s.parse().unwrap_or(42));
+    let scale: u64 = args.get("scale").map_or(2048, |s| s.parse().unwrap_or(2048));
+    let mut list: EdgeList = if let Some(path) = args.get("csr") {
+        let g = io::read_csr_binary(path).unwrap_or_else(|e| usage_and_exit(&format!("{e}")));
+        if !weighted && !symmetric {
+            return g;
+        }
+        let mut l = EdgeList::new(g.num_vertices());
+        for e in g.edges() {
+            l.push(e);
+        }
+        l
+    } else if let Some(path) = args.get("file") {
+        io::read_edge_list(path, None).unwrap_or_else(|e| usage_and_exit(&format!("{e}")))
+    } else {
+        let name = args.get("graph").map(String::as_str).unwrap_or("PK");
+        let dataset = Dataset::ALL
+            .iter()
+            .find(|d| d.spec().abbrev.eq_ignore_ascii_case(name))
+            .copied()
+            .unwrap_or_else(|| usage_and_exit(&format!("unknown dataset `{name}`")));
+        dataset.edge_list(scale, seed)
+    };
+    if symmetric {
+        list.symmetrize();
+    }
+    if weighted {
+        list.randomize_weights(255, seed.wrapping_add(1));
+    }
+    Csr::from_edge_list(&list)
+}
+
+fn build_config(args: &HashMap<String, String>) -> ScalaGraphConfig {
+    let pes: usize = args.get("pes").map_or(512, |s| s.parse().unwrap_or(512));
+    let mut cfg = ScalaGraphConfig::with_pes(pes);
+    if let Some(m) = args.get("mapping") {
+        cfg.mapping = match m.to_ascii_lowercase().as_str() {
+            "som" => Mapping::SourceOriented,
+            "dom" => Mapping::DestinationOriented,
+            "rom" => Mapping::RowOriented,
+            other => usage_and_exit(&format!("unknown mapping `{other}`")),
+        };
+    }
+    if let Some(a) = args.get("agg") {
+        cfg.aggregation_registers = a.parse().unwrap_or(16);
+    }
+    if let Some(s) = args.get("sched") {
+        cfg.max_scheduled_vertices = s.parse().unwrap_or(16);
+    }
+    if args.contains_key("no-pipeline") {
+        cfg.inter_phase_pipelining = false;
+    }
+    cfg
+}
+
+fn report<P>(label: &str, result: &SimResult<P>, clock_mhz: f64) {
+    let s = result.stats;
+    println!("\n[{label}] @ {clock_mhz:.0} MHz");
+    println!("  iterations        : {}", s.iterations);
+    println!("  cycles            : {}", s.cycles);
+    println!("  time              : {:.3} ms", s.seconds(clock_mhz) * 1e3);
+    println!("  traversed edges   : {}", s.traversed_edges);
+    println!("  throughput        : {:.3} GTEPS", s.gteps(clock_mhz));
+    println!("  PE utilization    : {:.1}%", s.pe_utilization() * 100.0);
+    println!("  NoC hops          : {}", s.noc_hops);
+    println!("  routing latency   : {:.1} cycles", s.avg_routing_latency());
+    println!("  aggregation merges: {}", s.agg_merges);
+    println!("  off-chip traffic  : {:.2} MB", s.offchip_bytes() as f64 / 1e6);
+    println!("  slices            : {}", s.slices);
+    println!("  pipelining engaged: {}", s.inter_phase_used);
+}
+
+fn run_all<A: Algorithm>(algo: &A, graph: &Csr, args: &HashMap<String, String>) {
+    let cfg = build_config(args);
+    let clock = cfg.effective_clock_mhz();
+    let pes = cfg.placement.num_pes();
+    let result = Simulator::new(algo, graph, cfg).run();
+    report(&format!("ScalaGraph-{pes} {}", algo.name()), &result, clock);
+    if args.contains_key("baseline") {
+        let gd_cfg = GraphDynsConfig::graphdyns_128();
+        let gd_clock = gd_cfg.effective_clock_mhz();
+        let gd = GraphDyns::new(gd_cfg).run(algo, graph);
+        report(&format!("GraphDynS-128 {}", algo.name()), &gd, gd_clock);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let algo_name = args.get("algo").map(String::as_str).unwrap_or("bfs");
+    let iters: usize = args.get("iters").map_or(5, |s| s.parse().unwrap_or(5));
+
+    match algo_name.to_ascii_lowercase().as_str() {
+        "bfs" => {
+            let graph = load_graph(&args, false, false);
+            let root = Dataset::pick_root(&graph);
+            println!(
+                "BFS from hub {root} on |V|={} |E|={}",
+                graph.num_vertices(),
+                graph.num_edges()
+            );
+            run_all(&Bfs::from_root(root), &graph, &args);
+        }
+        "sssp" => {
+            let graph = load_graph(&args, true, false);
+            let root = Dataset::pick_root(&graph);
+            println!(
+                "SSSP from hub {root} on |V|={} |E|={}",
+                graph.num_vertices(),
+                graph.num_edges()
+            );
+            run_all(&Sssp::from_root(root), &graph, &args);
+        }
+        "cc" => {
+            let graph = load_graph(&args, false, true);
+            println!(
+                "CC on symmetrized |V|={} |E|={}",
+                graph.num_vertices(),
+                graph.num_edges()
+            );
+            run_all(&ConnectedComponents::new(), &graph, &args);
+        }
+        "pagerank" | "pr" => {
+            let graph = load_graph(&args, false, false);
+            println!(
+                "PageRank({iters}) on |V|={} |E|={}",
+                graph.num_vertices(),
+                graph.num_edges()
+            );
+            run_all(&PageRank::new(iters), &graph, &args);
+        }
+        other => usage_and_exit(&format!("unknown algorithm `{other}`")),
+    }
+}

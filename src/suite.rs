@@ -1,0 +1,13 @@
+//! Umbrella crate for the ScalaGraph reproduction workspace.
+//!
+//! This crate exists to host the repository-level [examples](https://github.com/scalagraph)
+//! and cross-crate integration tests. All functionality lives in the member
+//! crates re-exported below.
+
+pub use scalagraph;
+pub use scalagraph_algo as algo;
+pub use scalagraph_baselines as baselines;
+pub use scalagraph_graph as graph;
+pub use scalagraph_hwmodel as hwmodel;
+pub use scalagraph_mem as mem;
+pub use scalagraph_noc as noc;

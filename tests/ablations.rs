@@ -1,0 +1,185 @@
+//! Directional tests for the paper's four co-designs: each mechanism must
+//! (a) preserve algorithm results and (b) move the metric the paper says
+//! it moves.
+
+use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, PageRank};
+use scalagraph_suite::algo::ReferenceEngine;
+use scalagraph_suite::graph::{generators, Csr, Dataset, EdgeList};
+use scalagraph_suite::scalagraph::{run_on, Mapping, ScalaGraphConfig};
+
+fn pagerank_graph() -> Csr {
+    Csr::from_edges(800, &generators::power_law(800, 12_000, 0.8, 3))
+}
+
+#[test]
+fn rom_beats_som_on_noc_traffic_and_som_beats_nothing() {
+    let g = pagerank_graph();
+    let algo = PageRank::new(2);
+    let mut hops = Vec::new();
+    for mapping in [Mapping::SourceOriented, Mapping::RowOriented] {
+        let mut cfg = ScalaGraphConfig::with_pes(64);
+        cfg.mapping = mapping;
+        hops.push(run_on(&algo, &g, cfg).stats.noc_hops);
+    }
+    let (som, rom) = (hops[0], hops[1]);
+    assert!(
+        (rom as f64) < 0.8 * som as f64,
+        "ROM must cut traffic substantially: SOM {som}, ROM {rom}"
+    );
+}
+
+#[test]
+fn dom_has_no_scatter_traffic_but_pays_in_apply() {
+    let g = pagerank_graph();
+    let algo = PageRank::new(2);
+    let mut cfg = ScalaGraphConfig::with_pes(64);
+    cfg.mapping = Mapping::DestinationOriented;
+    let dom = run_on(&algo, &g, cfg);
+    // All DOM hops come from replica broadcasts: a multiple of (K-1).
+    assert_eq!(dom.stats.noc_hops % 63, 0);
+    assert_eq!(dom.stats.noc_hops / 63, dom.stats.activations);
+}
+
+#[test]
+fn aggregation_register_sweep_is_monotone_in_traffic() {
+    let g = pagerank_graph();
+    let algo = PageRank::new(2);
+    let mut last = u64::MAX;
+    for regs in [0usize, 4, 16] {
+        let mut cfg = ScalaGraphConfig::with_pes(64);
+        cfg.aggregation_registers = regs;
+        let m = run_on(&algo, &g, cfg);
+        // Near-monotone: merge opportunities depend on exact timing, so a
+        // 1% tolerance covers scheduling noise between register counts.
+        assert!(
+            m.stats.noc_hops as f64 <= last as f64 * 1.01,
+            "{regs} registers increased traffic: {} > {last}",
+            m.stats.noc_hops
+        );
+        last = m.stats.noc_hops.min(last);
+    }
+}
+
+#[test]
+fn aggregation_preserves_pagerank_mass() {
+    let g = pagerank_graph();
+    let algo = PageRank::new(3);
+    for regs in [0usize, 16] {
+        let mut cfg = ScalaGraphConfig::with_pes(64);
+        cfg.aggregation_registers = regs;
+        let m = run_on(&algo, &g, cfg);
+        let total: f32 = m.properties.iter().sum();
+        // Rank mass leaks only through sinks; with this generator most
+        // vertices have out-edges, so mass stays near 1.
+        assert!((0.5..=1.01).contains(&total), "regs {regs}: mass {total}");
+    }
+}
+
+#[test]
+fn degree_aware_scheduling_helps_low_degree_graphs_most() {
+    // A graph of only degree-2 vertices: the worst case for single-vertex
+    // dispatch.
+    let mut list = EdgeList::new(2000);
+    for v in 0..2000u32 {
+        list.push(scalagraph_suite::graph::Edge::new(v, (v + 1) % 2000));
+        list.push(scalagraph_suite::graph::Edge::new(v, (v + 7) % 2000));
+    }
+    let g = Csr::from_edge_list(&list);
+    let algo = PageRank::new(2);
+    let mut narrow = ScalaGraphConfig::with_pes(64);
+    narrow.max_scheduled_vertices = 1;
+    let mut wide = ScalaGraphConfig::with_pes(64);
+    wide.max_scheduled_vertices = 16;
+    let slow = run_on(&algo, &g, narrow);
+    let fast = run_on(&algo, &g, wide);
+    assert!(
+        fast.stats.cycles * 12 < slow.stats.cycles * 10,
+        "16-wide must be >1.2x faster on degree-2 graph: {} vs {}",
+        fast.stats.cycles,
+        slow.stats.cycles
+    );
+}
+
+#[test]
+fn inter_phase_pipelining_is_disabled_for_pagerank_and_sliced_runs() {
+    let g = pagerank_graph();
+    let pr = run_on(&PageRank::new(2), &g, ScalaGraphConfig::with_pes(32));
+    assert!(!pr.stats.inter_phase_used, "non-monotonic must not pipeline");
+
+    let mut sliced = ScalaGraphConfig::with_pes(32);
+    sliced.spd_capacity_vertices = 100;
+    let cc = run_on(&ConnectedComponents::new(), &g, sliced);
+    assert!(!cc.stats.inter_phase_used, "sliced runs must not pipeline");
+    assert!(cc.stats.slices > 1);
+}
+
+#[test]
+fn inter_phase_pipelining_speeds_up_cc() {
+    let mut list = EdgeList::new(600);
+    for e in generators::uniform(600, 4000, 9) {
+        list.push(e);
+    }
+    list.symmetrize();
+    let g = Csr::from_edge_list(&list);
+    let algo = ConnectedComponents::new();
+    let golden = ReferenceEngine::new().run(&algo, &g);
+    let mut on = ScalaGraphConfig::with_pes(64);
+    on.inter_phase_pipelining = true;
+    let mut off = on.clone();
+    off.inter_phase_pipelining = false;
+    let fast = run_on(&algo, &g, on);
+    let slow = run_on(&algo, &g, off);
+    assert_eq!(fast.properties, golden.properties);
+    assert_eq!(slow.properties, golden.properties);
+    assert!(
+        fast.stats.cycles < slow.stats.cycles,
+        "pipelining must save cycles: {} vs {}",
+        fast.stats.cycles,
+        slow.stats.cycles
+    );
+}
+
+#[test]
+fn wider_links_never_slow_the_machine() {
+    let g = pagerank_graph();
+    let algo = PageRank::new(2);
+    let mut narrow = ScalaGraphConfig::with_pes(64);
+    narrow.link_width = 1;
+    let mut wide = ScalaGraphConfig::with_pes(64);
+    wide.link_width = 8;
+    let n = run_on(&algo, &g, narrow);
+    let w = run_on(&algo, &g, wide);
+    assert!(w.stats.cycles <= n.stats.cycles);
+}
+
+#[test]
+fn every_ablation_produces_identical_bfs_results() {
+    let g = Csr::from_edges(500, &generators::power_law(500, 4000, 0.9, 13));
+    let root = Dataset::pick_root(&g);
+    let algo = Bfs::from_root(root);
+    let golden = ReferenceEngine::new().run(&algo, &g);
+    let mut configs = Vec::new();
+    for mapping in Mapping::ALL {
+        for regs in [0usize, 16] {
+            for width in [1usize, 16] {
+                for pipe in [false, true] {
+                    let mut cfg = ScalaGraphConfig::with_pes(32);
+                    cfg.mapping = mapping;
+                    cfg.aggregation_registers = regs;
+                    cfg.max_scheduled_vertices = width;
+                    cfg.inter_phase_pipelining = pipe;
+                    configs.push(cfg);
+                }
+            }
+        }
+    }
+    for cfg in configs {
+        let label = format!(
+            "{} regs={} width={} pipe={}",
+            cfg.mapping, cfg.aggregation_registers, cfg.max_scheduled_vertices,
+            cfg.inter_phase_pipelining
+        );
+        let sim = run_on(&algo, &g, cfg);
+        assert_eq!(sim.properties, golden.properties, "{label}");
+    }
+}

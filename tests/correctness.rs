@@ -1,0 +1,142 @@
+//! Cross-system correctness: every simulator (ScalaGraph, GraphDynS,
+//! Gunrock model) must produce results identical to the golden reference
+//! engine, for every algorithm, across graph families.
+
+use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
+use scalagraph_suite::algo::{Algorithm, ReferenceEngine};
+use scalagraph_suite::baselines::{GraphDyns, GraphDynsConfig, GunrockModel};
+use scalagraph_suite::graph::{generators, Csr, Dataset, EdgeList};
+use scalagraph_suite::scalagraph::{run_on, ScalaGraphConfig};
+
+fn families(seed: u64) -> Vec<(&'static str, Csr)> {
+    vec![
+        (
+            "uniform",
+            Csr::from_edges(400, &generators::uniform(400, 3000, seed)),
+        ),
+        (
+            "power_law",
+            Csr::from_edges(400, &generators::power_law(400, 3000, 0.85, seed)),
+        ),
+        ("tree", Csr::from_edges(255, &generators::binary_tree(255))),
+        ("grid", Csr::from_edges(144, &generators::grid(12, 12))),
+        ("star", Csr::from_edges(200, &generators::star(200))),
+        ("path", Csr::from_edges(120, &generators::path(120))),
+    ]
+}
+
+fn check_exact<A: Algorithm<Prop = u32>>(algo: &A, graph: &Csr, label: &str) {
+    let golden = ReferenceEngine::new().run(algo, graph);
+    let sg = run_on(algo, graph, ScalaGraphConfig::with_pes(32));
+    assert_eq!(sg.properties, golden.properties, "scalagraph {label}");
+    let gd = GraphDyns::new(GraphDynsConfig::with_pes(32)).run(algo, graph);
+    assert_eq!(gd.properties, golden.properties, "graphdyns {label}");
+    let gpu = GunrockModel::v100().run(algo, graph);
+    assert_eq!(gpu.properties, golden.properties, "gunrock {label}");
+}
+
+#[test]
+fn bfs_exact_on_all_families() {
+    for (name, g) in families(1) {
+        check_exact(&Bfs::from_root(0), &g, name);
+    }
+}
+
+#[test]
+fn sssp_exact_on_weighted_families() {
+    for (name, g) in families(2) {
+        let mut list = EdgeList::new(g.num_vertices());
+        for e in g.edges() {
+            list.push(e);
+        }
+        list.randomize_weights(255, 7);
+        let weighted = Csr::from_edge_list(&list);
+        check_exact(&Sssp::from_root(0), &weighted, name);
+    }
+}
+
+#[test]
+fn cc_exact_on_symmetrized_families() {
+    for (name, g) in families(3) {
+        let mut list = EdgeList::new(g.num_vertices());
+        for e in g.edges() {
+            list.push(e);
+        }
+        list.symmetrize();
+        let sym = Csr::from_edge_list(&list);
+        check_exact(&ConnectedComponents::new(), &sym, name);
+    }
+}
+
+#[test]
+fn pagerank_close_on_all_families() {
+    let algo = PageRank::new(4);
+    for (name, g) in families(4) {
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let sg = run_on(&algo, &g, ScalaGraphConfig::with_pes(32));
+        let gd = GraphDyns::new(GraphDynsConfig::with_pes(32)).run(&algo, &g);
+        for (i, (&a, &b)) in sg.properties.iter().zip(&golden.properties).enumerate() {
+            assert!((a - b).abs() < 1e-4, "scalagraph {name} vertex {i}: {a} vs {b}");
+        }
+        for (i, (&a, &b)) in gd.properties.iter().zip(&golden.properties).enumerate() {
+            assert!((a - b).abs() < 1e-4, "graphdyns {name} vertex {i}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn dataset_standins_run_correctly_on_scalagraph() {
+    for dataset in [Dataset::Pokec, Dataset::Rmat24] {
+        let g = dataset.generate(16384, 5);
+        let root = Dataset::pick_root(&g);
+        let algo = Bfs::from_root(root);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let sim = run_on(&algo, &g, ScalaGraphConfig::with_pes(64));
+        assert_eq!(sim.properties, golden.properties, "{dataset}");
+        assert_eq!(sim.stats.traversed_edges, golden.traversed_edges, "{dataset}");
+    }
+}
+
+#[test]
+fn frontier_evolution_matches_reference() {
+    let g = Csr::from_edges(300, &generators::power_law(300, 2500, 0.8, 11));
+    let algo = Bfs::from_root(Dataset::pick_root(&g));
+    let golden = ReferenceEngine::new().run(&algo, &g);
+    let mut cfg = ScalaGraphConfig::with_pes(32);
+    cfg.inter_phase_pipelining = false; // pipelining may legally converge faster
+    let sim = run_on(&algo, &g, cfg);
+    assert_eq!(sim.frontier_sizes, golden.frontier_sizes);
+}
+
+#[test]
+fn disconnected_graph_all_systems() {
+    // Two islands; BFS from island A must not touch island B.
+    let mut list = EdgeList::new(60);
+    for e in generators::binary_tree(30) {
+        list.push(e);
+    }
+    for e in generators::binary_tree(30) {
+        list.push(scalagraph_suite::graph::Edge::new(e.src + 30, e.dst + 30));
+    }
+    let g = Csr::from_edge_list(&list);
+    check_exact(&Bfs::from_root(0), &g, "islands");
+    let sg = run_on(&Bfs::from_root(0), &g, ScalaGraphConfig::with_pes(32));
+    assert!(sg.properties[30..].iter().all(|&l| l == u32::MAX));
+}
+
+#[test]
+fn widest_path_matches_reference_on_simulator() {
+    use scalagraph_suite::algo::algorithms::WidestPath;
+    let mut list = EdgeList::new(300);
+    for e in generators::uniform(300, 2500, 19) {
+        list.push(e);
+    }
+    list.randomize_weights(255, 21);
+    let g = Csr::from_edge_list(&list);
+    let algo = WidestPath::from_root(0);
+    let golden = ReferenceEngine::new().run(&algo, &g);
+    let sim = run_on(&algo, &g, ScalaGraphConfig::with_pes(32));
+    assert_eq!(sim.properties, golden.properties);
+    let sim512 = run_on(&algo, &g, ScalaGraphConfig::scalagraph_512());
+    assert_eq!(sim512.properties, golden.properties);
+}

@@ -1,0 +1,379 @@
+//! Property-based tests (proptest) on the invariants the whole stack rests
+//! on: CSR structure, re-layout permutations, NoC delivery, aggregation
+//! conservation laws, algorithm lattices, and simulator/reference
+//! equivalence under randomized graphs and configurations.
+
+use proptest::prelude::*;
+use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, Sssp, UNREACHED};
+use scalagraph_suite::algo::ReferenceEngine;
+use scalagraph_suite::graph::{relayout, Csr, Edge, EdgeList};
+use scalagraph_suite::noc::{Mesh, MeshConfig, Packet};
+use scalagraph_suite::scalagraph::aggregate::AggregationBuffer;
+use scalagraph_suite::scalagraph::{run_on, Mapping, ScalaGraphConfig};
+
+fn arb_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = Csr> {
+    (2..max_v).prop_flat_map(move |v| {
+        prop::collection::vec((0..v as u32, 0..v as u32, 0u32..256), 1..max_e)
+            .prop_map(move |triples| {
+                let edges: Vec<Edge> = triples
+                    .into_iter()
+                    .map(|(s, d, w)| Edge::weighted(s, d, w))
+                    .collect();
+                Csr::from_edges(v, &edges)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_roundtrips_through_edge_iterator(g in arb_graph(80, 400)) {
+        let edges: Vec<Edge> = g.edges().collect();
+        let g2 = Csr::from_edges(g.num_vertices(), &edges);
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn csr_offsets_are_consistent(g in arb_graph(80, 400)) {
+        let mut total = 0usize;
+        for v in g.vertices() {
+            prop_assert_eq!(g.neighbors(v).len(), g.out_degree(v));
+            total += g.out_degree(v);
+        }
+        prop_assert_eq!(total, g.num_edges());
+        let ind: u32 = g.in_degrees().iter().sum();
+        prop_assert_eq!(ind as usize, g.num_edges());
+    }
+
+    #[test]
+    fn relayout_is_adjacency_preserving(g in arb_graph(60, 300), lanes in 1usize..20) {
+        let mut after = g.clone();
+        relayout::degree_aware_relayout(&mut after, lanes, |v| (v as usize) % lanes);
+        for v in g.vertices() {
+            let mut a = g.neighbors(v).to_vec();
+            let mut b = after.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mesh_delivers_exactly_once(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        routes in prop::collection::vec((0usize..25, 0usize..25), 1..40)
+    ) {
+        let n = rows * cols;
+        let mut mesh = Mesh::new(MeshConfig::new(rows, cols));
+        let mut to_send: Vec<(usize, Packet)> = routes
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d))| {
+                (s % n, Packet { dst: d % n, payload: i as u64, inject_cycle: 0 })
+            })
+            .collect();
+        let total = to_send.len() as u64;
+        let mut got = Vec::new();
+        for _ in 0..10_000 {
+            let mut rest = Vec::new();
+            for (src, pkt) in to_send.drain(..) {
+                if !mesh.try_inject(src, pkt) {
+                    rest.push((src, pkt));
+                }
+            }
+            to_send = rest;
+            mesh.step();
+            for node in 0..n {
+                while let Some(p) = mesh.pop_delivered(node) {
+                    prop_assert_eq!(p.dst, node);
+                    got.push(p.payload);
+                }
+            }
+            if to_send.is_empty() && mesh.in_flight_empty() {
+                break;
+            }
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got.len() as u64, total);
+        for (i, &p) in got.iter().enumerate() {
+            prop_assert_eq!(p, i as u64);
+        }
+    }
+
+    #[test]
+    fn aggregation_conserves_sums(
+        regs in 0usize..20,
+        stream in prop::collection::vec((0u32..32, 1u64..1000), 1..200)
+    ) {
+        let mut agg: AggregationBuffer<u64> = AggregationBuffer::new(regs);
+        let mut injected = 0u64;
+        for &(dst, val) in &stream {
+            agg.push(dst, val, |a, b| a + b);
+            injected += val;
+        }
+        let mut drained = 0u64;
+        while let Some(u) = agg.drain_one() {
+            drained += u.value;
+        }
+        prop_assert_eq!(drained, injected);
+    }
+
+    #[test]
+    fn aggregation_min_never_invents_values(
+        regs in 0usize..20,
+        stream in prop::collection::vec((0u32..16, 0u32..1000), 1..100)
+    ) {
+        let mut agg: AggregationBuffer<u32> = AggregationBuffer::new(regs);
+        for &(dst, val) in &stream {
+            agg.push(dst, val, |a, b| a.min(b));
+        }
+        while let Some(u) = agg.drain_one() {
+            prop_assert!(
+                stream.iter().any(|&(d, v)| d == u.dst && v >= u.value),
+                "drained ({}, {}) has no witness", u.dst, u.value
+            );
+            prop_assert!(stream.iter().filter(|&&(d, _)| d == u.dst)
+                .map(|&(_, v)| v).min().unwrap() <= u.value);
+        }
+    }
+
+    #[test]
+    fn bfs_levels_satisfy_edge_relaxation(g in arb_graph(60, 300)) {
+        let run = ReferenceEngine::new().run(&Bfs::from_root(0), &g);
+        for e in g.edges() {
+            let (ls, ld) = (run.properties[e.src as usize], run.properties[e.dst as usize]);
+            if ls != UNREACHED {
+                prop_assert!(ld <= ls + 1, "edge ({},{}) violates BFS: {} -> {}", e.src, e.dst, ls, ld);
+            }
+        }
+        prop_assert_eq!(run.properties[0], 0);
+    }
+
+    #[test]
+    fn sssp_distances_satisfy_triangle_inequality(g in arb_graph(50, 250)) {
+        let run = ReferenceEngine::new().run(&Sssp::from_root(0), &g);
+        for v in g.vertices() {
+            for (i, &dst) in g.neighbors(v).iter().enumerate() {
+                let w = g.edge_weights(v).map(|ws| ws[i]).unwrap_or(0);
+                let (ds, dd) = (run.properties[v as usize], run.properties[dst as usize]);
+                if ds != UNREACHED {
+                    prop_assert!(dd <= ds.saturating_add(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cc_labels_are_class_consistent(g in arb_graph(40, 200)) {
+        let mut list = EdgeList::new(g.num_vertices());
+        for e in g.edges() {
+            list.push(e);
+        }
+        list.symmetrize();
+        let sym = Csr::from_edge_list(&list);
+        let run = ReferenceEngine::new().run(&ConnectedComponents::new(), &sym);
+        // Neighbors share a label, and each label is the minimum id of its
+        // class (so it names a real vertex inside the class).
+        for e in sym.edges() {
+            prop_assert_eq!(run.properties[e.src as usize], run.properties[e.dst as usize]);
+        }
+        for (v, &label) in run.properties.iter().enumerate() {
+            prop_assert!(label as usize <= v);
+            prop_assert_eq!(run.properties[label as usize], label);
+        }
+    }
+
+    #[test]
+    fn simulator_equals_reference_on_random_graphs_and_configs(
+        g in arb_graph(60, 400),
+        pes_pow in 0u32..3,
+        mapping_idx in 0usize..3,
+        regs in 0usize..20,
+        width in 1usize..17,
+        pipe in any::<bool>(),
+    ) {
+        let algo = Bfs::from_root(0);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let mut cfg = ScalaGraphConfig::with_pes(32 << pes_pow);
+        cfg.mapping = Mapping::ALL[mapping_idx];
+        cfg.aggregation_registers = regs;
+        cfg.max_scheduled_vertices = width;
+        cfg.inter_phase_pipelining = pipe;
+        let sim = run_on(&algo, &g, cfg);
+        prop_assert_eq!(sim.properties, golden.properties);
+    }
+
+    #[test]
+    fn sliced_simulator_equals_reference(
+        g in arb_graph(60, 300),
+        capacity in 5usize..40,
+    ) {
+        let algo = Bfs::from_root(0);
+        let golden = ReferenceEngine::new().run(&algo, &g);
+        let mut cfg = ScalaGraphConfig::with_pes(32);
+        cfg.spd_capacity_vertices = capacity;
+        let sim = run_on(&algo, &g, cfg);
+        prop_assert_eq!(sim.properties, golden.properties);
+    }
+}
+
+use scalagraph_suite::noc::{BflyPacket, Butterfly, Crossbar, CrossbarKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn torus_delivers_exactly_once(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        routes in prop::collection::vec((0usize..25, 0usize..25), 1..40)
+    ) {
+        let n = rows * cols;
+        let mut mesh = Mesh::new(MeshConfig::torus(rows, cols));
+        let mut to_send: Vec<(usize, Packet)> = routes
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d))| {
+                (s % n, Packet { dst: d % n, payload: i as u64, inject_cycle: 0 })
+            })
+            .collect();
+        let total = to_send.len() as u64;
+        let mut got = Vec::new();
+        for _ in 0..20_000 {
+            let mut rest = Vec::new();
+            for (src, pkt) in to_send.drain(..) {
+                if !mesh.try_inject(src, pkt) {
+                    rest.push((src, pkt));
+                }
+            }
+            to_send = rest;
+            mesh.step();
+            for node in 0..n {
+                while let Some(p) = mesh.pop_delivered(node) {
+                    prop_assert_eq!(p.dst, node);
+                    got.push(p.payload);
+                }
+            }
+            if to_send.is_empty() && mesh.in_flight_empty() {
+                break;
+            }
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got.len() as u64, total, "torus dropped or duplicated packets");
+    }
+
+    #[test]
+    fn butterfly_delivers_exactly_once(
+        log_ports in 1u32..5,
+        routes in prop::collection::vec((0usize..16, 0usize..16), 1..50)
+    ) {
+        let ports = 1usize << log_ports;
+        let mut net = Butterfly::new(ports);
+        let mut to_send: Vec<(usize, BflyPacket)> = routes
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d))| {
+                (s % ports, BflyPacket { dst: d % ports, payload: i as u64, inject_cycle: 0 })
+            })
+            .collect();
+        let total = to_send.len() as u64;
+        let mut got = Vec::new();
+        for _ in 0..20_000 {
+            let mut rest = Vec::new();
+            for (src, pkt) in to_send.drain(..) {
+                if !net.try_inject(src, pkt) {
+                    rest.push((src, pkt));
+                }
+            }
+            to_send = rest;
+            net.step();
+            for port in 0..ports {
+                while let Some(p) = net.pop_delivered(port) {
+                    prop_assert_eq!(p.dst, port);
+                    got.push(p.payload);
+                }
+            }
+            if to_send.is_empty() && net.in_flight_empty() {
+                break;
+            }
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got.len() as u64, total, "butterfly dropped or duplicated packets");
+    }
+
+    #[test]
+    fn crossbar_delivers_exactly_once_in_both_flavors(
+        inputs in 1usize..9,
+        outputs in 1usize..9,
+        mux in 1usize..4,
+        routes in prop::collection::vec((0usize..8, 0usize..8), 1..40)
+    ) {
+        for kind in [CrossbarKind::Full, CrossbarKind::MultiStage { mux }] {
+            let mut xbar = Crossbar::new(inputs, outputs, kind);
+            let mut to_send: Vec<(usize, usize, u64)> = routes
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| (s % inputs, d % outputs, i as u64))
+                .collect();
+            let total = to_send.len();
+            let mut got = Vec::new();
+            for _ in 0..20_000 {
+                to_send.retain(|&(s, d, p)| !xbar.try_inject(s, d, p));
+                xbar.step();
+                for out in 0..outputs {
+                    while let Some(p) = xbar.pop_delivered(out) {
+                        prop_assert_eq!(p.dst, out);
+                        got.push(p.payload);
+                    }
+                }
+                if to_send.is_empty() && xbar.in_flight_empty() {
+                    break;
+                }
+            }
+            got.sort_unstable();
+            prop_assert_eq!(got.len(), total, "{:?} dropped or duplicated packets", kind);
+            got.clear();
+        }
+    }
+
+    #[test]
+    fn hbm_conserves_requests(
+        jitter in 0u32..16,
+        requests in prop::collection::vec(0usize..4, 1..60)
+    ) {
+        use scalagraph_suite::mem::{Hbm, HbmConfig, MemRequest};
+        let mut hbm = Hbm::new(
+            HbmConfig {
+                channels: 4,
+                bytes_per_cycle_per_channel: 40.0,
+                latency_cycles: 6,
+                queue_depth: 5,
+                latency_jitter: 0,
+            }
+            .with_jitter(jitter),
+        );
+        let total = requests.len() as u64;
+        let mut pending: Vec<(usize, u64)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, &ch)| (ch, i as u64))
+            .collect();
+        let mut done = 0u64;
+        for _ in 0..20_000 {
+            pending.retain(|&(ch, tag)| !hbm.try_request(ch, MemRequest::read(tag, 64)));
+            hbm.step();
+            for ch in 0..4 {
+                while hbm.pop_ready(ch).is_some() {
+                    done += 1;
+                }
+            }
+            if pending.is_empty() && hbm.is_idle() {
+                break;
+            }
+        }
+        prop_assert_eq!(done, total, "memory dropped or duplicated requests");
+        prop_assert_eq!(hbm.stats().reads, total);
+    }
+}

@@ -1,0 +1,137 @@
+//! Scalability behaviour across the stack: PE-count sweeps, frequency
+//! coupling, and memory-bandwidth limits — the system-level claims behind
+//! Figures 4, 14, and 21 and Table IV.
+
+use scalagraph_suite::algo::algorithms::PageRank;
+use scalagraph_suite::baselines::{GraphDyns, GraphDynsConfig};
+use scalagraph_suite::graph::{generators, Csr, Dataset};
+use scalagraph_suite::hwmodel::{max_frequency_mhz, InterconnectKind};
+use scalagraph_suite::scalagraph::{run_on, MemoryPreset, ScalaGraphConfig};
+
+fn big_graph() -> Csr {
+    Dataset::Orkut.generate(2048, 42)
+}
+
+#[test]
+fn scalagraph_cycles_shrink_with_more_pes() {
+    let g = big_graph();
+    let algo = PageRank::new(2);
+    let mut last = u64::MAX;
+    for pes in [32usize, 64, 128, 256, 512] {
+        let m = run_on(&algo, &g, ScalaGraphConfig::with_pes(pes));
+        assert!(
+            m.stats.cycles < last,
+            "{pes} PEs did not reduce cycles: {} !< {last}",
+            m.stats.cycles
+        );
+        last = m.stats.cycles;
+    }
+}
+
+#[test]
+fn scalagraph_32_to_512_is_substantially_superlinear_in_gteps() {
+    // Near-linear scaling (Figure 21): 16x PEs should buy well over 4x.
+    let g = big_graph();
+    let algo = PageRank::new(2);
+    let small = run_on(&algo, &g, ScalaGraphConfig::with_pes(32));
+    let large = run_on(&algo, &g, ScalaGraphConfig::with_pes(512));
+    let speedup = small.stats.cycles as f64 / large.stats.cycles as f64;
+    assert!(speedup > 4.0, "512/32 PE speedup only {speedup:.2}x");
+}
+
+#[test]
+fn gteps_accounts_for_frequency_differences() {
+    // GraphDynS at 128 PEs needs fewer cycles per edge than its GTEPS
+    // suggests, because it runs at 100 MHz: check time = cycles / clock.
+    let g = big_graph();
+    let algo = PageRank::new(1);
+    let cfg = GraphDynsConfig::graphdyns_128();
+    let clock = cfg.effective_clock_mhz();
+    assert_eq!(clock, 100.0);
+    let m = GraphDyns::new(cfg).run(&algo, &g);
+    let secs = m.stats.seconds(clock);
+    assert!((secs - m.stats.cycles as f64 / 100.0e6).abs() < 1e-12);
+}
+
+#[test]
+fn frequency_model_couples_into_config() {
+    // ScalaGraph's effective clock is min(250, mesh fmax) at any size.
+    for pes in [32usize, 512, 1024, 4096] {
+        let cfg = ScalaGraphConfig::with_pes(pes);
+        let mesh = max_frequency_mhz(InterconnectKind::Mesh, pes)
+            .frequency_mhz()
+            .unwrap_or(f64::INFINITY);
+        assert!(cfg.effective_clock_mhz() <= mesh.min(250.0) + 1e-9);
+    }
+}
+
+#[test]
+fn unlimited_bandwidth_only_helps() {
+    let g = big_graph();
+    let algo = PageRank::new(2);
+    for pes in [128usize, 512] {
+        let limited = run_on(&algo, &g, ScalaGraphConfig::with_pes(pes));
+        let mut cfg = ScalaGraphConfig::with_pes(pes);
+        cfg.memory = MemoryPreset::Unlimited;
+        let unlimited = run_on(&algo, &g, cfg);
+        // Within noise: infinite bandwidth makes arrivals burstier, which
+        // can shift queueing patterns by a percent or two even though the
+        // memory itself is never the slower part.
+        assert!(
+            unlimited.stats.cycles as f64 <= limited.stats.cycles as f64 * 1.05,
+            "{pes} PEs: unlimited {} vs limited {}",
+            unlimited.stats.cycles,
+            limited.stats.cycles
+        );
+        for (a, b) in unlimited.properties.iter().zip(&limited.properties) {
+            assert!((a - b).abs() < 1e-4, "memory model changed results");
+        }
+    }
+}
+
+#[test]
+fn graphdyns_512_beats_graphdyns_128_but_sublinearly() {
+    let g = big_graph();
+    let algo = PageRank::new(2);
+    let c128 = GraphDynsConfig::graphdyns_128();
+    let c512 = GraphDynsConfig::graphdyns_512();
+    let m128 = GraphDyns::new(c128).run(&algo, &g);
+    let m512 = GraphDyns::new(c512).run(&algo, &g);
+    let speedup = m128.stats.cycles as f64 / m512.stats.cycles as f64;
+    assert!(
+        speedup > 1.2 && speedup < 4.0,
+        "inter-tile traffic must make 4x PEs sublinear: {speedup:.2}x"
+    );
+}
+
+#[test]
+fn denser_graphs_use_pes_better() {
+    // PE utilization rises with average degree (more edges per dispatched
+    // vertex), the effect behind Figure 19(a)'s ordering.
+    let algo = PageRank::new(2);
+    let sparse = Csr::from_edges(4000, &generators::uniform(4000, 12_000, 3));
+    let dense = Csr::from_edges(4000, &generators::uniform(4000, 160_000, 3));
+    let cfg = ScalaGraphConfig::with_pes(128);
+    let a = run_on(&algo, &sparse, cfg.clone());
+    let b = run_on(&algo, &dense, cfg);
+    assert!(
+        b.stats.pe_utilization() > a.stats.pe_utilization(),
+        "dense {:.2} !> sparse {:.2}",
+        b.stats.pe_utilization(),
+        a.stats.pe_utilization()
+    );
+}
+
+#[test]
+fn route_failed_configs_are_modelled_not_panicking() {
+    // The crossbar cannot build at 256 PEs; the model reports that rather
+    // than producing a number.
+    assert!(!max_frequency_mhz(InterconnectKind::Crossbar, 256).is_routed());
+    // The GraphDynS config falls back to a pessimistic clock if forced.
+    let cfg = GraphDynsConfig {
+        pes: 256,
+        pes_per_tile: 256,
+        ..GraphDynsConfig::with_pes(256)
+    };
+    assert_eq!(cfg.effective_clock_mhz(), 100.0);
+}

@@ -1,0 +1,111 @@
+//! Timing-independence: a correct accelerator produces the same *results*
+//! no matter how the memory system's latencies wobble — only the cycle
+//! count may move. This is the property that separates a simulator bug
+//! (e.g. an update dropped under a rare queue state) from a modelling
+//! choice, so it is tested across algorithms and jitter magnitudes.
+
+use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
+use scalagraph_suite::algo::ReferenceEngine;
+use scalagraph_suite::graph::{generators, Csr, EdgeList};
+use scalagraph_suite::mem::HbmConfig;
+use scalagraph_suite::scalagraph::{run_on, MemoryPreset, ScalaGraphConfig};
+
+fn jittered_config(jitter: u32) -> ScalaGraphConfig {
+    let mut cfg = ScalaGraphConfig::with_pes(64);
+    let clock_hz = cfg.effective_clock_mhz() * 1e6;
+    cfg.memory = MemoryPreset::Custom(HbmConfig::u280_stack(clock_hz).with_jitter(jitter));
+    cfg
+}
+
+#[test]
+fn bfs_results_are_invariant_under_memory_jitter() {
+    let g = Csr::from_edges(600, &generators::power_law(600, 6000, 0.85, 5));
+    let algo = Bfs::from_root(0);
+    let golden = ReferenceEngine::new().run(&algo, &g);
+    let mut cycle_counts = Vec::new();
+    for jitter in [0u32, 3, 17, 64] {
+        let run = run_on(&algo, &g, jittered_config(jitter));
+        assert_eq!(run.properties, golden.properties, "jitter {jitter}");
+        cycle_counts.push(run.stats.cycles);
+    }
+    // Jitter must actually perturb the timing, or the test proves nothing.
+    assert!(
+        cycle_counts.windows(2).any(|w| w[0] != w[1]),
+        "jitter never changed the cycle count: {cycle_counts:?}"
+    );
+}
+
+#[test]
+fn sssp_and_cc_results_are_invariant_under_memory_jitter() {
+    let mut list = EdgeList::new(400);
+    for e in generators::uniform(400, 3500, 7) {
+        list.push(e);
+    }
+    list.randomize_weights(255, 9);
+    let weighted = Csr::from_edge_list(&list);
+    let sssp = Sssp::from_root(0);
+    let golden = ReferenceEngine::new().run(&sssp, &weighted);
+    for jitter in [0u32, 11, 47] {
+        let run = run_on(&sssp, &weighted, jittered_config(jitter));
+        assert_eq!(run.properties, golden.properties, "sssp jitter {jitter}");
+    }
+
+    let mut sym = EdgeList::new(400);
+    for e in generators::uniform(400, 2000, 13) {
+        sym.push(e);
+    }
+    sym.symmetrize();
+    let g = Csr::from_edge_list(&sym);
+    let cc = ConnectedComponents::new();
+    let golden = ReferenceEngine::new().run(&cc, &g);
+    for jitter in [0u32, 11, 47] {
+        let run = run_on(&cc, &g, jittered_config(jitter));
+        assert_eq!(run.properties, golden.properties, "cc jitter {jitter}");
+    }
+}
+
+#[test]
+fn pagerank_is_jitter_invariant_within_float_reassociation() {
+    // Floating-point sums re-associate under different arrival orders, so
+    // PageRank gets a tolerance instead of equality.
+    let g = Csr::from_edges(300, &generators::power_law(300, 3000, 0.8, 17));
+    let algo = PageRank::new(4);
+    let golden = ReferenceEngine::new().run(&algo, &g);
+    for jitter in [0u32, 9, 33] {
+        let run = run_on(&algo, &g, jittered_config(jitter));
+        for (i, (&a, &b)) in run.properties.iter().zip(&golden.properties).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-4,
+                "jitter {jitter} vertex {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_runs_are_also_jitter_invariant() {
+    let g = Csr::from_edges(500, &generators::power_law(500, 5000, 0.9, 21));
+    let algo = Bfs::from_root(0);
+    let golden = ReferenceEngine::new().run(&algo, &g);
+    for jitter in [0u32, 25] {
+        let mut cfg = jittered_config(jitter);
+        cfg.inter_phase_pipelining = true;
+        let run = run_on(&algo, &g, cfg);
+        assert_eq!(run.properties, golden.properties, "jitter {jitter}");
+        assert!(run.stats.inter_phase_used);
+    }
+}
+
+#[test]
+fn sliced_runs_are_also_jitter_invariant() {
+    let g = Csr::from_edges(500, &generators::uniform(500, 4000, 23));
+    let algo = Bfs::from_root(0);
+    let golden = ReferenceEngine::new().run(&algo, &g);
+    for jitter in [0u32, 19] {
+        let mut cfg = jittered_config(jitter);
+        cfg.spd_capacity_vertices = 97; // forces ~6 slices
+        let run = run_on(&algo, &g, cfg);
+        assert_eq!(run.properties, golden.properties, "jitter {jitter}");
+        assert!(run.stats.slices > 1);
+    }
+}
