@@ -19,11 +19,11 @@
 //! serialization (results stay correct here, unlike the paper's RTL hack,
 //! because we still perform every `Reduce`).
 
+use scalagraph::aggregate::AggregationBuffer;
 use scalagraph::stats::{SimResult, SimStats};
 use scalagraph_algo::{Algorithm, EdgeCtx};
 use scalagraph_graph::{Csr, VertexId, EDGES_PER_LINE, LINE_BYTES};
 use scalagraph_hwmodel::{max_frequency_mhz, InterconnectKind};
-use scalagraph::aggregate::AggregationBuffer;
 use std::collections::VecDeque;
 
 /// Configuration of the GraphDynS-like baseline.
@@ -472,8 +472,7 @@ impl<'a, A: Algorithm> Machine<'a, A> {
                     match outcome {
                         Some(o) => {
                             if o != scalagraph::aggregate::PushOutcome::Merged {
-                                self.tiles[t].mp_budget[mp_local] =
-                                    budget.saturating_sub(1);
+                                self.tiles[t].mp_budget[mp_local] = budget.saturating_sub(1);
                             }
                             true
                         }
@@ -643,7 +642,10 @@ mod tests {
 
     #[test]
     fn clock_defaults_follow_hwmodel() {
-        assert_eq!(GraphDynsConfig::graphdyns_128().effective_clock_mhz(), 100.0);
+        assert_eq!(
+            GraphDynsConfig::graphdyns_128().effective_clock_mhz(),
+            100.0
+        );
         let auto = GraphDynsConfig::with_pes(64);
         let mhz = auto.effective_clock_mhz();
         assert!((150.0..300.0).contains(&mhz), "crossbar-64 clock {mhz}");

@@ -9,7 +9,9 @@ use scalagraph_baselines::{GraphDyns, GraphDynsConfig, GunrockModel};
 use scalagraph_bench::runners::{run_graphdyns, run_gunrock, run_scalagraph};
 use scalagraph_bench::workloads::{prepare, PreparedGraph, Workload};
 use scalagraph_graph::Dataset;
-use scalagraph_hwmodel::{max_frequency_mhz, EnergyModel, InterconnectKind, ResourceModel, SystemKind};
+use scalagraph_hwmodel::{
+    max_frequency_mhz, EnergyModel, InterconnectKind, ResourceModel, SystemKind,
+};
 
 /// Bench-scale divisor: small graphs so a full `cargo bench` stays in
 /// minutes.
@@ -119,7 +121,11 @@ fn bench_fig15(c: &mut Criterion) {
     g.bench_function("sg512_run_plus_energy", |b| {
         let em = EnergyModel::u280();
         b.iter(|| {
-            let m = run_scalagraph(&prep, Workload::PageRank, ScalaGraphConfig::scalagraph_512());
+            let m = run_scalagraph(
+                &prep,
+                Workload::PageRank,
+                ScalaGraphConfig::scalagraph_512(),
+            );
             em.energy_joules(SystemKind::ScalaGraph, 512, m.seconds)
         })
     });
@@ -190,8 +196,12 @@ fn bench_fig20(c: &mut Criterion) {
     let prep = small(Dataset::LiveJournal, Workload::PageRank);
     g.bench_function("scalagraph_128_util", |b| {
         b.iter(|| {
-            run_scalagraph(&prep, Workload::PageRank, ScalaGraphConfig::scalagraph_128())
-                .pe_utilization
+            run_scalagraph(
+                &prep,
+                Workload::PageRank,
+                ScalaGraphConfig::scalagraph_128(),
+            )
+            .pe_utilization
         })
     });
     g.bench_function("graphdyns_128_util", |b| {

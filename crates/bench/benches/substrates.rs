@@ -52,10 +52,12 @@ fn bench_mesh(c: &mut Criterion) {
                 .collect();
             let mut delivered = 0u64;
             while delivered < 1000 {
-                pending.retain(|&(src, pkt)| !(mesh.can_inject(src) && {
-                    mesh.try_inject(src, pkt);
-                    true
-                }));
+                pending.retain(|&(src, pkt)| {
+                    !(mesh.can_inject(src) && {
+                        mesh.try_inject(src, pkt);
+                        true
+                    })
+                });
                 mesh.step();
                 for node in 0..n {
                     while mesh.pop_delivered(node).is_some() {

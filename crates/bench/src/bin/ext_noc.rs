@@ -33,7 +33,7 @@ fn traffic(ports: usize, packets: usize, hotspot: bool, seed: u64) -> Vec<(usize
     (0..packets)
         .map(|_| {
             let src = (rng.next() % ports as u64) as usize;
-            let dst = if hotspot && rng.next() % 5 == 0 {
+            let dst = if hotspot && rng.next().is_multiple_of(5) {
                 // 20% of traffic converges on one endpoint — the hub
                 // pattern of power-law graphs.
                 7 % ports
@@ -60,7 +60,10 @@ fn drive_crossbar(ports: usize, pattern: &[(usize, usize)]) -> Outcome {
         .collect();
     let mut delivered = 0usize;
     while delivered < pattern.len() {
-        assert!(x.stats().cycles < 10_000_000, "crossbar drive did not converge");
+        assert!(
+            x.stats().cycles < 10_000_000,
+            "crossbar drive did not converge"
+        );
         pending.retain(|&(s, d, p)| !x.try_inject(s, d, p));
         x.step();
         for port in 0..ports {
@@ -94,7 +97,10 @@ fn drive_butterfly(ports: usize, pattern: &[(usize, usize)]) -> Outcome {
         .collect();
     let mut delivered = 0usize;
     while delivered < pattern.len() {
-        assert!(net.stats().cycles < 10_000_000, "butterfly drive did not converge");
+        assert!(
+            net.stats().cycles < 10_000_000,
+            "butterfly drive did not converge"
+        );
         pending.retain(|&(s, pkt)| !net.try_inject(s, pkt));
         net.step();
         for port in 0..ports {
@@ -135,7 +141,10 @@ fn drive_grid(ports: usize, pattern: &[(usize, usize)], torus: bool) -> Outcome 
         .collect();
     let mut delivered = 0usize;
     while delivered < pattern.len() {
-        assert!(mesh.stats().cycles < 10_000_000, "grid drive did not converge");
+        assert!(
+            mesh.stats().cycles < 10_000_000,
+            "grid drive did not converge"
+        );
         pending.retain(|&(s, pkt)| !mesh.try_inject(s, pkt));
         mesh.step();
         for node in 0..ports {
@@ -156,7 +165,11 @@ fn main() {
 
     let packets = 20_000usize;
     for hotspot in [false, true] {
-        let label = if hotspot { "hotspot (20% to one port)" } else { "uniform random" };
+        let label = if hotspot {
+            "hotspot (20% to one port)"
+        } else {
+            "uniform random"
+        };
         let mut rows = Vec::new();
         for ports in [64usize, 256] {
             let pattern = traffic(ports, packets, hotspot, 0xC0FFEE + ports as u64);
@@ -216,7 +229,14 @@ fn main() {
         }
         print_table(
             &format!("20k updates, {label}"),
-            &["ports", "network", "pkts/cycle", "fmax", "effective", "latency"],
+            &[
+                "ports",
+                "network",
+                "pkts/cycle",
+                "fmax",
+                "effective",
+                "latency",
+            ],
             &rows,
         );
     }

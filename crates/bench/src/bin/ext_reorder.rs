@@ -23,9 +23,15 @@ fn main() {
         let g = dataset.generate(scale, 42);
         let orderings = [
             ("original", None),
-            ("random", Some(transform::random_order(g.num_vertices(), 99))),
+            (
+                "random",
+                Some(transform::random_order(g.num_vertices(), 99)),
+            ),
             ("degree-sorted", Some(transform::degree_order(&g))),
-            ("bfs-order", Some(transform::bfs_order(&g, Dataset::pick_root(&g)))),
+            (
+                "bfs-order",
+                Some(transform::bfs_order(&g, Dataset::pick_root(&g))),
+            ),
         ];
         let mut cells = vec![dataset.to_string()];
         let mut base = 0u64;

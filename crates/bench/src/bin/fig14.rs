@@ -80,7 +80,14 @@ fn main() {
     print_table(
         "Throughput (GTEPS)",
         &[
-            "algo", "graph", "Gunrock", "GD-128", "GD-512", "SG-128", "SG-512", "SG512/Gun",
+            "algo",
+            "graph",
+            "Gunrock",
+            "GD-128",
+            "GD-512",
+            "SG-128",
+            "SG-512",
+            "SG512/Gun",
             "SG512/GD512",
         ],
         &rows,

@@ -71,8 +71,20 @@ fn main() {
     );
     let m = |i: usize| sums[i] / count;
     println!("\nMeans (paper targets in parentheses):");
-    println!("  Gunrock / ScalaGraph-512      : {} (7.1x)", ratio(1.0 / m(3)));
-    println!("  GraphDynS-128 / ScalaGraph-512: {} (3.3x)", ratio(m(0) / m(3)));
-    println!("  GraphDynS-512 / ScalaGraph-512: {} (2.8x)", ratio(m(1) / m(3)));
-    println!("  GraphDynS-128 / ScalaGraph-128: {} (1.3x)", ratio(m(0) / m(2)));
+    println!(
+        "  Gunrock / ScalaGraph-512      : {} (7.1x)",
+        ratio(1.0 / m(3))
+    );
+    println!(
+        "  GraphDynS-128 / ScalaGraph-512: {} (3.3x)",
+        ratio(m(0) / m(3))
+    );
+    println!(
+        "  GraphDynS-512 / ScalaGraph-512: {} (2.8x)",
+        ratio(m(1) / m(3))
+    );
+    println!(
+        "  GraphDynS-128 / ScalaGraph-128: {} (1.3x)",
+        ratio(m(0) / m(2))
+    );
 }

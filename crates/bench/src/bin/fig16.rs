@@ -38,16 +38,36 @@ fn main() {
         .collect();
     print_table(
         "Resource utilization (model vs paper)",
-        &["accelerator", "LUT", "(paper)", "REG", "(paper)", "BRAM", "(paper)"],
+        &[
+            "accelerator",
+            "LUT",
+            "(paper)",
+            "REG",
+            "(paper)",
+            "BRAM",
+            "(paper)",
+        ],
         &rows,
     );
 
     let b = PowerBreakdown::scalagraph();
     let total_w = EnergyModel::u280().power_watts(SystemKind::ScalaGraph, 512);
     let rows = vec![
-        vec!["HBM".into(), pct(b.hbm), format!("{:.1} W", b.hbm * total_w)],
-        vec!["SPD".into(), pct(b.spd), format!("{:.1} W", b.spd * total_w)],
-        vec!["RU (NoC)".into(), pct(b.ru), format!("{:.1} W", b.ru * total_w)],
+        vec![
+            "HBM".into(),
+            pct(b.hbm),
+            format!("{:.1} W", b.hbm * total_w),
+        ],
+        vec![
+            "SPD".into(),
+            pct(b.spd),
+            format!("{:.1} W", b.spd * total_w),
+        ],
+        vec![
+            "RU (NoC)".into(),
+            pct(b.ru),
+            format!("{:.1} W", b.ru * total_w),
+        ],
         vec!["GU".into(), pct(b.gu), format!("{:.1} W", b.gu * total_w)],
         vec![
             "Dispatch".into(),

@@ -35,10 +35,7 @@ fn main() {
             if regs == 16 {
                 secs16 = m.seconds;
             }
-            row.push(format!(
-                "{:.2}",
-                m.noc_hops as f64 / base_hops as f64
-            ));
+            row.push(format!("{:.2}", m.noc_hops as f64 / base_hops as f64));
         }
         speedups.push((dataset.to_string(), base_secs / secs16));
         rows.push(row);

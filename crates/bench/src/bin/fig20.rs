@@ -36,11 +36,7 @@ fn main() {
         ]);
     }
     let n = Dataset::EVALUATION.len() as f64;
-    rows.push(vec![
-        "mean".into(),
-        pct(sums.0 / n),
-        pct(sums.1 / n),
-    ]);
+    rows.push(vec!["mean".into(), pct(sums.0 / n), pct(sums.1 / n)]);
     print_table(
         "PE utilization (paper means: ScalaGraph 87.2%, GraphDynS 92.3%)",
         &["graph", "ScalaGraph-128", "GraphDynS-128"],

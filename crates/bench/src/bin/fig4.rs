@@ -29,12 +29,24 @@ fn main() {
             let without = max_frequency_mhz(InterconnectKind::None, pes)
                 .frequency_mhz()
                 .map_or("route-fail".into(), |f| format!("{f:.0} MHz"));
-            vec![pes.to_string(), with.clone(), without.clone(), with, without]
+            vec![
+                pes.to_string(),
+                with.clone(),
+                without.clone(),
+                with,
+                without,
+            ]
         })
         .collect();
     print_table(
         "(a) Maximal frequency",
-        &["PEs", "AccuGraph", "AccuGraph w/o xbar", "GraphDynS", "GraphDynS w/o xbar"],
+        &[
+            "PEs",
+            "AccuGraph",
+            "AccuGraph w/o xbar",
+            "GraphDynS",
+            "GraphDynS w/o xbar",
+        ],
         &rows,
     );
 
@@ -55,9 +67,14 @@ fn main() {
             / graphs.len() as f64
     };
 
-    let variants: [(&str, fn(usize) -> GraphDynsConfig, bool); 4] = [
+    type Variant = (&'static str, fn(usize) -> GraphDynsConfig, bool);
+    let variants: [Variant; 4] = [
         ("AccuGraph", GraphDynsConfig::accugraph_with_pes, true),
-        ("AccuGraph w/o xbar", GraphDynsConfig::accugraph_with_pes, false),
+        (
+            "AccuGraph w/o xbar",
+            GraphDynsConfig::accugraph_with_pes,
+            false,
+        ),
         ("GraphDynS", GraphDynsConfig::with_pes, true),
         ("GraphDynS w/o xbar", GraphDynsConfig::with_pes, false),
     ];
@@ -69,8 +86,8 @@ fn main() {
         for (vi, (_, make, with_xbar)) in variants.iter().enumerate() {
             let mut cfg = make(pes);
             cfg.with_crossbar = *with_xbar;
-            let routed = !*with_xbar
-                || max_frequency_mhz(InterconnectKind::Crossbar, pes).is_routed();
+            let routed =
+                !*with_xbar || max_frequency_mhz(InterconnectKind::Crossbar, pes).is_routed();
             if !routed {
                 row.push("route-fail".into());
                 continue;
@@ -85,7 +102,13 @@ fn main() {
     }
     print_table(
         "(b) Performance normalized to 4 PEs",
-        &["PEs", "AccuGraph", "AccuGraph w/o xbar", "GraphDynS", "GraphDynS w/o xbar"],
+        &[
+            "PEs",
+            "AccuGraph",
+            "AccuGraph w/o xbar",
+            "GraphDynS",
+            "GraphDynS w/o xbar",
+        ],
         &rows,
     );
 }

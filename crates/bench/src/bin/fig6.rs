@@ -32,7 +32,9 @@ fn ideal_config() -> GraphDynsConfig {
 }
 
 fn cycles_naive(graph: &Csr, algo: &PageRank) -> u64 {
-    scalagraph::run_on(algo, graph, naive_mesh_config()).stats.cycles
+    scalagraph::run_on(algo, graph, naive_mesh_config())
+        .stats
+        .cycles
 }
 
 fn cycles_ideal(graph: &Csr, algo: &PageRank) -> u64 {
@@ -66,7 +68,12 @@ fn main() {
     }
     print_table(
         "Naive-mesh slowdown vs idealized crossbar (paper: ~6.9x comm, ~1.74x further imbalance)",
-        &["graph", "mesh comm (uniform twin)", "x power-law imbalance", "total"],
+        &[
+            "graph",
+            "mesh comm (uniform twin)",
+            "x power-law imbalance",
+            "total",
+        ],
         &rows,
     );
 }

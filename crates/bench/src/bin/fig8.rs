@@ -12,7 +12,10 @@ fn main() {
     println!("Figure 8 — interconnect frequency vs PE count (modelled U280 synthesis)");
     let kinds = [
         ("Crossbar", InterconnectKind::Crossbar),
-        ("MultiStage(x2)", InterconnectKind::MultiStageCrossbar { mux: 2 }),
+        (
+            "MultiStage(x2)",
+            InterconnectKind::MultiStageCrossbar { mux: 2 },
+        ),
         ("Benes", InterconnectKind::Benes),
         ("Mesh", InterconnectKind::Mesh),
     ];

@@ -38,7 +38,12 @@ fn main() {
     }
     print_table(
         &format!("Measured vs analytic on-chip traffic (K={k}, N={n}, M={m})"),
-        &["mapping", "measured hops/iter", "analytic estimate", "asymptotic"],
+        &[
+            "mapping",
+            "measured hops/iter",
+            "analytic estimate",
+            "asymptotic",
+        ],
         &rows,
     );
     println!("\nNote: the analytic column uses the Table II formulas with unit constants;");

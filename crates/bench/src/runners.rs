@@ -1,8 +1,9 @@
 //! System runners: execute a workload on ScalaGraph, GraphDynS, or the
 //! Gunrock model and return a uniform metrics record.
 
+use crate::sweep::parallel_map;
 use crate::workloads::{PreparedGraph, Workload, PAGERANK_ITERATIONS};
-use scalagraph::{ScalaGraphConfig, Simulator};
+use scalagraph::{ScalaGraphConfig, SimError, SimStats, Simulator};
 use scalagraph_algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
 use scalagraph_algo::Algorithm;
 use scalagraph_baselines::{GraphDyns, GraphDynsConfig, GunrockModel};
@@ -60,10 +61,30 @@ pub fn with_algorithm<R>(
 pub trait ErasedRunner {
     /// Runs on the ScalaGraph simulator.
     fn scalagraph(&self, graph: &Csr, cfg: ScalaGraphConfig) -> Metrics;
+    /// Fallible ScalaGraph run: invalid configurations, watchdog-detected
+    /// deadlocks, and unrecoverable injected faults come back as a
+    /// [`SimError`] instead of a panic, so sweeps can record the failure
+    /// and keep going.
+    fn try_scalagraph(&self, graph: &Csr, cfg: ScalaGraphConfig) -> Result<Metrics, SimError>;
     /// Runs on the GraphDynS baseline.
     fn graphdyns(&self, graph: &Csr, cfg: GraphDynsConfig) -> Metrics;
     /// Runs on the Gunrock GPU model.
     fn gunrock(&self, graph: &Csr, model: GunrockModel) -> Metrics;
+}
+
+fn scalagraph_metrics(s: SimStats, clock: f64) -> Metrics {
+    Metrics {
+        seconds: s.seconds(clock),
+        gteps: s.gteps(clock),
+        traversed_edges: s.traversed_edges,
+        cycles: s.cycles,
+        noc_hops: s.noc_hops,
+        offchip_bytes: s.offchip_bytes(),
+        pe_utilization: s.pe_utilization(),
+        avg_routing_latency: s.avg_routing_latency(),
+        agg_merges: s.agg_merges,
+        iterations: s.iterations,
+    }
 }
 
 struct AlgoRunner<A> {
@@ -72,21 +93,16 @@ struct AlgoRunner<A> {
 
 impl<A: Algorithm> ErasedRunner for AlgoRunner<A> {
     fn scalagraph(&self, graph: &Csr, cfg: ScalaGraphConfig) -> Metrics {
-        let clock = cfg.effective_clock_mhz();
-        let result = Simulator::new(&self.algo, graph, cfg).run();
-        let s = result.stats;
-        Metrics {
-            seconds: s.seconds(clock),
-            gteps: s.gteps(clock),
-            traversed_edges: s.traversed_edges,
-            cycles: s.cycles,
-            noc_hops: s.noc_hops,
-            offchip_bytes: s.offchip_bytes(),
-            pe_utilization: s.pe_utilization(),
-            avg_routing_latency: s.avg_routing_latency(),
-            agg_merges: s.agg_merges,
-            iterations: s.iterations,
+        match self.try_scalagraph(graph, cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("scalagraph run failed: {e}"),
         }
+    }
+
+    fn try_scalagraph(&self, graph: &Csr, cfg: ScalaGraphConfig) -> Result<Metrics, SimError> {
+        let clock = cfg.effective_clock_mhz();
+        let result = Simulator::try_new(&self.algo, graph, cfg)?.try_run()?;
+        Ok(scalagraph_metrics(result.stats, clock))
     }
 
     fn graphdyns(&self, graph: &Csr, cfg: GraphDynsConfig) -> Metrics {
@@ -125,6 +141,47 @@ pub fn run_scalagraph(prep: &PreparedGraph, workload: Workload, cfg: ScalaGraphC
     with_algorithm(workload, prep, |r| r.scalagraph(&prep.graph, cfg.clone()))
 }
 
+/// Fallible [`run_scalagraph`]: every failure mode comes back as a
+/// [`SimError`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the configuration is invalid or the run
+/// cannot complete (deadlock, watchdog stall, unrecoverable fault).
+pub fn try_run_scalagraph(
+    prep: &PreparedGraph,
+    workload: Workload,
+    cfg: ScalaGraphConfig,
+) -> Result<Metrics, SimError> {
+    with_algorithm(workload, prep, |r| {
+        r.try_scalagraph(&prep.graph, cfg.clone())
+    })
+}
+
+/// One configuration's outcome inside a sweep: the metrics, or the error
+/// that stopped the run — never a panic that kills the whole batch.
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// Configuration label, as passed to [`sweep_scalagraph`].
+    pub label: String,
+    /// Metrics on success, the structured failure otherwise.
+    pub outcome: Result<Metrics, SimError>,
+}
+
+/// Runs `workload` under every labelled configuration in parallel. Failed
+/// configurations (invalid parameters, deadlocks under fault injection)
+/// are recorded in their [`SweepRecord`] and do not disturb the others.
+pub fn sweep_scalagraph(
+    prep: &PreparedGraph,
+    workload: Workload,
+    configs: Vec<(String, ScalaGraphConfig)>,
+) -> Vec<SweepRecord> {
+    parallel_map(configs, |(label, cfg)| SweepRecord {
+        outcome: try_run_scalagraph(prep, workload, cfg),
+        label,
+    })
+}
+
 /// Convenience: run `workload` on the GraphDynS baseline with `cfg`.
 pub fn run_graphdyns(prep: &PreparedGraph, workload: Workload, cfg: GraphDynsConfig) -> Metrics {
     with_algorithm(workload, prep, |r| r.graphdyns(&prep.graph, cfg))
@@ -151,5 +208,49 @@ mod tests {
         // All traverse the same number of edges.
         assert_eq!(sg.traversed_edges, gd.traversed_edges);
         assert_eq!(sg.traversed_edges, gu.traversed_edges);
+    }
+
+    #[test]
+    fn sweep_records_the_invalid_config_and_finishes_the_rest() {
+        let prep = prepare(Dataset::Pokec, Workload::Bfs, 8192, 1);
+        let mut configs = Vec::new();
+        for (i, &(agg, sched, pipeline)) in [
+            (16usize, 16usize, true),
+            (0, 16, true),
+            (16, 4, true),
+            (16, 16, false),
+            (0, 4, false),
+            (4, 8, true),
+            (16, 1, true),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut cfg = ScalaGraphConfig::with_pes(32);
+            cfg.aggregation_registers = agg;
+            cfg.max_scheduled_vertices = sched;
+            cfg.inter_phase_pipelining = pipeline;
+            configs.push((format!("cfg{i}"), cfg));
+        }
+        // The eighth configuration is deliberately degenerate.
+        let mut bad = ScalaGraphConfig::with_pes(32);
+        bad.gu_queue_capacity = 0;
+        configs.push(("bad".to_string(), bad));
+        assert_eq!(configs.len(), 8);
+
+        let records = sweep_scalagraph(&prep, Workload::Bfs, configs);
+        assert_eq!(records.len(), 8);
+        let (ok, failed): (Vec<_>, Vec<_>) = records.iter().partition(|r| r.outcome.is_ok());
+        assert_eq!(ok.len(), 7, "seven valid configurations must complete");
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].label, "bad");
+        assert!(matches!(
+            failed[0].outcome,
+            Err(SimError::ConfigInvalid { .. })
+        ));
+        for r in &ok {
+            let m = r.outcome.as_ref().unwrap();
+            assert!(m.cycles > 0 && m.traversed_edges > 0, "{}", r.label);
+        }
     }
 }

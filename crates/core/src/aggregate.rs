@@ -131,8 +131,11 @@ impl<P: Copy> AggregationBuffer<P> {
             self.registers.push_back(PendingUpdate { dst, value });
             PushOutcome::Buffered
         } else {
-            let oldest = self.registers.pop_front().unwrap();
-            self.output.push_back(oldest);
+            // `capacity > 0` and the register file is full, so the pop
+            // always yields the oldest entry.
+            if let Some(oldest) = self.registers.pop_front() {
+                self.output.push_back(oldest);
+            }
             self.registers.push_back(PendingUpdate { dst, value });
             PushOutcome::Evicted
         }

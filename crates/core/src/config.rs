@@ -1,9 +1,16 @@
 //! Accelerator configuration.
 
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::mapping::Mapping;
 use crate::placement::Placement;
 use scalagraph_hwmodel::{max_frequency_mhz, InterconnectKind, OPERATING_CLOCK_MHZ};
 use scalagraph_mem::HbmConfig;
+
+/// Default watchdog window: generously above any legitimate quiet period
+/// (HBM round trips are tens of cycles, fetch stalls are counted as
+/// progress), far below the global cycle cap.
+pub const DEFAULT_WATCHDOG_STALL_CYCLES: u64 = 25_000;
 
 /// Off-chip memory preset for a configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +73,16 @@ pub struct ScalaGraphConfig {
     pub gu_queue_capacity: usize,
     /// Router output queue depth, in updates.
     pub router_queue_capacity: usize,
+    /// Progress watchdog window in cycles: if no unit makes forward
+    /// progress for this long, [`Simulator::try_run`](crate::Simulator::try_run)
+    /// returns a [`SimError::DeadlockDetected`]/[`SimError::WatchdogStall`]
+    /// with a diagnostic snapshot. `0` disables the watchdog (the global
+    /// cycle safety cap still applies).
+    pub watchdog_stall_cycles: u64,
+    /// Optional deterministic fault schedule (see [`crate::fault`]).
+    /// `None` leaves every fault hook cold; results are then bit-identical
+    /// to a build without the subsystem.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ScalaGraphConfig {
@@ -108,6 +125,8 @@ impl ScalaGraphConfig {
             link_width: 4,
             gu_queue_capacity: 16,
             router_queue_capacity: 8,
+            watchdog_stall_cycles: DEFAULT_WATCHDOG_STALL_CYCLES,
+            fault_plan: None,
         }
     }
 
@@ -142,25 +161,67 @@ impl ScalaGraphConfig {
         }
     }
 
-    /// Validates internal consistency.
+    /// Validates internal consistency, rejecting degenerate configurations
+    /// (empty PE array, zero queues or scratchpad, out-of-range scheduler
+    /// width — the EDU dispatches one 64-byte line per cycle, so at most 16
+    /// vertices can be scheduled) before they can panic deep inside
+    /// `mapping`/`placement` arithmetic.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on inconsistent settings (zero queues or scheduler width, or
-    /// a scheduler width above the row width... the EDU dispatches one
-    /// 64-byte line per cycle, so at most 16 vertices can be scheduled).
-    pub fn validate(&self) {
-        assert!(self.gu_queue_capacity > 0, "GU queue must be non-empty");
-        assert!(
-            self.router_queue_capacity > 0,
-            "router queue must be non-empty"
-        );
-        assert!(self.link_width > 0, "link width must be positive");
-        assert!(
-            (1..=16).contains(&self.max_scheduled_vertices),
-            "degree-aware scheduler width must be in 1..=16"
-        );
-        assert!(self.spd_capacity_vertices > 0, "SPD capacity must be positive");
+    /// Returns [`SimError::ConfigInvalid`] naming the violated constraint.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let p = self.placement;
+        if p.tiles == 0 || p.rows_per_tile == 0 || p.cols == 0 {
+            return Err(SimError::config(format!(
+                "PE array must be non-empty (tiles={} rows={} cols={})",
+                p.tiles, p.rows_per_tile, p.cols
+            )));
+        }
+        if self.gu_queue_capacity == 0 {
+            return Err(SimError::config("GU queue must be non-empty"));
+        }
+        if self.router_queue_capacity == 0 {
+            return Err(SimError::config("router queue must be non-empty"));
+        }
+        if self.link_width == 0 {
+            return Err(SimError::config("link width must be positive"));
+        }
+        if !(1..=16).contains(&self.max_scheduled_vertices) {
+            return Err(SimError::config(
+                "degree-aware scheduler width must be in 1..=16",
+            ));
+        }
+        if self.spd_capacity_vertices == 0 {
+            return Err(SimError::config("SPD capacity must be positive"));
+        }
+        if let Some(mhz) = self.clock_mhz {
+            if mhz.is_nan() || mhz <= 0.0 {
+                return Err(SimError::config("clock override must be positive"));
+            }
+        }
+        if let MemoryPreset::Custom(hbm) = &self.memory {
+            if hbm.channels == 0 {
+                return Err(SimError::config("memory must expose at least one channel"));
+            }
+            if hbm.bytes_per_cycle_per_channel.is_nan() || hbm.bytes_per_cycle_per_channel <= 0.0 {
+                return Err(SimError::config("memory bandwidth must be positive"));
+            }
+            if hbm.queue_depth == 0 {
+                return Err(SimError::config("memory queue depth must be positive"));
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            for f in &plan.faults {
+                if f.until_cycle <= f.from_cycle {
+                    return Err(SimError::config(format!(
+                        "fault window [{}, {}) is empty",
+                        f.from_cycle, f.until_cycle
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -192,7 +253,10 @@ mod tests {
             assert_eq!(c.effective_clock_mhz(), 250.0, "{pes} PEs");
         }
         // Beyond the FPGA: simulator pinned at 250 MHz (Section V-E).
-        assert_eq!(ScalaGraphConfig::with_pes(4096).effective_clock_mhz(), 250.0);
+        assert_eq!(
+            ScalaGraphConfig::with_pes(4096).effective_clock_mhz(),
+            250.0
+        );
     }
 
     #[test]
@@ -218,10 +282,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scheduler width")]
     fn validate_rejects_wide_scheduler() {
         let mut c = ScalaGraphConfig::scalagraph_128();
         c.max_scheduled_vertices = 20;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("scheduler width"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let base = ScalaGraphConfig::with_pes(32);
+        assert!(base.validate().is_ok());
+        let break_it: [fn(&mut ScalaGraphConfig); 6] = [
+            |c| c.gu_queue_capacity = 0,
+            |c| c.router_queue_capacity = 0,
+            |c| c.link_width = 0,
+            |c| c.max_scheduled_vertices = 0,
+            |c| c.spd_capacity_vertices = 0,
+            |c| c.clock_mhz = Some(-1.0),
+        ];
+        for (i, f) in break_it.iter().enumerate() {
+            let mut c = base.clone();
+            f(&mut c);
+            assert!(
+                matches!(c.validate(), Err(SimError::ConfigInvalid { .. })),
+                "case {i} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_empty_fault_windows() {
+        use crate::fault::{Fault, FaultKind, FaultPlan, LinkDir};
+        let mut c = ScalaGraphConfig::with_pes(32);
+        c.fault_plan = Some(
+            FaultPlan::seeded(1).with(
+                Fault::new(FaultKind::LinkDown {
+                    node: 0,
+                    dir: LinkDir::East,
+                })
+                .window(10, 10),
+            ),
+        );
+        assert!(c.validate().is_err());
     }
 }

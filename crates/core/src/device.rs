@@ -39,8 +39,12 @@ impl DeviceGraph {
         // the natural source-major split.
         let by_destination = config.mapping != Mapping::SourceOriented;
 
-        let partitioner = Partitioner::new(config.spd_capacity_vertices)
-            .expect("config validated a positive SPD capacity");
+        let partitioner = match Partitioner::new(config.spd_capacity_vertices) {
+            Ok(p) => p,
+            // Entry points run `ScalaGraphConfig::validate` first, which
+            // rejects a zero SPD capacity before we get here.
+            Err(e) => panic!("config validated a positive SPD capacity: {e}"),
+        };
         let intervals = if graph.num_vertices() == 0 {
             vec![VertexInterval { start: 0, end: 0 }]
         } else {
@@ -49,8 +53,7 @@ impl DeviceGraph {
 
         let tiles = placement.tiles;
         // Bucket edges into (slice, tile).
-        let mut buckets: Vec<Vec<Vec<Edge>>> =
-            vec![vec![Vec::new(); tiles]; intervals.len()];
+        let mut buckets: Vec<Vec<Vec<Edge>>> = vec![vec![Vec::new(); tiles]; intervals.len()];
         let slice_of = |dst: VertexId| -> usize {
             // Intervals are sorted and contiguous; binary search by end.
             intervals.partition_point(|iv| iv.end <= dst)
@@ -72,9 +75,8 @@ impl DeviceGraph {
             for edges in per_tile {
                 let mut csr = Csr::from_edges(graph.num_vertices(), &edges);
                 if config.mapping == Mapping::RowOriented {
-                    let stats = degree_aware_relayout(&mut csr, placement.cols, |v| {
-                        placement.lane_of(v)
-                    });
+                    let stats =
+                        degree_aware_relayout(&mut csr, placement.cols, |v| placement.lane_of(v));
                     lane_aligned_edges += stats.lane_aligned;
                 }
                 row.push(csr);

@@ -1,0 +1,393 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultPlan`] is a declarative schedule of hardware faults — link
+//! outages, lossy or slow links, stalled HBM pseudo-channels, payload
+//! corruption — attached to a configuration via
+//! [`ScalaGraphConfig::fault_plan`](crate::ScalaGraphConfig::fault_plan).
+//! The engine consults a [`FaultInjector`] built from the plan at its NoC
+//! and memory hooks; all randomness comes from one xorshift stream seeded
+//! by the plan, so a given plan perturbs a run identically every time.
+//! With no plan attached the hooks are never exercised and the simulation
+//! is bit-identical to an un-instrumented run.
+
+/// A mesh link, named by the PE it leaves and the direction it heads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDir {
+    /// Towards the row above.
+    North,
+    /// Towards the row below.
+    South,
+    /// Towards the column to the left.
+    West,
+    /// Towards the column to the right.
+    East,
+}
+
+impl LinkDir {
+    /// The engine's router output-port index for this direction.
+    pub fn port_index(self) -> usize {
+        match self {
+            LinkDir::North => 1,
+            LinkDir::South => 2,
+            LinkDir::West => 3,
+            LinkDir::East => 4,
+        }
+    }
+}
+
+/// What a fault does while active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The link carries nothing: zero credit, full back-pressure.
+    LinkDown {
+        /// PE the link leaves.
+        node: usize,
+        /// Direction the link heads.
+        dir: LinkDir,
+    },
+    /// Each flit crossing the link is silently dropped with probability
+    /// `1/one_in` (`one_in <= 1` drops every flit).
+    LinkDrop {
+        /// PE the link leaves.
+        node: usize,
+        /// Direction the link heads.
+        dir: LinkDir,
+        /// Drop one flit in this many.
+        one_in: u32,
+    },
+    /// Each flit crossing the link is held for `cycles` extra cycles
+    /// before continuing (a degraded or retrained link).
+    LinkDelay {
+        /// PE the link leaves.
+        node: usize,
+        /// Direction the link heads.
+        dir: LinkDir,
+        /// Extra cycles per flit.
+        cycles: u64,
+    },
+    /// Pins an HBM pseudo-channel for `cycles` starting at the fault's
+    /// activation cycle: no service, no retirement, no new requests.
+    HbmStall {
+        /// Tile owning the channel.
+        tile: usize,
+        /// Pseudo-channel index within the tile.
+        channel: usize,
+        /// Stall duration in cycles (`u64::MAX` pins it forever).
+        cycles: u64,
+    },
+    /// Corrupts the destination id of flits crossing the link with
+    /// probability `1/one_in`. With `out_of_range` the corrupted id points
+    /// past the vertex array (the machine must surface
+    /// [`SimError::FaultUnrecoverable`](crate::SimError::FaultUnrecoverable));
+    /// without it the id stays valid and the run completes with wrong-but-
+    /// well-formed results, as real silent data corruption would.
+    CorruptPayload {
+        /// PE the link leaves.
+        node: usize,
+        /// Direction the link heads.
+        dir: LinkDir,
+        /// Corrupt one flit in this many.
+        one_in: u32,
+        /// Whether the corrupted id leaves the valid vertex range.
+        out_of_range: bool,
+    },
+}
+
+/// One scheduled fault: a kind plus an active window in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// What happens.
+    pub kind: FaultKind,
+    /// First cycle the fault is active.
+    pub from_cycle: u64,
+    /// First cycle the fault is no longer active (`u64::MAX` = permanent).
+    pub until_cycle: u64,
+}
+
+impl Fault {
+    /// A permanent fault, active from cycle 0.
+    pub fn new(kind: FaultKind) -> Self {
+        Fault {
+            kind,
+            from_cycle: 0,
+            until_cycle: u64::MAX,
+        }
+    }
+
+    /// Restricts the fault to `[from, until)` cycles.
+    pub fn window(mut self, from: u64, until: u64) -> Self {
+        self.from_cycle = from;
+        self.until_cycle = until;
+        self
+    }
+
+    /// Whether the fault is active at `cycle`.
+    pub fn active(&self, cycle: u64) -> bool {
+        cycle >= self.from_cycle && cycle < self.until_cycle
+    }
+}
+
+/// A deterministic schedule of faults, attached to a configuration.
+///
+/// # Example
+///
+/// ```
+/// use scalagraph::fault::{Fault, FaultKind, FaultPlan, LinkDir};
+///
+/// let plan = FaultPlan::seeded(7)
+///     .with(Fault::new(FaultKind::LinkDelay { node: 5, dir: LinkDir::South, cycles: 3 }))
+///     .with(Fault::new(FaultKind::HbmStall { tile: 0, channel: 2, cycles: 100 }).window(50, 51));
+/// assert_eq!(plan.faults.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of the injector's xorshift stream (probabilistic faults).
+    pub seed: u64,
+    /// The scheduled faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault to the plan.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// What the engine must do to one flit at a faulty link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitAction {
+    /// Discard the flit.
+    Drop,
+    /// Hold the flit for this many extra cycles.
+    Delay(u64),
+    /// Corrupt the flit's destination id.
+    Corrupt {
+        /// Whether the corrupted id leaves the valid vertex range.
+        out_of_range: bool,
+    },
+}
+
+/// Runtime state of a [`FaultPlan`]: the seeded RNG plus one-shot
+/// activation tracking for HBM stalls.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: u64,
+    hbm_applied: Vec<bool>,
+}
+
+impl FaultInjector {
+    /// Builds an injector; returns `None` for an empty plan so the engine
+    /// can skip the hooks entirely.
+    pub fn new(plan: FaultPlan) -> Option<Self> {
+        if plan.is_empty() {
+            return None;
+        }
+        let n = plan.faults.len();
+        Some(FaultInjector {
+            // Zero would freeze the xorshift stream.
+            rng: plan.seed | 1,
+            plan,
+            hbm_applied: vec![false; n],
+        })
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn hits(&mut self, one_in: u32) -> bool {
+        one_in <= 1 || self.next_rand().is_multiple_of(u64::from(one_in))
+    }
+
+    /// HBM stalls whose window opens by `cycle` and which have not yet been
+    /// applied: `(tile, channel, stall_cycles)`.
+    pub fn hbm_stalls_at(&mut self, cycle: u64) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for (i, f) in self.plan.faults.iter().enumerate() {
+            if self.hbm_applied[i] || !f.active(cycle) {
+                continue;
+            }
+            if let FaultKind::HbmStall {
+                tile,
+                channel,
+                cycles,
+            } = f.kind
+            {
+                self.hbm_applied[i] = true;
+                out.push((tile, channel, cycles));
+            }
+        }
+        out
+    }
+
+    /// Whether the link leaving `node` towards port `dir` is down at
+    /// `cycle`.
+    pub fn link_blocked(&self, cycle: u64, node: usize, dir: usize) -> bool {
+        self.plan.faults.iter().any(|f| {
+            f.active(cycle)
+                && matches!(f.kind, FaultKind::LinkDown { node: n, dir: d }
+                    if n == node && d.port_index() == dir)
+        })
+    }
+
+    /// The action to apply to the next flit crossing the link leaving
+    /// `node` towards port `dir` at `cycle`, if any. The first matching
+    /// active fault wins; probabilistic faults consult the seeded stream
+    /// per flit.
+    pub fn flit_action(&mut self, cycle: u64, node: usize, dir: usize) -> Option<FlitAction> {
+        for i in 0..self.plan.faults.len() {
+            let f = self.plan.faults[i];
+            if !f.active(cycle) {
+                continue;
+            }
+            match f.kind {
+                FaultKind::LinkDrop {
+                    node: n,
+                    dir: d,
+                    one_in,
+                } if n == node && d.port_index() == dir && self.hits(one_in) => {
+                    return Some(FlitAction::Drop);
+                }
+                FaultKind::LinkDelay {
+                    node: n,
+                    dir: d,
+                    cycles,
+                } if n == node && d.port_index() == dir => {
+                    return Some(FlitAction::Delay(cycles));
+                }
+                FaultKind::CorruptPayload {
+                    node: n,
+                    dir: d,
+                    one_in,
+                    out_of_range,
+                } if n == node && d.port_index() == dir && self.hits(one_in) => {
+                    return Some(FlitAction::Corrupt { out_of_range });
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_builds_no_injector() {
+        assert!(FaultInjector::new(FaultPlan::seeded(1)).is_none());
+        assert!(FaultPlan::default().is_empty());
+    }
+
+    #[test]
+    fn windows_gate_activity() {
+        let f = Fault::new(FaultKind::LinkDown {
+            node: 0,
+            dir: LinkDir::East,
+        })
+        .window(10, 20);
+        assert!(!f.active(9));
+        assert!(f.active(10));
+        assert!(f.active(19));
+        assert!(!f.active(20));
+    }
+
+    #[test]
+    fn link_down_blocks_only_its_link() {
+        let plan = FaultPlan::seeded(1).with(Fault::new(FaultKind::LinkDown {
+            node: 3,
+            dir: LinkDir::South,
+        }));
+        let inj = FaultInjector::new(plan).unwrap();
+        assert!(inj.link_blocked(0, 3, LinkDir::South.port_index()));
+        assert!(!inj.link_blocked(0, 3, LinkDir::North.port_index()));
+        assert!(!inj.link_blocked(0, 4, LinkDir::South.port_index()));
+    }
+
+    #[test]
+    fn hbm_stalls_fire_once() {
+        let plan = FaultPlan::seeded(1).with(
+            Fault::new(FaultKind::HbmStall {
+                tile: 1,
+                channel: 4,
+                cycles: 99,
+            })
+            .window(5, u64::MAX),
+        );
+        let mut inj = FaultInjector::new(plan).unwrap();
+        assert!(inj.hbm_stalls_at(4).is_empty());
+        assert_eq!(inj.hbm_stalls_at(5), vec![(1, 4, 99)]);
+        assert!(inj.hbm_stalls_at(6).is_empty(), "one-shot activation");
+    }
+
+    #[test]
+    fn drop_probability_is_deterministic_per_seed() {
+        let plan = |seed| {
+            FaultPlan::seeded(seed).with(Fault::new(FaultKind::LinkDrop {
+                node: 0,
+                dir: LinkDir::East,
+                one_in: 3,
+            }))
+        };
+        let sample = |seed| -> Vec<bool> {
+            let mut inj = FaultInjector::new(plan(seed)).unwrap();
+            (0..64)
+                .map(|c| inj.flit_action(c, 0, LinkDir::East.port_index()).is_some())
+                .collect()
+        };
+        let a = sample(11);
+        assert_eq!(a, sample(11), "same seed, same schedule");
+        assert_ne!(a, sample(12), "different seed, different schedule");
+        let drops = a.iter().filter(|&&d| d).count();
+        assert!(drops > 0 && drops < 64, "one-in-3 must be partial: {drops}");
+    }
+
+    #[test]
+    fn always_drop_and_delay_need_no_rng() {
+        let plan = FaultPlan::seeded(1)
+            .with(Fault::new(FaultKind::LinkDrop {
+                node: 0,
+                dir: LinkDir::West,
+                one_in: 1,
+            }))
+            .with(Fault::new(FaultKind::LinkDelay {
+                node: 1,
+                dir: LinkDir::West,
+                cycles: 7,
+            }));
+        let mut inj = FaultInjector::new(plan).unwrap();
+        for c in 0..10 {
+            assert_eq!(
+                inj.flit_action(c, 0, LinkDir::West.port_index()),
+                Some(FlitAction::Drop)
+            );
+            assert_eq!(
+                inj.flit_action(c, 1, LinkDir::West.port_index()),
+                Some(FlitAction::Delay(7))
+            );
+            assert_eq!(inj.flit_action(c, 2, LinkDir::West.port_index()), None);
+        }
+    }
+}

@@ -20,6 +20,12 @@
 //!
 //! # Quickstart
 //!
+//! Prefer [`Simulator::try_run`] in batch settings: it returns a
+//! [`SimError`] (with a stall diagnosis from the progress watchdog) instead
+//! of panicking, so one wedged configuration cannot kill a sweep. See the
+//! [`error`] and [`fault`] modules for the error taxonomy and the seeded
+//! fault-injection subsystem.
+//!
 //! ```
 //! use scalagraph::{ScalaGraphConfig, Simulator};
 //! use scalagraph_algo::algorithms::PageRank;
@@ -32,9 +38,14 @@
 //! println!("{} cycles, {:.2} GTEPS", result.stats.cycles, result.stats.gteps(clock));
 //! ```
 
+// Hot-path code must stay panic-free: recoverable failures are SimError.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod aggregate;
 pub mod config;
 pub mod device;
+pub mod error;
+pub mod fault;
 pub mod mapping;
 pub mod placement;
 pub mod sim;
@@ -42,7 +53,11 @@ pub mod stats;
 
 pub use config::{MemoryPreset, ScalaGraphConfig};
 pub use device::DeviceGraph;
+pub use error::{
+    dir_name, HbmChannelSnapshot, NodeSnapshot, SimError, StallSnapshot, StalledUnit, TileSnapshot,
+};
+pub use fault::{Fault, FaultKind, FaultPlan, LinkDir};
 pub use mapping::{CommunicationEstimate, Mapping};
 pub use placement::Placement;
-pub use sim::{run_on, Simulator};
+pub use sim::{run_on, try_run_on, Simulator};
 pub use stats::{SimResult, SimStats};

@@ -25,6 +25,10 @@
 use crate::aggregate::{AggregationBuffer, PendingUpdate};
 use crate::config::ScalaGraphConfig;
 use crate::device::DeviceGraph;
+use crate::error::{
+    HbmChannelSnapshot, NodeSnapshot, SimError, StallSnapshot, StalledUnit, TileSnapshot,
+};
+use crate::fault::{FaultInjector, FlitAction};
 use crate::mapping::Mapping;
 use crate::stats::{SimResult, SimStats};
 use scalagraph_algo::{Algorithm, EdgeCtx};
@@ -33,9 +37,9 @@ use scalagraph_mem::{Hbm, MemRequest};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 
-/// Safety cap on simulated cycles; reaching it means the machine deadlocked
-/// or the workload diverged, so the simulator panics loudly instead of
-/// spinning forever.
+/// Safety cap on simulated cycles; reaching it means the workload diverged
+/// (the progress watchdog catches deadlocks much earlier), so the run ends
+/// with [`SimError::CycleCapExceeded`] instead of spinning forever.
 const CYCLE_SAFETY_CAP: u64 = 2_000_000_000;
 
 /// An edge workload travelling from dispatcher to GU.
@@ -191,16 +195,36 @@ impl<'a, A: Algorithm> Simulator<'a, A> {
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (see
-    /// [`ScalaGraphConfig::validate`]).
+    /// [`ScalaGraphConfig::validate`]); [`Simulator::try_new`] reports the
+    /// same conditions as a [`SimError`] instead.
     pub fn new(algo: &'a A, graph: &'a Csr, config: ScalaGraphConfig) -> Self {
-        config.validate();
+        match Self::try_new(algo, graph, config) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Simulator::new`]: rejects degenerate configurations with
+    /// [`SimError::ConfigInvalid`] instead of panicking, so sweeps can
+    /// record the failure and move on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigInvalid`] when
+    /// [`ScalaGraphConfig::validate`] does.
+    pub fn try_new(
+        algo: &'a A,
+        graph: &'a Csr,
+        config: ScalaGraphConfig,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
         let device = DeviceGraph::prepare(graph, &config);
-        Simulator {
+        Ok(Simulator {
             algo,
             graph,
             config,
             device,
-        }
+        })
     }
 
     /// The device layout prepared for this run.
@@ -215,18 +239,87 @@ impl<'a, A: Algorithm> Simulator<'a, A> {
 
     /// Runs the algorithm to completion and returns final properties plus
     /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run fails (see [`Simulator::try_run`] for the
+    /// recoverable form). Without a fault plan a failure indicates a
+    /// simulator bug, so the panic keeps legacy callers loud.
     pub fn run(&mut self) -> SimResult<A::Prop> {
-        Engine::new(self.algo, self.graph, &self.config, &self.device).run()
+        match self.try_run() {
+            Ok(result) => result,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+
+    /// Runs the algorithm to completion, surfacing every failure mode —
+    /// watchdog-detected deadlocks (with a diagnostic [`StallSnapshot`]),
+    /// protocol violations, unrecoverable injected faults, the global
+    /// cycle cap — as a typed [`SimError`] instead of a panic. With no
+    /// fault plan attached the result is identical to [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] describing why the machine could not
+    /// complete the run.
+    pub fn try_run(&mut self) -> Result<SimResult<A::Prop>, SimError> {
+        Engine::new(self.algo, self.graph, &self.config, &self.device).try_run()
     }
 }
 
 /// Convenience one-shot run with a fresh simulator.
-pub fn run_on<A: Algorithm>(
+pub fn run_on<A: Algorithm>(algo: &A, graph: &Csr, config: ScalaGraphConfig) -> SimResult<A::Prop> {
+    Simulator::new(algo, graph, config).run()
+}
+
+/// Fallible [`run_on`]: builds and runs a simulator, returning every
+/// failure as a [`SimError`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the configuration is invalid or the run
+/// cannot complete.
+pub fn try_run_on<A: Algorithm>(
     algo: &A,
     graph: &Csr,
     config: ScalaGraphConfig,
-) -> SimResult<A::Prop> {
-    Simulator::new(algo, graph, config).run()
+) -> Result<SimResult<A::Prop>, SimError> {
+    Simulator::try_new(algo, graph, config)?.try_run()
+}
+
+/// A flit held between routers by an injected link-delay (or corruption)
+/// fault: it left `node` via `dir` and re-enters the downstream buffer at
+/// `release`.
+struct DelayedFlit<P> {
+    release: u64,
+    node: usize,
+    dir: usize,
+    update: PendingUpdate<Flit<P>>,
+}
+
+/// Monotonic counters the watchdog samples: any change between cycles is
+/// forward progress. Quiet-but-legitimate states (fetch stalls, broadcast
+/// drain, delayed flits awaiting release) are covered separately by
+/// [`Engine::waiting_on_timer`].
+#[derive(Clone, Copy, PartialEq, Default)]
+struct ProgressMark {
+    traversed_edges: u64,
+    updates_produced: u64,
+    updates_delivered: u64,
+    noc_hops: u64,
+    activations: u64,
+    applies: u64,
+    vpref_lines: u64,
+    epref_lines: u64,
+    epref_piggybacks: u64,
+    iterations: u64,
+    flits_dropped: u64,
+    flits_delayed: u64,
+    hbm_reads: u64,
+    hbm_writes: u64,
+    slice: usize,
+    scatter_iter: u64,
+    in_apply: bool,
 }
 
 struct Engine<'a, A: Algorithm> {
@@ -278,15 +371,15 @@ struct Engine<'a, A: Algorithm> {
     gu_busy_per_node: Vec<u64>,
     /// Per-(tile,row) dispatched-edge counters (trace only).
     dispatched_per_row: Vec<u64>,
+    /// Fault injector built from the configuration's plan; `None` leaves
+    /// every fault hook cold.
+    injector: Option<FaultInjector>,
+    /// Flits parked between routers by delay/corruption faults.
+    delayed: Vec<DelayedFlit<A::Prop>>,
 }
 
 impl<'a, A: Algorithm> Engine<'a, A> {
-    fn new(
-        algo: &'a A,
-        graph: &'a Csr,
-        cfg: &'a ScalaGraphConfig,
-        dev: &'a DeviceGraph,
-    ) -> Self {
+    fn new(algo: &'a A, graph: &'a Csr, cfg: &'a ScalaGraphConfig, dev: &'a DeviceGraph) -> Self {
         let n = graph.num_vertices();
         let placement = cfg.placement;
         let nodes = (0..placement.num_pes())
@@ -302,8 +395,7 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             .map(|_| TileFrontend::new(Hbm::new(cfg.tile_memory()), placement.rows_per_tile))
             .collect();
 
-        let pipelined =
-            cfg.inter_phase_pipelining && algo.is_monotonic() && dev.num_slices() == 1;
+        let pipelined = cfg.inter_phase_pipelining && algo.is_monotonic() && dev.num_slices() == 1;
         let limit = algo.max_iterations().map_or(u64::MAX, |m| m as u64);
 
         Engine {
@@ -338,10 +430,12 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             staged: Vec::new(),
             gu_busy_per_node: vec![0; placement.num_pes()],
             dispatched_per_row: vec![0; placement.tiles * placement.rows_per_tile],
+            injector: cfg.fault_plan.clone().and_then(FaultInjector::new),
+            delayed: Vec::new(),
         }
     }
 
-    fn run(mut self) -> SimResult<A::Prop> {
+    fn try_run(mut self) -> Result<SimResult<A::Prop>, SimError> {
         let mut initial: Vec<VertexId> = self.algo.initial_frontier(self.graph);
         scalagraph_algo::reference::dedup_frontier(&mut initial, self.graph.num_vertices());
         self.iter_active = initial
@@ -353,22 +447,227 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             .collect();
 
         if self.iter_active.is_empty() || self.limit == 0 {
-            return self.finish();
+            return Ok(self.finish());
         }
         self.frontier_sizes.push(self.iter_active.len());
         self.feed_scatter_inputs();
 
+        let mut last_mark = self.progress_mark();
+        let mut stalled_for: u64 = 0;
         loop {
             if self.advance_phases() {
                 break;
             }
-            self.step();
-            assert!(
-                self.now < CYCLE_SAFETY_CAP,
-                "simulation exceeded the cycle safety cap — machine deadlock?"
-            );
+            self.step()?;
+            if self.now >= CYCLE_SAFETY_CAP {
+                return Err(SimError::CycleCapExceeded {
+                    snapshot: Box::new(self.snapshot(stalled_for)),
+                });
+            }
+            if self.cfg.watchdog_stall_cycles == 0 {
+                continue;
+            }
+            let mark = self.progress_mark();
+            if mark != last_mark || self.waiting_on_timer() {
+                last_mark = mark;
+                stalled_for = 0;
+            } else {
+                stalled_for += 1;
+                if stalled_for >= self.cfg.watchdog_stall_cycles {
+                    return Err(self.stall_error(stalled_for));
+                }
+            }
         }
-        self.finish()
+        Ok(self.finish())
+    }
+
+    /// Counters whose movement constitutes forward progress.
+    fn progress_mark(&self) -> ProgressMark {
+        let s = &self.stats;
+        let mut hbm_reads = 0;
+        let mut hbm_writes = 0;
+        for t in &self.tiles {
+            let m = t.hbm.stats();
+            hbm_reads += m.reads;
+            hbm_writes += m.writes;
+        }
+        ProgressMark {
+            traversed_edges: s.traversed_edges,
+            updates_produced: s.updates_produced,
+            updates_delivered: s.updates_delivered,
+            noc_hops: s.noc_hops,
+            activations: s.activations,
+            applies: s.applies,
+            vpref_lines: s.vpref_lines,
+            epref_lines: s.epref_lines,
+            epref_piggybacks: s.epref_piggybacks,
+            iterations: s.iterations,
+            flits_dropped: s.flits_dropped,
+            flits_delayed: s.flits_delayed,
+            hbm_reads,
+            hbm_writes,
+            slice: self.slice,
+            scatter_iter: self.scatter_iter,
+            in_apply: self.phase == Phase::Apply,
+        }
+    }
+
+    /// Quiet states that are legitimate bounded waits, not stalls: every
+    /// one of these counts down (or releases) by itself. A permanently
+    /// pinned HBM channel deliberately does *not* qualify — its requests
+    /// stay in flight without any timer running.
+    fn waiting_on_timer(&self) -> bool {
+        self.fetch_stall > 0
+            || self.broadcast_backlog > 0
+            || self.delayed.iter().any(|d| d.release > self.now)
+    }
+
+    /// Captures the machine state for a watchdog/deadlock/cap error.
+    fn snapshot(&self, stalled_for: u64) -> StallSnapshot {
+        let mut tiles = Vec::new();
+        for (i, t) in self.tiles.iter().enumerate() {
+            let hbm_channels: Vec<HbmChannelSnapshot> = (0..t.hbm.num_channels())
+                .map(|ch| HbmChannelSnapshot {
+                    channel: ch,
+                    outstanding: t.hbm.outstanding(ch),
+                    stalled: t.hbm.is_stalled(ch),
+                })
+                .collect();
+            let snap = TileSnapshot {
+                tile: i,
+                vpref_pending: t.vpref_pending.len(),
+                vpref_inflight: t.vpref_inflight.len(),
+                records_ready: t.records_ready.len(),
+                line_inflight: t.line_inflight.len(),
+                write_backlog: t.write_backlog,
+                row_queue_depths: t.row_queues.iter().map(VecDeque::len).collect(),
+                hbm_channels,
+                outstanding_tags: t.hbm.outstanding_tags(8),
+            };
+            if snap.has_work() || snap.hbm_channels.iter().any(|c| c.stalled) {
+                tiles.push(snap);
+            }
+        }
+        let mut busy_nodes = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut out_depths = [0usize; NUM_DIRS];
+            for (d, buf) in n.out.iter().enumerate() {
+                out_depths[d] = buf.len();
+            }
+            if !n.gu_queue.is_empty()
+                || !n.apply_queue.is_empty()
+                || out_depths.iter().any(|&d| d > 0)
+            {
+                busy_nodes.push(NodeSnapshot {
+                    node: i,
+                    gu_queue: n.gu_queue.len(),
+                    out_depths,
+                    apply_queue: n.apply_queue.len(),
+                });
+            }
+        }
+        let suspect = self.suspect(&tiles, &busy_nodes);
+        StallSnapshot {
+            cycle: self.now,
+            stalled_for,
+            phase: match self.phase {
+                Phase::Scatter => "Scatter",
+                Phase::Apply => "Apply",
+            },
+            suspect,
+            tiles,
+            busy_nodes,
+            apply_inflight: self.apply_inflight,
+            broadcast_backlog: self.broadcast_backlog,
+            fetch_stall: self.fetch_stall,
+            delayed_flits: self.delayed.len(),
+        }
+    }
+
+    /// Blames the unit nearest the head of the stuck dependency chain:
+    /// pinned memory first (everything downstream starves off it), then
+    /// in-flight fetches, then the deepest backed-up router port, then the
+    /// compute/dispatch/apply queues.
+    fn suspect(&self, tiles: &[TileSnapshot], nodes: &[NodeSnapshot]) -> StalledUnit {
+        for t in tiles {
+            for ch in &t.hbm_channels {
+                if ch.stalled && ch.outstanding > 0 {
+                    return StalledUnit::HbmChannel {
+                        tile: t.tile,
+                        channel: ch.channel,
+                    };
+                }
+            }
+        }
+        for t in tiles {
+            if t.vpref_inflight > 0 || t.line_inflight > 0 {
+                if let Some(ch) = t
+                    .hbm_channels
+                    .iter()
+                    .filter(|c| c.outstanding > 0)
+                    .max_by_key(|c| c.outstanding)
+                {
+                    return StalledUnit::HbmChannel {
+                        tile: t.tile,
+                        channel: ch.channel,
+                    };
+                }
+                return StalledUnit::Prefetcher { tile: t.tile };
+            }
+        }
+        let mut worst: Option<(usize, usize, usize)> = None; // (depth, node, dir)
+        for n in nodes {
+            for dir in [NORTH, SOUTH, WEST, EAST] {
+                let depth = n.out_depths[dir];
+                if depth > 0 && worst.is_none_or(|(d, _, _)| depth > d) {
+                    worst = Some((depth, n.node, dir));
+                }
+            }
+        }
+        if let Some((_, node, dir)) = worst {
+            return StalledUnit::RouterPort { node, dir };
+        }
+        if let Some(n) = nodes
+            .iter()
+            .filter(|n| n.gu_queue > 0)
+            .max_by_key(|n| n.gu_queue)
+        {
+            return StalledUnit::GraphUnit { node: n.node };
+        }
+        for t in tiles {
+            if let Some((row, _)) = t
+                .row_queue_depths
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d > 0)
+                .max_by_key(|&(_, &d)| d)
+            {
+                return StalledUnit::Dispatcher { tile: t.tile, row };
+            }
+        }
+        for t in tiles {
+            if t.vpref_pending > 0 || t.records_ready > 0 {
+                return StalledUnit::Prefetcher { tile: t.tile };
+            }
+        }
+        if let Some(n) = nodes
+            .iter()
+            .find(|n| n.apply_queue > 0 || n.out_depths[EJECT] > 0)
+        {
+            return StalledUnit::Scratchpad { node: n.node };
+        }
+        StalledUnit::Unknown
+    }
+
+    /// The error for an expired watchdog: a deadlock when work is stuck in
+    /// the machine, a sequencer wedge otherwise.
+    fn stall_error(&self, stalled_for: u64) -> SimError {
+        let snapshot = Box::new(self.snapshot(stalled_for));
+        if !self.scatter_machine_empty() || self.apply_inflight > 0 {
+            SimError::DeadlockDetected { snapshot }
+        } else {
+            SimError::WatchdogStall { snapshot }
+        }
     }
 
     fn finish(mut self) -> SimResult<A::Prop> {
@@ -434,7 +733,7 @@ impl<'a, A: Algorithm> Engine<'a, A> {
     }
 
     /// One clock cycle for every hardware unit.
-    fn step(&mut self) {
+    fn step(&mut self) -> Result<(), SimError> {
         self.now += 1;
         if !self.scatter_machine_empty() || self.scatter_input_open {
             self.stats.scatter_cycles += 1;
@@ -458,21 +757,41 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                 );
             }
         }
+        if self.injector.is_some() {
+            self.apply_scheduled_hbm_stalls();
+        }
         self.step_memory();
         if self.fetch_stall > 0 {
             self.fetch_stall -= 1;
         } else {
-            self.step_prefetch();
+            self.step_prefetch()?;
         }
         self.step_dispatch();
-        self.step_routing();
+        if !self.delayed.is_empty() {
+            self.step_delayed();
+        }
+        self.step_routing()?;
         self.step_gu();
-        self.step_spd();
+        self.step_spd()?;
         if self.phase == Phase::Apply {
             self.step_apply();
         }
         if self.broadcast_backlog > 0 {
             self.broadcast_backlog -= 1;
+        }
+        Ok(())
+    }
+
+    /// Applies HBM pseudo-channel stalls whose schedule window has opened.
+    fn apply_scheduled_hbm_stalls(&mut self) {
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        for (tile, ch, cycles) in inj.hbm_stalls_at(self.now) {
+            if tile < self.tiles.len() && ch < self.tiles[tile].hbm.num_channels() {
+                self.tiles[tile].hbm.stall_channel(ch, cycles);
+                self.stats.hbm_stalls_injected += 1;
+            }
         }
     }
 
@@ -499,7 +818,10 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                             });
                         }
                     } else if let Some(segs) = self.tiles[t].line_inflight.remove(&resp.tag) {
-                        if self.tiles[t].last_line.is_some_and(|(_, tag)| tag == resp.tag) {
+                        if self.tiles[t]
+                            .last_line
+                            .is_some_and(|(_, tag)| tag == resp.tag)
+                        {
                             self.tiles[t].last_line = None;
                         }
                         for seg in segs {
@@ -513,7 +835,7 @@ impl<'a, A: Algorithm> Engine<'a, A> {
         }
     }
 
-    fn step_prefetch(&mut self) {
+    fn step_prefetch(&mut self) -> Result<(), SimError> {
         for t in 0..self.tiles.len() {
             // Flush pending active-list write-backs: one 64-byte line per
             // eight activations.
@@ -577,11 +899,15 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                 };
                 let piggybacked = match self.tiles[t].last_line {
                     Some((ll, tag)) if ll == line => {
-                        self.tiles[t]
-                            .line_inflight
-                            .get_mut(&tag)
-                            .expect("last_line tag must be in flight")
-                            .push(seg.clone());
+                        match self.tiles[t].line_inflight.get_mut(&tag) {
+                            Some(segs) => segs.push(seg.clone()),
+                            None => {
+                                return Err(SimError::protocol(
+                                    format!("piggyback tag {tag} not in flight in tile {t}"),
+                                    self.now,
+                                ))
+                            }
+                        }
                         self.stats.epref_piggybacks += 1;
                         true
                     }
@@ -609,9 +935,18 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                     self.tiles[t].channel_rr = (ch + 1) % self.tiles[t].hbm.num_channels();
                     budget -= 1;
                 }
-                self.tiles[t].records_ready.front_mut().unwrap().cursor = hi;
+                match self.tiles[t].records_ready.front_mut() {
+                    Some(head) => head.cursor = hi,
+                    None => {
+                        return Err(SimError::protocol(
+                            format!("record cursor vanished during edge issue in tile {t}"),
+                            self.now,
+                        ))
+                    }
+                }
             }
         }
+        Ok(())
     }
 
     // ----- dispatch ------------------------------------------------------
@@ -641,7 +976,8 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                 // Distinct source vertices scheduled this cycle (Section
                 // IV-C): a vertex may span several line segments; they all
                 // count once.
-                let mut srcs_used: Vec<VertexId> = Vec::with_capacity(self.cfg.max_scheduled_vertices);
+                let mut srcs_used: Vec<VertexId> =
+                    Vec::with_capacity(self.cfg.max_scheduled_vertices);
                 let mut scanned = 0usize;
                 while edges_left > 0 && scanned < scan_window {
                     let Some(mut seg) = self.tiles[t].row_queues[row].pop_front() else {
@@ -735,7 +1071,53 @@ impl<'a, A: Algorithm> Engine<'a, A> {
 
     // ----- routing -------------------------------------------------------
 
-    fn step_routing(&mut self) {
+    /// Re-injects fault-delayed flits whose hold has expired into the
+    /// downstream router's input. Runs before [`step_routing`](Self::step_routing)
+    /// so a released flit competes for buffer space like freshly arriving
+    /// traffic. A flit refused by a full buffer stays parked and retries.
+    fn step_delayed(&mut self) {
+        let algo = self.algo;
+        let cap = self.cfg.router_queue_capacity;
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].release > self.now {
+                i += 1;
+                continue;
+            }
+            let d = &self.delayed[i];
+            let to = neighbor(self.cfg, d.node, d.dir);
+            let home = self.cfg.placement.home_node(d.update.dst);
+            let to_dir = route_dir(self.cfg, to, home);
+            let update = d.update;
+            let accepted = self.nodes[to].out[to_dir]
+                .try_push(update.dst, update.value, cap, |a, b| Flit {
+                    value: algo.reduce(a.value, b.value),
+                    inject: a.inject.min(b.inject),
+                })
+                .is_some();
+            if accepted {
+                self.stats.noc_hops += 1;
+                self.delayed.swap_remove(i);
+            } else {
+                self.stats.noc_conflicts += 1;
+                i += 1;
+            }
+        }
+    }
+
+    /// Deterministically perturbs a corrupted destination id: stays within
+    /// the vertex range, or escapes it when the fault says so.
+    fn corrupt_dst(dst: VertexId, num_vertices: usize, out_of_range: bool) -> VertexId {
+        if out_of_range {
+            let n = num_vertices as u64;
+            n.saturating_add(1 + u64::from(dst) % 97)
+                .min(u64::from(u32::MAX)) as VertexId
+        } else {
+            (dst + 1) % (num_vertices.max(1) as VertexId)
+        }
+    }
+
+    fn step_routing(&mut self) -> Result<(), SimError> {
         let n_nodes = self.nodes.len();
         // Snapshot free space per (node, buffer).
         let mut free: Vec<[usize; NUM_DIRS]> = Vec::with_capacity(n_nodes);
@@ -754,9 +1136,22 @@ impl<'a, A: Algorithm> Engine<'a, A> {
         let algo = self.algo;
         let cap = self.cfg.router_queue_capacity;
         let width = self.cfg.link_width;
-        let mut moves: Vec<(usize, usize, usize, usize)> = Vec::new();
+        let faults_armed = self.injector.is_some();
+        let mut moves: Vec<(usize, usize)> = Vec::new();
         for node in 0..n_nodes {
             for dir in [NORTH, SOUTH, WEST, EAST] {
+                if faults_armed
+                    && self
+                        .injector
+                        .as_ref()
+                        .is_some_and(|inj| inj.link_blocked(self.now, node, dir))
+                {
+                    // A downed link: zero credit, full back-pressure.
+                    if !self.nodes[node].out[dir].is_empty() {
+                        self.stats.noc_conflicts += 1;
+                    }
+                    continue;
+                }
                 let mut granted = 0usize;
                 // All updates sharing this link this cycle head the same
                 // way physically; per-update destination buffers may
@@ -769,6 +1164,53 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                     // the route for the head, reserve, and mark the move;
                     // actual drains happen in order below.
                     let dst = update.dst;
+                    if faults_armed {
+                        let action = self
+                            .injector
+                            .as_mut()
+                            .and_then(|inj| inj.flit_action(self.now, node, dir));
+                        if let Some(action) = action {
+                            let Some(mut update) = self.nodes[node].out[dir].drain_one() else {
+                                return Err(SimError::protocol(
+                                    "peeked update vanished during faulty-link drain",
+                                    self.now,
+                                ));
+                            };
+                            match action {
+                                FlitAction::Drop => {
+                                    self.stats.flits_dropped += 1;
+                                }
+                                FlitAction::Delay(cycles) => {
+                                    self.stats.flits_delayed += 1;
+                                    self.delayed.push(DelayedFlit {
+                                        release: self.now + cycles.max(1),
+                                        node,
+                                        dir,
+                                        update,
+                                    });
+                                }
+                                FlitAction::Corrupt { out_of_range } => {
+                                    update.dst = Self::corrupt_dst(
+                                        update.dst,
+                                        self.graph.num_vertices(),
+                                        out_of_range,
+                                    );
+                                    self.stats.updates_corrupted += 1;
+                                    // The corrupted id needs a fresh route;
+                                    // park it for immediate re-injection at
+                                    // the neighbor next cycle.
+                                    self.delayed.push(DelayedFlit {
+                                        release: self.now,
+                                        node,
+                                        dir,
+                                        update,
+                                    });
+                                }
+                            }
+                            granted += 1;
+                            continue;
+                        }
+                    }
                     let to = neighbor(self.cfg, node, dir);
                     let home = self.cfg.placement.home_node(dst);
                     let to_dir = route_dir(self.cfg, to, home);
@@ -779,11 +1221,14 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                     free[to][to_dir] -= 1;
                     // Drain immediately into a staging list so the next
                     // peek sees the following update.
-                    let update = self.nodes[node].out[dir]
-                        .drain_one()
-                        .expect("peeked update vanished");
+                    let Some(update) = self.nodes[node].out[dir].drain_one() else {
+                        return Err(SimError::protocol(
+                            "peeked update vanished during routing drain",
+                            self.now,
+                        ));
+                    };
                     self.stats.noc_hops += 1;
-                    moves.push((to, to_dir, update.dst as usize, 0));
+                    moves.push((to, to_dir));
                     // Stash the flit out-of-band keyed by move order.
                     self.staged.push(update);
                     granted += 1;
@@ -791,30 +1236,38 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             }
         }
 
-        for (i, (to, to_dir, _, _)) in moves.into_iter().enumerate() {
+        for (i, (to, to_dir)) in moves.into_iter().enumerate() {
             let update = self.staged[i];
-            let res = self.nodes[to].out[to_dir].try_push(
-                update.dst,
-                update.value,
-                cap,
-                |a, b| Flit {
+            let res =
+                self.nodes[to].out[to_dir].try_push(update.dst, update.value, cap, |a, b| Flit {
                     value: algo.reduce(a.value, b.value),
                     inject: a.inject.min(b.inject),
-                },
-            );
+                });
             debug_assert!(res.is_some(), "reserved slot must accept");
         }
         self.staged.clear();
+        Ok(())
     }
 
     // ----- scratchpads ---------------------------------------------------
 
-    fn step_spd(&mut self) {
+    fn step_spd(&mut self) -> Result<(), SimError> {
         for node in 0..self.nodes.len() {
             let Some(update) = self.nodes[node].out[EJECT].drain_one() else {
                 continue;
             };
             let v = update.dst as usize;
+            if v >= self.temp.len() {
+                // Only an injected corruption can manufacture an id outside
+                // the vertex array; the scratchpad has nowhere to put it.
+                return Err(SimError::FaultUnrecoverable {
+                    detail: format!(
+                        "update ejected at PE {node} targets vertex {v} but the graph has {}",
+                        self.temp.len()
+                    ),
+                    cycle: self.now,
+                });
+            }
             debug_assert_eq!(self.cfg.placement.home_node(update.dst), node);
             self.temp[v] = self.algo.reduce(self.temp[v], update.value.value);
             if !self.touched[v] {
@@ -825,6 +1278,7 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             self.stats.routing_latency_sum += self.now.saturating_sub(update.value.inject);
             self.stats.routing_latency_count += 1;
         }
+        Ok(())
     }
 
     // ----- apply ---------------------------------------------------------
@@ -836,6 +1290,7 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                 continue;
             };
             self.apply_inflight -= 1;
+            self.stats.applies += 1;
             let vi = v as usize;
             let old = self.props[vi];
             let new = self.algo.apply(v, old, self.temp[vi], self.graph);
@@ -883,7 +1338,10 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             }
         }
         if std::env::var_os("SCALAGRAPH_TRACE").is_some() {
-            eprintln!("[trace] cycle {}: begin_apply (inflight {})", self.now, self.apply_inflight);
+            eprintln!(
+                "[trace] cycle {}: begin_apply (inflight {})",
+                self.now, self.apply_inflight
+            );
         }
         self.phase = Phase::Apply;
     }
@@ -895,7 +1353,8 @@ impl<'a, A: Algorithm> Engine<'a, A> {
     // ----- phase sequencing ---------------------------------------------
 
     fn scatter_machine_empty(&self) -> bool {
-        self.tiles.iter().all(TileFrontend::is_drained)
+        self.delayed.is_empty()
+            && self.tiles.iter().all(TileFrontend::is_drained)
             && self
                 .nodes
                 .iter()
@@ -967,7 +1426,10 @@ impl<'a, A: Algorithm> Engine<'a, A> {
     /// when the run is complete.
     fn next_wave(&mut self) -> bool {
         if std::env::var_os("SCALAGRAPH_TRACE").is_some() {
-            eprintln!("[trace] cycle {}: wave done (iter {}, slice {})", self.now, self.scatter_iter, self.slice);
+            eprintln!(
+                "[trace] cycle {}: wave done (iter {}, slice {})",
+                self.now, self.scatter_iter, self.slice
+            );
         }
         if self.slice + 1 < self.dev.num_slices() {
             self.slice += 1;

@@ -55,6 +55,17 @@ pub struct SimStats {
     pub vpref_lines: u64,
     /// Scatter cycles in which a dispatcher row had no fetched segments.
     pub dispatch_starved_row_cycles: u64,
+    /// Vertices applied (SPD Apply operations), including non-activating
+    /// ones.
+    pub applies: u64,
+    /// Flits discarded by injected link-drop faults.
+    pub flits_dropped: u64,
+    /// Flits held back by injected link-delay faults.
+    pub flits_delayed: u64,
+    /// Updates whose destination id was corrupted by an injected fault.
+    pub updates_corrupted: u64,
+    /// HBM pseudo-channel stalls applied from the fault plan.
+    pub hbm_stalls_injected: u64,
 }
 
 impl SimStats {

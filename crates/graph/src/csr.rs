@@ -518,6 +518,9 @@ mod tests {
     #[test]
     fn try_from_edges_rejects_bad_endpoint() {
         let err = Csr::try_from_edges(2, &[Edge::new(0, 2)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 2, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 2, .. }
+        ));
     }
 }

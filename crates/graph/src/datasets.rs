@@ -164,8 +164,7 @@ impl Dataset {
                 // Recurse to the paper's scale-24 depth and fold ids, so
                 // the stand-in keeps RMAT24's hub concentration instead of
                 // the (far higher) skew of a shallow small R-MAT.
-                let mut edges =
-                    generators::rmat_with_depth(v, e, 0.57, 0.19, 0.19, 24, seed);
+                let mut edges = generators::rmat_with_depth(v, e, 0.57, 0.19, 0.19, 24, seed);
                 edges.retain(|ed| ed.src != ed.dst);
                 edges
             }

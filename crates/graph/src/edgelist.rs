@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn from_vec_rejects_out_of_range() {
         let err = EdgeList::from_vec(2, vec![Edge::new(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub fn rmat_with_depth(
     if num_vertices == 0 {
         return Vec::new();
     }
-    let scale = depth.max((num_vertices.max(2) as f64).log2().ceil() as u32).min(63);
+    let scale = depth
+        .max((num_vertices.max(2) as f64).log2().ceil() as u32)
+        .min(63);
     let side = 1usize << scale;
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ca1ab1e);
     let mut edges = Vec::with_capacity(num_edges);
@@ -129,7 +131,10 @@ pub fn power_law_capped(
     max_share: f64,
     seed: u64,
 ) -> Vec<Edge> {
-    assert!(max_share > 0.0 && max_share <= 1.0, "share must be in (0, 1]");
+    assert!(
+        max_share > 0.0 && max_share <= 1.0,
+        "share must be in (0, 1]"
+    );
     if num_vertices == 0 || num_edges == 0 {
         return Vec::new();
     }
@@ -195,8 +200,8 @@ pub fn power_law_capped(
     };
 
     let mut edges = Vec::with_capacity(num_edges);
-    for v in 0..num_vertices {
-        for _ in 0..degrees[v] {
+    for (v, &degree) in degrees.iter().enumerate() {
+        for _ in 0..degree {
             let mut dst = sample_dst(&mut rng);
             if dst as usize == v {
                 dst = ((v + 1) % num_vertices) as VertexId;
@@ -298,7 +303,9 @@ mod tests {
         assert_eq!(a.len(), 5000);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert!(a.iter().all(|e| (e.src as usize) < 1000 && (e.dst as usize) < 1000));
+        assert!(a
+            .iter()
+            .all(|e| (e.src as usize) < 1000 && (e.dst as usize) < 1000));
     }
 
     #[test]

@@ -40,8 +40,9 @@ const CSR_MAGIC: &[u8; 8] = b"SCLGCSR1";
 ///
 /// # Errors
 ///
-/// Returns an [`io::Error`] on filesystem failures or malformed lines
-/// (non-numeric fields, fewer than two fields).
+/// Returns an [`io::Error`] on filesystem failures, malformed lines
+/// (non-numeric fields, fewer than two fields, endpoints above 32 bits),
+/// or an endpoint outside an explicitly supplied `num_vertices`.
 pub fn read_edge_list<P: AsRef<Path>>(
     path: P,
     num_vertices: Option<usize>,
@@ -80,6 +81,13 @@ pub fn read_edge_list<P: AsRef<Path>>(
         if src > u64::from(u32::MAX) || dst > u64::from(u32::MAX) {
             return Err(bad("vertex id exceeds 32 bits"));
         }
+        if let Some(n) = num_vertices {
+            if src >= n as u64 || dst >= n as u64 {
+                return Err(bad(&format!(
+                    "endpoint out of range for the declared {n} vertices"
+                )));
+            }
+        }
         max_vertex = max_vertex.max(src).max(dst);
         edges.push(Edge::weighted(src as VertexId, dst as VertexId, weight));
     }
@@ -100,7 +108,11 @@ pub fn read_edge_list<P: AsRef<Path>>(
 /// Returns an [`io::Error`] on filesystem failures.
 pub fn write_edge_list<P: AsRef<Path>>(list: &EdgeList, path: P) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "# scalagraph edge list: {} vertices", list.num_vertices())?;
+    writeln!(
+        w,
+        "# scalagraph edge list: {} vertices",
+        list.num_vertices()
+    )?;
     let weighted = list.iter().any(|e| e.weight != 0);
     for e in list {
         if weighted {
@@ -153,8 +165,10 @@ pub fn write_csr_binary<P: AsRef<Path>>(graph: &Csr, path: P) -> io::Result<()> 
 ///
 /// # Errors
 ///
-/// Returns an [`io::Error`] on filesystem failures, a bad magic number, or
-/// structurally invalid content.
+/// Returns an [`io::Error`] on filesystem failures, a bad magic number, a
+/// header whose declared sizes disagree with the file length (truncated
+/// or corrupt files are rejected before anything is allocated), or
+/// structurally invalid content (e.g. non-monotonic offsets).
 pub fn read_csr_binary<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
     let mut r = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 8];
@@ -165,9 +179,38 @@ pub fn read_csr_binary<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
             "not a scalagraph binary CSR file",
         ));
     }
-    let n = get_u64(&mut r)? as usize;
-    let m = get_u64(&mut r)? as usize;
-    let weighted = get_u64(&mut r)? != 0;
+    let file_len = r.get_ref().metadata()?.len();
+    let n_raw = get_u64(&mut r)?;
+    let m_raw = get_u64(&mut r)?;
+    let weighted_flag = get_u64(&mut r)?;
+    if weighted_flag > 1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("weighted flag must be 0 or 1, got {weighted_flag}"),
+        ));
+    }
+    let weighted = weighted_flag == 1;
+    // Check the header against the on-disk size before trusting it with an
+    // allocation: a corrupt header must not trigger a multi-GB Vec.
+    // Header = magic + 3 counters; payload = (n+1) offsets, m neighbors,
+    // and m weights when the weighted flag is set. u128 keeps adversarial
+    // u64::MAX counts from overflowing the check itself.
+    let expected = 8u128
+        + 3 * 8
+        + (u128::from(n_raw) + 1) * 8
+        + u128::from(m_raw) * 4
+        + if weighted { u128::from(m_raw) * 4 } else { 0 };
+    if u128::from(file_len) != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "header declares {n_raw} vertices / {m_raw} edges \
+                 ({expected} bytes) but the file is {file_len} bytes"
+            ),
+        ));
+    }
+    let n = n_raw as usize;
+    let m = m_raw as usize;
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
         offsets.push(get_u64(&mut r)?);
@@ -235,7 +278,11 @@ mod tests {
     #[test]
     fn text_parses_comments_and_infers_vertices() {
         let path = tmp("comments.txt");
-        std::fs::write(&path, "# SNAP style header\n% matrix-market style\n0 3\n2 1\n").unwrap();
+        std::fs::write(
+            &path,
+            "# SNAP style header\n% matrix-market style\n0 3\n2 1\n",
+        )
+        .unwrap();
         let list = read_edge_list(&path, None).unwrap();
         assert_eq!(list.num_vertices(), 4);
         assert_eq!(list.len(), 2);
@@ -275,6 +322,86 @@ mod tests {
         let path = tmp("bad.bin");
         std::fs::write(&path, b"NOTACSR!xxxxxxxx").unwrap();
         assert!(read_csr_binary(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    fn write_good_csr(name: &str) -> (PathBuf, Vec<u8>) {
+        let path = tmp(name);
+        let mut list = EdgeList::new(16);
+        for e in generators::uniform(16, 60, 13) {
+            list.push(e);
+        }
+        write_csr_binary(&Csr::from_edge_list(&list), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        (path, bytes)
+    }
+
+    #[test]
+    fn binary_rejects_truncated_file() {
+        let (path, bytes) = write_good_csr("trunc.bin");
+        for cut in [bytes.len() - 1, bytes.len() / 2, 40, 12] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = read_csr_binary(&path).unwrap_err();
+            assert!(
+                matches!(
+                    err.kind(),
+                    io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn binary_rejects_huge_declared_counts_without_allocating() {
+        let (path, mut bytes) = write_good_csr("huge.bin");
+        // Claim u64::MAX vertices: must fail the length check, not OOM.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_csr_binary(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn binary_rejects_bad_weighted_flag() {
+        let (path, mut bytes) = write_good_csr("flag.bin");
+        bytes[24..32].copy_from_slice(&7u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_csr_binary(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("weighted flag"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn binary_rejects_non_monotonic_offsets() {
+        let (path, mut bytes) = write_good_csr("offsets.bin");
+        // Corrupt the second offset to exceed the edge count.
+        bytes[40..48].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_csr_binary(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn text_rejects_out_of_range_endpoint() {
+        let path = tmp("oor.txt");
+        std::fs::write(&path, "0 1\n5 2\n").unwrap();
+        let err = read_edge_list(&path, Some(4)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("out of range"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn text_rejects_single_field_line() {
+        let path = tmp("single.txt");
+        std::fs::write(&path, "0 1\n7\n").unwrap();
+        let err = read_edge_list(&path, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(path).unwrap();
     }
 }

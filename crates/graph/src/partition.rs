@@ -111,10 +111,7 @@ pub fn slice_by_destination(graph: &Csr, intervals: &[VertexInterval]) -> Vec<Gr
     intervals
         .iter()
         .map(|&interval| {
-            let edges: Vec<Edge> = graph
-                .edges()
-                .filter(|e| interval.contains(e.dst))
-                .collect();
+            let edges: Vec<Edge> = graph.edges().filter(|e| interval.contains(e.dst)).collect();
             GraphSlice {
                 interval,
                 graph: Csr::from_edges(graph.num_vertices(), &edges),

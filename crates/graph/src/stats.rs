@@ -103,7 +103,11 @@ mod tests {
         assert_eq!(s.vertices, 100);
         assert_eq!(s.edges, 1000);
         assert!((s.avg - 10.0).abs() < 1e-9);
-        assert!(s.gini < 0.4, "uniform graph should have low gini: {}", s.gini);
+        assert!(
+            s.gini < 0.4,
+            "uniform graph should have low gini: {}",
+            s.gini
+        );
     }
 
     #[test]
@@ -122,7 +126,12 @@ mod tests {
             500,
             &generators::power_law(500, 5000, 0.9, 2),
         ));
-        assert!(p.gini > u.gini + 0.1, "power-law gini {} vs uniform {}", p.gini, u.gini);
+        assert!(
+            p.gini > u.gini + 0.1,
+            "power-law gini {} vs uniform {}",
+            p.gini,
+            u.gini
+        );
     }
 
     #[test]

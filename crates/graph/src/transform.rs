@@ -122,8 +122,11 @@ mod tests {
         assert_eq!(dg, dh);
         // And each relabeled vertex keeps its adjacency (mapped).
         for v in g.vertices() {
-            let mut a: Vec<VertexId> =
-                g.neighbors(v).iter().map(|&u| mapping[u as usize]).collect();
+            let mut a: Vec<VertexId> = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| mapping[u as usize])
+                .collect();
             let mut b = h.neighbors(mapping[v as usize]).to_vec();
             a.sort_unstable();
             b.sort_unstable();

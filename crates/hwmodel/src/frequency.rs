@@ -183,7 +183,10 @@ mod tests {
             let err = (modelled - mhz).abs() / mhz;
             // The published points are noisy around the O(N) law (293 at 64
             // PEs but 292 at 128); 4% covers the residual.
-            assert!(err < 0.04, "{pes} PEs: model {modelled:.1} vs paper {mhz} ({err:.3})");
+            assert!(
+                err < 0.04,
+                "{pes} PEs: model {modelled:.1} vs paper {mhz} ({err:.3})"
+            );
         }
     }
 

@@ -4,7 +4,7 @@ pub mod energy;
 pub mod frequency;
 pub mod resources;
 
+pub use energy::SystemKind;
 pub use energy::{EnergyModel, PowerBreakdown};
 pub use frequency::{max_frequency_mhz, InterconnectKind, SynthesisOutcome, OPERATING_CLOCK_MHZ};
 pub use resources::{AcceleratorKind, FpgaDevice, ResourceModel, ResourceUtilization, U280};
-pub use energy::SystemKind;

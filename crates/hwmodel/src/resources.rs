@@ -165,11 +165,19 @@ mod tests {
         let u128 = m.utilization(AcceleratorKind::ScalaGraph, 128);
         assert!((pct(u128.lut) - 10.9).abs() < 1.0, "lut {}", pct(u128.lut));
         assert!((pct(u128.reg) - 6.4).abs() < 1.0, "reg {}", pct(u128.reg));
-        assert!((pct(u128.bram) - 70.8).abs() < 4.0, "bram {}", pct(u128.bram));
+        assert!(
+            (pct(u128.bram) - 70.8).abs() < 4.0,
+            "bram {}",
+            pct(u128.bram)
+        );
         let u512 = m.utilization(AcceleratorKind::ScalaGraph, 512);
         assert!((pct(u512.lut) - 39.2).abs() < 1.5, "lut {}", pct(u512.lut));
         assert!((pct(u512.reg) - 22.9).abs() < 1.5, "reg {}", pct(u512.reg));
-        assert!((pct(u512.bram) - 73.2).abs() < 4.0, "bram {}", pct(u512.bram));
+        assert!(
+            (pct(u512.bram) - 73.2).abs() < 4.0,
+            "bram {}",
+            pct(u512.bram)
+        );
     }
 
     #[test]

@@ -207,6 +207,9 @@ pub struct Hbm {
     stats: MemStats,
     /// Xorshift state for deterministic latency jitter.
     jitter_state: u64,
+    /// Per-channel stall deadline (fault injection): while `now` is below
+    /// the deadline the channel services nothing and accepts nothing.
+    stalled_until: Vec<u64>,
 }
 
 impl Hbm {
@@ -214,6 +217,7 @@ impl Hbm {
     pub fn new(config: HbmConfig) -> Self {
         Hbm {
             channels: vec![Channel::default(); config.channels],
+            stalled_until: vec![0; config.channels],
             config,
             now: 0,
             stats: MemStats::default(),
@@ -252,6 +256,9 @@ impl Hbm {
     /// Panics if `channel` is out of range or `bytes == 0`.
     pub fn try_request(&mut self, channel: usize, request: MemRequest) -> bool {
         assert!(request.bytes > 0, "zero-byte memory request");
+        if self.is_stalled(channel) {
+            return false;
+        }
         let ch = &mut self.channels[channel];
         if ch.pending.len() + ch.in_flight.len() >= self.config.queue_depth {
             return false;
@@ -263,7 +270,47 @@ impl Hbm {
     /// Whether `channel` can accept another request this cycle.
     pub fn can_accept(&self, channel: usize) -> bool {
         let ch = &self.channels[channel];
-        ch.pending.len() + ch.in_flight.len() < self.config.queue_depth
+        !self.is_stalled(channel) && ch.pending.len() + ch.in_flight.len() < self.config.queue_depth
+    }
+
+    /// Pins `channel` for `cycles` starting now: no service, no
+    /// retirement, no new requests (fault injection). `u64::MAX` pins it
+    /// forever; a second stall extends the deadline, never shortens it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn stall_channel(&mut self, channel: usize, cycles: u64) {
+        let deadline = self.now.saturating_add(cycles);
+        let until = &mut self.stalled_until[channel];
+        *until = (*until).max(deadline);
+    }
+
+    /// Whether an injected stall is currently pinning `channel`.
+    pub fn is_stalled(&self, channel: usize) -> bool {
+        self.stalled_until[channel] > self.now
+    }
+
+    /// Requests queued or in flight on `channel` (unconsumed responses
+    /// excluded).
+    pub fn outstanding(&self, channel: usize) -> usize {
+        let ch = &self.channels[channel];
+        ch.pending.len() + ch.in_flight.len()
+    }
+
+    /// Tags of requests queued or in flight across all channels, up to
+    /// `limit` (diagnostic snapshots).
+    pub fn outstanding_tags(&self, limit: usize) -> Vec<u64> {
+        let mut tags = Vec::new();
+        'outer: for ch in &self.channels {
+            for req in ch.pending.iter().chain(ch.in_flight.iter().map(|(_, r)| r)) {
+                if tags.len() >= limit {
+                    break 'outer;
+                }
+                tags.push(req.tag);
+            }
+        }
+        tags
     }
 
     /// Advances the device by one cycle.
@@ -274,6 +321,11 @@ impl Hbm {
         let base_latency = self.config.latency_cycles as u64;
         let jitter_on = self.config.latency_jitter > 0;
         for i in 0..self.channels.len() {
+            if self.stalled_until[i] > self.now {
+                // A pinned channel freezes completely; its in-flight
+                // latency deadlines simply age past.
+                continue;
+            }
             let jitter = if jitter_on { self.next_jitter() } else { 0 };
             let ch = &mut self.channels[i];
             // Service the head of the queue with this cycle's credit. Idle
@@ -513,5 +565,58 @@ mod tests {
     fn zero_byte_request_panics() {
         let mut hbm = Hbm::new(tiny_config());
         let _ = hbm.try_request(0, MemRequest::read(0, 0));
+    }
+
+    #[test]
+    fn stalled_channel_freezes_and_recovers() {
+        let mut hbm = Hbm::new(tiny_config());
+        assert!(hbm.try_request(0, MemRequest::read(3, 64)));
+        hbm.stall_channel(0, 10);
+        assert!(hbm.is_stalled(0));
+        assert!(!hbm.can_accept(0));
+        assert!(!hbm.try_request(0, MemRequest::read(4, 64)));
+        assert!(hbm.can_accept(1), "other channels keep working");
+        for _ in 0..10 {
+            hbm.step();
+            assert!(hbm.pop_ready(0).is_none(), "no service while pinned");
+        }
+        assert!(!hbm.is_stalled(0));
+        assert_eq!(hbm.outstanding(0), 1);
+        assert_eq!(hbm.outstanding_tags(8), vec![3]);
+        // Serviced on the first unpinned cycle, ready after the latency.
+        let mut tag = None;
+        for _ in 0..6 {
+            hbm.step();
+            if let Some(r) = hbm.pop_ready(0) {
+                tag = Some(r.tag);
+                break;
+            }
+        }
+        assert_eq!(tag, Some(3));
+        assert!(hbm.is_idle());
+    }
+
+    #[test]
+    fn permanent_stall_never_lifts() {
+        let mut hbm = Hbm::new(tiny_config());
+        assert!(hbm.try_request(1, MemRequest::read(9, 64)));
+        hbm.stall_channel(1, u64::MAX);
+        for _ in 0..1000 {
+            hbm.step();
+        }
+        assert!(hbm.is_stalled(1));
+        assert!(hbm.pop_ready(1).is_none());
+        assert_eq!(hbm.outstanding(1), 1);
+    }
+
+    #[test]
+    fn stall_extends_but_never_shortens() {
+        let mut hbm = Hbm::new(tiny_config());
+        hbm.stall_channel(0, 20);
+        hbm.stall_channel(0, 5);
+        for _ in 0..10 {
+            hbm.step();
+        }
+        assert!(hbm.is_stalled(0), "longer deadline must win");
     }
 }

@@ -71,7 +71,10 @@ impl Butterfly {
     ///
     /// Panics unless `ports` is a power of two and at least 2.
     pub fn new(ports: usize) -> Self {
-        assert!(ports >= 2 && ports.is_power_of_two(), "ports must be a power of two >= 2");
+        assert!(
+            ports >= 2 && ports.is_power_of_two(),
+            "ports must be a power of two >= 2"
+        );
         let stages = ports.trailing_zeros() as usize;
         Butterfly {
             ports,
@@ -188,22 +191,23 @@ impl Butterfly {
                     // Check downstream space.
                     if stage + 1 < self.stages {
                         let (nidx, nside) = self.wire_to_switch(stage + 1, out_wire);
-                        if self.switches[stage + 1][nidx].inputs[nside].len()
-                            >= self.queue_capacity
+                        if self.switches[stage + 1][nidx].inputs[nside].len() >= self.queue_capacity
                         {
                             self.stats.conflict_cycles += 1;
                             continue;
                         }
-                        let pkt = self.switches[stage][idx].inputs[side]
-                            .pop_front()
-                            .unwrap();
+                        let Some(pkt) = self.switches[stage][idx].inputs[side].pop_front() else {
+                            debug_assert!(false, "winner must hold a queued packet");
+                            continue;
+                        };
                         self.switches[stage][idx].rr = (side + 1) % 2;
                         self.stats.flit_hops += 1;
                         self.switches[stage + 1][nidx].inputs[nside].push_back(pkt);
                     } else {
-                        let pkt = self.switches[stage][idx].inputs[side]
-                            .pop_front()
-                            .unwrap();
+                        let Some(pkt) = self.switches[stage][idx].inputs[side].pop_front() else {
+                            debug_assert!(false, "winner must hold a queued packet");
+                            continue;
+                        };
                         self.switches[stage][idx].rr = (side + 1) % 2;
                         self.stats.flit_hops += 1;
                         self.stats.packets_delivered += 1;

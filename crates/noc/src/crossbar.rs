@@ -191,7 +191,9 @@ impl Crossbar {
                 }
                 if let Some(input) = member_hit {
                     contenders += 1;
-                    if winner.is_none() && !(matches!(self.kind, CrossbarKind::MultiStage { .. }) && group_used[g]) {
+                    if winner.is_none()
+                        && !(matches!(self.kind, CrossbarKind::MultiStage { .. }) && group_used[g])
+                    {
                         winner = Some(input);
                         group_used[g] = true;
                         self.group_rr[g] = (input - members[0] + 1) % members.len();
@@ -199,7 +201,10 @@ impl Crossbar {
                 }
             }
             if let Some(input) = winner {
-                let pkt = self.voq[input][out].pop_front().unwrap();
+                let Some(pkt) = self.voq[input][out].pop_front() else {
+                    debug_assert!(false, "winner must hold a queued packet");
+                    continue;
+                };
                 self.stats.flit_hops += 1;
                 self.stats.packets_delivered += 1;
                 self.stats.total_latency_cycles += self.now - pkt.inject_cycle;

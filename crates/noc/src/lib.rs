@@ -1,6 +1,10 @@
 //! Cycle-level on-chip interconnect simulators (mesh, crossbar, Benes).
 //!
-//! Implemented in the modules below; see crate docs in each.
+//! Implemented in the modules below; see crate docs in each. The mesh
+//! additionally supports injected link faults ([`LinkFault`]) for
+//! robustness testing.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod butterfly;
 pub mod crossbar;
@@ -9,5 +13,5 @@ pub mod stats;
 
 pub use butterfly::{BflyPacket, Butterfly};
 pub use crossbar::{Crossbar, CrossbarKind};
-pub use mesh::{Mesh, MeshConfig, Packet};
+pub use mesh::{LinkFault, Mesh, MeshConfig, Packet};
 pub use stats::NocStats;

@@ -7,7 +7,7 @@
 //! id+value pair, well within one link width).
 
 use crate::stats::NocStats;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// A single-flit packet carrying an opaque payload to a destination node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,12 +129,30 @@ impl Router {
 /// }
 /// assert_eq!(mesh.pop_delivered(15).unwrap().payload, 1);
 /// ```
+/// An injected fault on one directed mesh link (fault-injection testing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The link carries nothing: packets heading across it stay queued
+    /// upstream (zero credit).
+    Down,
+    /// The link silently discards one packet in `one_in` (`one_in <= 1`
+    /// drops every packet); survivors cross normally.
+    Lossy {
+        /// Drop one packet in this many.
+        one_in: u32,
+    },
+}
+
 #[derive(Debug, Clone)]
 pub struct Mesh {
     config: MeshConfig,
     routers: Vec<Router>,
     stats: NocStats,
     now: u64,
+    /// Injected faults keyed by directed link `(from_node, to_node)`.
+    link_faults: HashMap<(usize, usize), LinkFault>,
+    /// Xorshift state for lossy-link decisions (deterministic).
+    fault_rng: u64,
 }
 
 impl Mesh {
@@ -151,7 +169,47 @@ impl Mesh {
             config,
             stats: NocStats::default(),
             now: 0,
+            link_faults: HashMap::new(),
+            fault_rng: 0x9e3779b97f4a7c15,
         }
+    }
+
+    /// Installs (or with `None` clears) a fault on the directed link from
+    /// `from` to its neighbor `to`. Faulting a non-adjacent pair is allowed
+    /// but has no effect — no packet ever crosses such a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn set_link_fault(&mut self, from: usize, to: usize, fault: Option<LinkFault>) {
+        assert!(from < self.config.nodes(), "fault source out of range");
+        assert!(to < self.config.nodes(), "fault target out of range");
+        match fault {
+            Some(f) => {
+                self.link_faults.insert((from, to), f);
+            }
+            None => {
+                self.link_faults.remove(&(from, to));
+            }
+        }
+    }
+
+    /// Re-seeds the deterministic lossy-link stream.
+    pub fn seed_faults(&mut self, seed: u64) {
+        // Zero would freeze the xorshift stream.
+        self.fault_rng = seed | 1;
+    }
+
+    fn fault_hits(&mut self, one_in: u32) -> bool {
+        if one_in <= 1 {
+            return true;
+        }
+        let mut x = self.fault_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.fault_rng = x;
+        x.is_multiple_of(one_in as u64)
     }
 
     /// The mesh configuration.
@@ -196,11 +254,19 @@ impl Mesh {
             // Shortest-way ring routing, column dimension first.
             if dc != c {
                 let fwd = (dc + cols - c) % cols; // hops going east
-                return if fwd <= cols - fwd { Dir::East } else { Dir::West };
+                return if fwd <= cols - fwd {
+                    Dir::East
+                } else {
+                    Dir::West
+                };
             }
             if dr != r {
                 let fwd = (dr + rows - r) % rows; // hops going south
-                return if fwd <= rows - fwd { Dir::South } else { Dir::North };
+                return if fwd <= rows - fwd {
+                    Dir::South
+                } else {
+                    Dir::North
+                };
             }
             return Dir::Eject;
         }
@@ -339,7 +405,11 @@ impl Mesh {
                             1
                         };
                         let (n, port) = self.neighbor(node, dir);
-                        if free[n][port] >= needed {
+                        if matches!(self.link_faults.get(&(node, n)), Some(LinkFault::Down)) {
+                            // A downed link grants nothing; the contender
+                            // counts as blocked below.
+                            false
+                        } else if free[n][port] >= needed {
                             free[n][port] -= 1;
                             true
                         } else {
@@ -353,15 +423,17 @@ impl Mesh {
                     }
                 }
                 if contenders > 1 || (contenders == 1 && !granted) {
-                    self.stats.conflict_cycles +=
-                        (contenders - usize::from(granted)) as u64;
+                    self.stats.conflict_cycles += (contenders - usize::from(granted)) as u64;
                 }
             }
         }
 
         // Phase 2: apply the moves.
         for (node, port, dir) in moves {
-            let pkt = self.routers[node].inputs[port].pop_front().unwrap();
+            let Some(pkt) = self.routers[node].inputs[port].pop_front() else {
+                debug_assert!(false, "granted move from an empty input queue");
+                continue;
+            };
             self.stats.flit_hops += 1;
             match dir {
                 Dir::Eject => {
@@ -371,6 +443,15 @@ impl Mesh {
                 }
                 _ => {
                     let (n, in_port) = self.neighbor(node, dir);
+                    if !self.link_faults.is_empty() {
+                        if let Some(&LinkFault::Lossy { one_in }) = self.link_faults.get(&(node, n))
+                        {
+                            if self.fault_hits(one_in) {
+                                self.stats.packets_dropped += 1;
+                                continue;
+                            }
+                        }
+                    }
                     self.routers[n].inputs[in_port].push_back(pkt);
                 }
             }
@@ -689,6 +770,64 @@ mod tests {
             torus_sum * 100 < mesh_sum * 85,
             "torus {torus_sum} mesh {mesh_sum}"
         );
+    }
+
+    #[test]
+    fn down_link_blocks_until_cleared() {
+        let mut m = Mesh::new(MeshConfig::new(1, 2));
+        m.set_link_fault(0, 1, Some(LinkFault::Down));
+        m.try_inject(
+            0,
+            Packet {
+                dst: 1,
+                payload: 7,
+                inject_cycle: 0,
+            },
+        );
+        for _ in 0..50 {
+            m.step();
+        }
+        assert!(
+            m.pop_delivered(1).is_none(),
+            "downed link must carry nothing"
+        );
+        assert!(!m.in_flight_empty(), "packet stays queued upstream");
+        assert!(m.stats().conflict_cycles > 0);
+        m.set_link_fault(0, 1, None);
+        let p = run_until_delivered(&mut m, 1, 10).unwrap();
+        assert_eq!(p.payload, 7);
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let mut m = Mesh::new(MeshConfig::new(1, 2));
+        m.set_link_fault(0, 1, Some(LinkFault::Lossy { one_in: 1 }));
+        m.try_inject(
+            0,
+            Packet {
+                dst: 1,
+                payload: 1,
+                inject_cycle: 0,
+            },
+        );
+        for _ in 0..20 {
+            m.step();
+        }
+        assert!(m.pop_delivered(1).is_none());
+        assert_eq!(m.stats().packets_dropped, 1);
+        assert!(m.in_flight_empty(), "the drop consumed the packet");
+        // Faults only touch their own link: the reverse direction works.
+        m.try_inject(
+            1,
+            Packet {
+                dst: 0,
+                payload: 2,
+                inject_cycle: 0,
+            },
+        );
+        let p = run_until_delivered(&mut m, 0, 10).unwrap();
+        assert_eq!(p.payload, 2);
+        assert_eq!(m.stats().packets_dropped, 1);
     }
 
     #[test]

@@ -13,7 +13,10 @@ fn main() {
     let algo = PageRank::new(3);
 
     println!("PageRank(3 iterations) throughput in GTEPS, graphs at 1/{scale} paper scale\n");
-    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "graph", "32 PEs", "128 PEs", "512 PEs", "speedup");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "graph", "32 PEs", "128 PEs", "512 PEs", "speedup"
+    );
     for dataset in [Dataset::Pokec, Dataset::LiveJournal, Dataset::Orkut] {
         let graph = dataset.generate(scale, 42);
         let mut row = Vec::new();

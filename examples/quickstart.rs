@@ -40,11 +40,10 @@ fn main() {
 
     // Verify against the golden sequential engine.
     let golden = ReferenceEngine::new().run(&bfs, &graph);
-    assert_eq!(result.properties, golden.properties, "accelerator must match reference");
-    let reached = result
-        .properties
-        .iter()
-        .filter(|&&l| l != u32::MAX)
-        .count();
+    assert_eq!(
+        result.properties, golden.properties,
+        "accelerator must match reference"
+    );
+    let reached = result.properties.iter().filter(|&&l| l != u32::MAX).count();
     println!("BFS reached {reached}/{num_vertices} vertices — results verified against reference");
 }

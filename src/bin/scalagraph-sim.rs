@@ -18,8 +18,13 @@
 //!   --no-pipeline                   disable inter-phase pipelining
 //!   --iters <n>                     PageRank iterations  [5]
 //!   --seed <n>                      generator seed       [42]
+//!   --watchdog <cycles>             stall watchdog threshold, 0 disables [25000]
 //!   --baseline                      also run the GraphDynS-128 baseline
 //! ```
+//!
+//! Invalid configurations and wedged runs exit with a structured error
+//! (and, for stalls, the watchdog's diagnostic snapshot) instead of a
+//! panic backtrace.
 
 use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
 use scalagraph_suite::algo::Algorithm;
@@ -31,12 +36,16 @@ use std::process::exit;
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
-    eprintln!("{}", include_str!("scalagraph-sim.rs").lines()
-        .skip(2)
-        .take_while(|l| l.starts_with("//!"))
-        .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
-        .collect::<Vec<_>>()
-        .join("\n"));
+    eprintln!(
+        "{}",
+        include_str!("scalagraph-sim.rs")
+            .lines()
+            .skip(2)
+            .take_while(|l| l.starts_with("//!"))
+            .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
     exit(2)
 }
 
@@ -65,7 +74,9 @@ fn parse_args() -> HashMap<String, String> {
 
 fn load_graph(args: &HashMap<String, String>, weighted: bool, symmetric: bool) -> Csr {
     let seed: u64 = args.get("seed").map_or(42, |s| s.parse().unwrap_or(42));
-    let scale: u64 = args.get("scale").map_or(2048, |s| s.parse().unwrap_or(2048));
+    let scale: u64 = args
+        .get("scale")
+        .map_or(2048, |s| s.parse().unwrap_or(2048));
     let mut list: EdgeList = if let Some(path) = args.get("csr") {
         let g = io::read_csr_binary(path).unwrap_or_else(|e| usage_and_exit(&format!("{e}")));
         if !weighted && !symmetric {
@@ -116,6 +127,11 @@ fn build_config(args: &HashMap<String, String>) -> ScalaGraphConfig {
     if args.contains_key("no-pipeline") {
         cfg.inter_phase_pipelining = false;
     }
+    if let Some(w) = args.get("watchdog") {
+        cfg.watchdog_stall_cycles = w.parse().unwrap_or_else(|_| {
+            usage_and_exit(&format!("--watchdog needs a cycle count, got `{w}`"))
+        });
+    }
     cfg
 }
 
@@ -129,9 +145,15 @@ fn report<P>(label: &str, result: &SimResult<P>, clock_mhz: f64) {
     println!("  throughput        : {:.3} GTEPS", s.gteps(clock_mhz));
     println!("  PE utilization    : {:.1}%", s.pe_utilization() * 100.0);
     println!("  NoC hops          : {}", s.noc_hops);
-    println!("  routing latency   : {:.1} cycles", s.avg_routing_latency());
+    println!(
+        "  routing latency   : {:.1} cycles",
+        s.avg_routing_latency()
+    );
     println!("  aggregation merges: {}", s.agg_merges);
-    println!("  off-chip traffic  : {:.2} MB", s.offchip_bytes() as f64 / 1e6);
+    println!(
+        "  off-chip traffic  : {:.2} MB",
+        s.offchip_bytes() as f64 / 1e6
+    );
     println!("  slices            : {}", s.slices);
     println!("  pipelining engaged: {}", s.inter_phase_used);
 }
@@ -140,7 +162,15 @@ fn run_all<A: Algorithm>(algo: &A, graph: &Csr, args: &HashMap<String, String>) 
     let cfg = build_config(args);
     let clock = cfg.effective_clock_mhz();
     let pes = cfg.placement.num_pes();
-    let result = Simulator::new(algo, graph, cfg).run();
+    let result = Simulator::try_new(algo, graph, cfg)
+        .and_then(|mut sim| sim.try_run())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            if let Some(snapshot) = e.snapshot() {
+                eprintln!("\n{snapshot}");
+            }
+            exit(1)
+        });
     report(&format!("ScalaGraph-{pes} {}", algo.name()), &result, clock);
     if args.contains_key("baseline") {
         let gd_cfg = GraphDynsConfig::graphdyns_128();

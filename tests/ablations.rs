@@ -104,7 +104,10 @@ fn degree_aware_scheduling_helps_low_degree_graphs_most() {
 fn inter_phase_pipelining_is_disabled_for_pagerank_and_sliced_runs() {
     let g = pagerank_graph();
     let pr = run_on(&PageRank::new(2), &g, ScalaGraphConfig::with_pes(32));
-    assert!(!pr.stats.inter_phase_used, "non-monotonic must not pipeline");
+    assert!(
+        !pr.stats.inter_phase_used,
+        "non-monotonic must not pipeline"
+    );
 
     let mut sliced = ScalaGraphConfig::with_pes(32);
     sliced.spd_capacity_vertices = 100;
@@ -176,7 +179,9 @@ fn every_ablation_produces_identical_bfs_results() {
     for cfg in configs {
         let label = format!(
             "{} regs={} width={} pipe={}",
-            cfg.mapping, cfg.aggregation_registers, cfg.max_scheduled_vertices,
+            cfg.mapping,
+            cfg.aggregation_registers,
+            cfg.max_scheduled_vertices,
             cfg.inter_phase_pipelining
         );
         let sim = run_on(&algo, &g, cfg);

@@ -76,10 +76,16 @@ fn pagerank_close_on_all_families() {
         let sg = run_on(&algo, &g, ScalaGraphConfig::with_pes(32));
         let gd = GraphDyns::new(GraphDynsConfig::with_pes(32)).run(&algo, &g);
         for (i, (&a, &b)) in sg.properties.iter().zip(&golden.properties).enumerate() {
-            assert!((a - b).abs() < 1e-4, "scalagraph {name} vertex {i}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-4,
+                "scalagraph {name} vertex {i}: {a} vs {b}"
+            );
         }
         for (i, (&a, &b)) in gd.properties.iter().zip(&golden.properties).enumerate() {
-            assert!((a - b).abs() < 1e-4, "graphdyns {name} vertex {i}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-4,
+                "graphdyns {name} vertex {i}: {a} vs {b}"
+            );
         }
     }
 }
@@ -93,7 +99,10 @@ fn dataset_standins_run_correctly_on_scalagraph() {
         let golden = ReferenceEngine::new().run(&algo, &g);
         let sim = run_on(&algo, &g, ScalaGraphConfig::with_pes(64));
         assert_eq!(sim.properties, golden.properties, "{dataset}");
-        assert_eq!(sim.stats.traversed_edges, golden.traversed_edges, "{dataset}");
+        assert_eq!(
+            sim.stats.traversed_edges, golden.traversed_edges,
+            "{dataset}"
+        );
     }
 }
 

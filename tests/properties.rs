@@ -13,14 +13,15 @@ use scalagraph_suite::scalagraph::{run_on, Mapping, ScalaGraphConfig};
 
 fn arb_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = Csr> {
     (2..max_v).prop_flat_map(move |v| {
-        prop::collection::vec((0..v as u32, 0..v as u32, 0u32..256), 1..max_e)
-            .prop_map(move |triples| {
+        prop::collection::vec((0..v as u32, 0..v as u32, 0u32..256), 1..max_e).prop_map(
+            move |triples| {
                 let edges: Vec<Edge> = triples
                     .into_iter()
                     .map(|(s, d, w)| Edge::weighted(s, d, w))
                     .collect();
                 Csr::from_edges(v, &edges)
-            })
+            },
+        )
     })
 }
 
