@@ -3,6 +3,7 @@
 
 use crate::sweep::parallel_map;
 use crate::workloads::{PreparedGraph, Workload, PAGERANK_ITERATIONS};
+use scalagraph::telemetry::{Recorder, TelemetrySummary};
 use scalagraph::{ScalaGraphConfig, SimError, SimStats, Simulator};
 use scalagraph_algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
 use scalagraph_algo::Algorithm;
@@ -66,6 +67,15 @@ pub trait ErasedRunner {
     /// [`SimError`] instead of a panic, so sweeps can record the failure
     /// and keep going.
     fn try_scalagraph(&self, graph: &Csr, cfg: ScalaGraphConfig) -> Result<Metrics, SimError>;
+    /// Like [`try_scalagraph`](Self::try_scalagraph) but runs with a
+    /// [`Recorder`] sampling every `window` cycles, and returns the
+    /// [`TelemetrySummary`] alongside the metrics.
+    fn try_scalagraph_telemetry(
+        &self,
+        graph: &Csr,
+        cfg: ScalaGraphConfig,
+        window: u64,
+    ) -> Result<(Metrics, TelemetrySummary), SimError>;
     /// Runs on the GraphDynS baseline.
     fn graphdyns(&self, graph: &Csr, cfg: GraphDynsConfig) -> Metrics;
     /// Runs on the Gunrock GPU model.
@@ -103,6 +113,18 @@ impl<A: Algorithm> ErasedRunner for AlgoRunner<A> {
         let clock = cfg.effective_clock_mhz();
         let result = Simulator::try_new(&self.algo, graph, cfg)?.try_run()?;
         Ok(scalagraph_metrics(result.stats, clock))
+    }
+
+    fn try_scalagraph_telemetry(
+        &self,
+        graph: &Csr,
+        cfg: ScalaGraphConfig,
+        window: u64,
+    ) -> Result<(Metrics, TelemetrySummary), SimError> {
+        let clock = cfg.effective_clock_mhz();
+        let mut rec = Recorder::new(window);
+        let result = Simulator::try_new(&self.algo, graph, cfg)?.try_run_with(&mut rec)?;
+        Ok((scalagraph_metrics(result.stats, clock), rec.summary()))
     }
 
     fn graphdyns(&self, graph: &Csr, cfg: GraphDynsConfig) -> Metrics {
@@ -166,6 +188,9 @@ pub struct SweepRecord {
     pub label: String,
     /// Metrics on success, the structured failure otherwise.
     pub outcome: Result<Metrics, SimError>,
+    /// Time-resolved summary when the sweep ran with telemetry enabled
+    /// ([`sweep_scalagraph_telemetry`]); `None` for plain sweeps.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 /// Runs `workload` under every labelled configuration in parallel. Failed
@@ -179,6 +204,50 @@ pub fn sweep_scalagraph(
     parallel_map(configs, |(label, cfg)| SweepRecord {
         outcome: try_run_scalagraph(prep, workload, cfg),
         label,
+        telemetry: None,
+    })
+}
+
+/// Fallible telemetry run: like [`try_run_scalagraph`] but samples with a
+/// [`Recorder`] (window of `window` cycles) and returns the summary too.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the configuration is invalid or the run
+/// cannot complete (deadlock, watchdog stall, unrecoverable fault).
+pub fn try_run_scalagraph_telemetry(
+    prep: &PreparedGraph,
+    workload: Workload,
+    cfg: ScalaGraphConfig,
+    window: u64,
+) -> Result<(Metrics, TelemetrySummary), SimError> {
+    with_algorithm(workload, prep, |r| {
+        r.try_scalagraph_telemetry(&prep.graph, cfg.clone(), window)
+    })
+}
+
+/// [`sweep_scalagraph`] with telemetry: every successful record carries a
+/// [`TelemetrySummary`] (peak link utilization, routing-latency
+/// percentiles, phase breakdown) sampled on `window`-cycle boundaries.
+pub fn sweep_scalagraph_telemetry(
+    prep: &PreparedGraph,
+    workload: Workload,
+    configs: Vec<(String, ScalaGraphConfig)>,
+    window: u64,
+) -> Vec<SweepRecord> {
+    parallel_map(configs, |(label, cfg)| {
+        match try_run_scalagraph_telemetry(prep, workload, cfg, window) {
+            Ok((metrics, summary)) => SweepRecord {
+                label,
+                outcome: Ok(metrics),
+                telemetry: Some(summary),
+            },
+            Err(e) => SweepRecord {
+                label,
+                outcome: Err(e),
+                telemetry: None,
+            },
+        }
     })
 }
 
@@ -251,6 +320,32 @@ mod tests {
         for r in &ok {
             let m = r.outcome.as_ref().unwrap();
             assert!(m.cycles > 0 && m.traversed_edges > 0, "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn telemetry_sweep_attaches_summaries_without_changing_metrics() {
+        let prep = prepare(Dataset::Pokec, Workload::Bfs, 8192, 1);
+        let configs = vec![
+            ("pe32".to_string(), ScalaGraphConfig::with_pes(32)),
+            ("pe64".to_string(), ScalaGraphConfig::with_pes(64)),
+        ];
+        let plain = sweep_scalagraph(&prep, Workload::Bfs, configs.clone());
+        let traced = sweep_scalagraph_telemetry(&prep, Workload::Bfs, configs, 256);
+        assert_eq!(plain.len(), traced.len());
+        for (p, t) in plain.iter().zip(&traced) {
+            assert_eq!(p.label, t.label);
+            assert!(p.telemetry.is_none());
+            let (pm, tm) = (p.outcome.as_ref().unwrap(), t.outcome.as_ref().unwrap());
+            // The recorder must not perturb the simulation.
+            assert_eq!(pm, tm, "{}", t.label);
+            let summary = t.telemetry.expect("telemetry sweep must attach a summary");
+            assert_eq!(summary.run_cycles, tm.cycles);
+            assert_eq!(summary.window_cycles, 256);
+            assert!(summary.windows > 0);
+            assert!(summary.total_link_traversals > 0);
+            assert!(summary.routing_latency_max >= summary.routing_latency_p95);
+            assert!(summary.routing_latency_p95 >= summary.routing_latency_p50);
         }
     }
 }

@@ -61,3 +61,9 @@ pub use mapping::{CommunicationEstimate, Mapping};
 pub use placement::Placement;
 pub use sim::{run_on, try_run_on, Simulator};
 pub use stats::{SimResult, SimStats};
+
+/// Time-resolved telemetry: the [`telemetry::Collector`] hook trait the
+/// engine emits into, the recording [`telemetry::Recorder`], and its
+/// Chrome-trace/CSV/heatmap exporters. Re-exported so downstream crates
+/// need no direct dependency on `scalagraph-telemetry`.
+pub use scalagraph_telemetry as telemetry;

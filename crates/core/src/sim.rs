@@ -34,6 +34,9 @@ use crate::stats::{SimResult, SimStats};
 use scalagraph_algo::{Algorithm, EdgeCtx};
 use scalagraph_graph::{Csr, VertexId, EDGES_PER_LINE, LINE_BYTES};
 use scalagraph_mem::{Hbm, MemRequest};
+use scalagraph_telemetry::{
+    Collector, HbmChannelSample, InstantKind, NullCollector, SpanName, TileSample, Topology,
+};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 
@@ -263,7 +266,27 @@ impl<'a, A: Algorithm> Simulator<'a, A> {
     /// Returns the [`SimError`] describing why the machine could not
     /// complete the run.
     pub fn try_run(&mut self) -> Result<SimResult<A::Prop>, SimError> {
-        Engine::new(self.algo, self.graph, &self.config, &self.device).try_run()
+        self.try_run_with(&mut NullCollector)
+    }
+
+    /// [`Simulator::try_run`] with a telemetry [`Collector`] attached.
+    ///
+    /// The engine guards every emission point with the collector's
+    /// compile-time `ENABLED` flag, so `try_run_with(&mut NullCollector)`
+    /// monomorphizes to exactly the un-instrumented machine and a
+    /// [`telemetry::Recorder`](scalagraph_telemetry::Recorder) observes the
+    /// run without perturbing it: results are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] describing why the machine could not
+    /// complete the run. The collector still receives its final flush and
+    /// `on_run_end`, so partial traces of failed runs export cleanly.
+    pub fn try_run_with<C: Collector>(
+        &mut self,
+        collector: &mut C,
+    ) -> Result<SimResult<A::Prop>, SimError> {
+        Engine::new(self.algo, self.graph, &self.config, &self.device, collector).try_run()
     }
 }
 
@@ -322,11 +345,51 @@ struct ProgressMark {
     in_apply: bool,
 }
 
-struct Engine<'a, A: Algorithm> {
+/// Previous cumulative counter values the telemetry sampler diffs against
+/// at each window boundary, plus the engine-side span bookkeeping. Only
+/// allocated when the attached collector is enabled.
+struct TelScratch {
+    /// Per-tile GU-busy cycles at the last window boundary.
+    gu_busy: Vec<u64>,
+    /// Per-tile aggregation merges at the last window boundary.
+    merges: Vec<u64>,
+    /// Per-tile dispatched edges at the last window boundary.
+    dispatched: Vec<u64>,
+    /// Per-(tile × channel) HBM bytes at the last window boundary.
+    hbm_bytes: Vec<u64>,
+    /// Per-(tile × channel) HBM stall cycles at the last window boundary.
+    hbm_stalls: Vec<u64>,
+    /// Open span on the iteration track.
+    iter_open: Option<u64>,
+    /// Open span on the scatter track: `(iteration, slice)`.
+    scatter_open: Option<(u64, u64)>,
+    /// Open span on the apply track.
+    apply_open: Option<u64>,
+}
+
+impl TelScratch {
+    fn new(tiles: usize, channels_per_tile: usize) -> Self {
+        TelScratch {
+            gu_busy: vec![0; tiles],
+            merges: vec![0; tiles],
+            dispatched: vec![0; tiles],
+            hbm_bytes: vec![0; tiles * channels_per_tile],
+            hbm_stalls: vec![0; tiles * channels_per_tile],
+            iter_open: None,
+            scatter_open: None,
+            apply_open: None,
+        }
+    }
+}
+
+struct Engine<'a, A: Algorithm, C: Collector> {
     algo: &'a A,
     graph: &'a Csr,
     cfg: &'a ScalaGraphConfig,
     dev: &'a DeviceGraph,
+    col: &'a mut C,
+    /// Telemetry scratch; `Some` exactly when `C::ENABLED`.
+    tel: Option<TelScratch>,
 
     props: Vec<A::Prop>,
     temp: Vec<A::Prop>,
@@ -378,8 +441,14 @@ struct Engine<'a, A: Algorithm> {
     delayed: Vec<DelayedFlit<A::Prop>>,
 }
 
-impl<'a, A: Algorithm> Engine<'a, A> {
-    fn new(algo: &'a A, graph: &'a Csr, cfg: &'a ScalaGraphConfig, dev: &'a DeviceGraph) -> Self {
+impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
+    fn new(
+        algo: &'a A,
+        graph: &'a Csr,
+        cfg: &'a ScalaGraphConfig,
+        dev: &'a DeviceGraph,
+        col: &'a mut C,
+    ) -> Self {
         let n = graph.num_vertices();
         let placement = cfg.placement;
         let nodes = (0..placement.num_pes())
@@ -403,6 +472,8 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             graph,
             cfg,
             dev,
+            col,
+            tel: C::ENABLED.then(|| TelScratch::new(placement.tiles, cfg.tile_memory().channels)),
             props: (0..n as u32).map(|v| algo.init(v, graph)).collect(),
             temp: vec![algo.reduce_identity(); n],
             touched: vec![false; n],
@@ -436,6 +507,16 @@ impl<'a, A: Algorithm> Engine<'a, A> {
     }
 
     fn try_run(mut self) -> Result<SimResult<A::Prop>, SimError> {
+        if C::ENABLED {
+            let p = self.cfg.placement;
+            self.col.on_run_start(Topology {
+                tiles: p.tiles,
+                rows_per_tile: p.rows_per_tile,
+                cols: p.cols,
+                channels_per_tile: self.cfg.tile_memory().channels,
+                clock_mhz: self.cfg.effective_clock_mhz(),
+            });
+        }
         let mut initial: Vec<VertexId> = self.algo.initial_frontier(self.graph);
         scalagraph_algo::reference::dedup_frontier(&mut initial, self.graph.num_vertices());
         self.iter_active = initial
@@ -458,11 +539,17 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             if self.advance_phases() {
                 break;
             }
-            self.step()?;
+            if let Err(e) = self.step() {
+                self.tel_finish();
+                return Err(e);
+            }
+            if C::ENABLED {
+                self.tel_cycle();
+            }
             if self.now >= CYCLE_SAFETY_CAP {
-                return Err(SimError::CycleCapExceeded {
-                    snapshot: Box::new(self.snapshot(stalled_for)),
-                });
+                let snapshot = Box::new(self.snapshot(stalled_for));
+                self.tel_finish();
+                return Err(SimError::CycleCapExceeded { snapshot });
             }
             if self.cfg.watchdog_stall_cycles == 0 {
                 continue;
@@ -474,11 +561,142 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             } else {
                 stalled_for += 1;
                 if stalled_for >= self.cfg.watchdog_stall_cycles {
-                    return Err(self.stall_error(stalled_for));
+                    if C::ENABLED {
+                        self.col
+                            .instant(self.now, InstantKind::WatchdogStall { stalled_for });
+                    }
+                    let err = self.stall_error(stalled_for);
+                    self.tel_finish();
+                    return Err(err);
                 }
             }
         }
         Ok(self.finish())
+    }
+
+    // ----- telemetry -----------------------------------------------------
+
+    /// Per-cycle telemetry: span transitions, then window rollover. Only
+    /// called when `C::ENABLED`.
+    fn tel_cycle(&mut self) {
+        self.tel_spans();
+        if self.col.window_due(self.now) {
+            self.tel_sample_window();
+            self.col.roll_window(self.now);
+        }
+    }
+
+    /// Emits span begin/end events by diffing the phase machine's state
+    /// against the spans currently open. Transition detection keeps the
+    /// emission in one place instead of scattering it through the phase
+    /// control flow, and guarantees begin/end events pair up even under
+    /// inter-phase pipelining (overlapping Scatter and Apply spans live on
+    /// separate tracks).
+    fn tel_spans(&mut self) {
+        let now = self.now;
+        // Computed before borrowing the scratch: these walk &self.
+        let scatter_active = self.scatter_input_open || !self.scatter_machine_empty();
+        let scatter_key = (self.scatter_iter, self.slice as u64);
+        let apply_active = self.phase == Phase::Apply;
+        let iter = self.stats.iterations;
+        let apply_key = iter;
+        let Some(tel) = self.tel.as_mut() else {
+            return;
+        };
+        if tel.iter_open != Some(iter) {
+            if let Some(prev) = tel.iter_open {
+                self.col.span_end(now, SpanName::Iteration(prev));
+            }
+            self.col.span_begin(now, SpanName::Iteration(iter));
+            tel.iter_open = Some(iter);
+        }
+        let scatter_want = scatter_active.then_some(scatter_key);
+        if tel.scatter_open != scatter_want {
+            if let Some((iter, slice)) = tel.scatter_open {
+                self.col.span_end(now, SpanName::Scatter { iter, slice });
+            }
+            if let Some((iter, slice)) = scatter_want {
+                self.col.span_begin(now, SpanName::Scatter { iter, slice });
+            }
+            tel.scatter_open = scatter_want;
+        }
+        let apply_want = apply_active.then_some(apply_key);
+        if tel.apply_open != apply_want {
+            if let Some(prev) = tel.apply_open {
+                self.col.span_end(now, SpanName::Apply(prev));
+            }
+            if let Some(k) = apply_want {
+                self.col.span_begin(now, SpanName::Apply(k));
+            }
+            tel.apply_open = apply_want;
+        }
+    }
+
+    /// Samples every tile and HBM pseudo-channel for the window ending
+    /// now: deltas of the cumulative counters since the previous boundary,
+    /// plus point samples of queue occupancy.
+    fn tel_sample_window(&mut self) {
+        let p = self.cfg.placement;
+        let ppt = p.pes_per_tile();
+        let channels = self.cfg.tile_memory().channels;
+        for t in 0..p.tiles {
+            let mut gu = 0u64;
+            let mut merges = 0u64;
+            let mut depth = 0u64;
+            for node in t * ppt..(t + 1) * ppt {
+                gu += self.gu_busy_per_node[node];
+                let n = &self.nodes[node];
+                depth += n.gu_queue.len() as u64;
+                for buf in &n.out {
+                    depth += buf.len() as u64;
+                    merges += buf.merges();
+                }
+            }
+            let dispatched: u64 = (t * p.rows_per_tile..(t + 1) * p.rows_per_tile)
+                .map(|r| self.dispatched_per_row[r])
+                .sum();
+            let Some(tel) = self.tel.as_mut() else {
+                return;
+            };
+            let sample = TileSample {
+                gu_busy: gu - tel.gu_busy[t],
+                queue_depth: depth,
+                agg_merges: merges - tel.merges[t],
+                dispatched_edges: dispatched - tel.dispatched[t],
+            };
+            tel.gu_busy[t] = gu;
+            tel.merges[t] = merges;
+            tel.dispatched[t] = dispatched;
+            self.col.tile_sample(t, sample);
+            for ch in 0..self.tiles[t].hbm.num_channels() {
+                let ct = self.tiles[t].hbm.channel_telemetry(ch);
+                let outstanding = self.tiles[t].hbm.outstanding(ch) as u64;
+                let idx = t * channels + ch;
+                let Some(tel) = self.tel.as_mut() else {
+                    return;
+                };
+                let sample = HbmChannelSample {
+                    bytes: ct.bytes - tel.hbm_bytes[idx],
+                    stall_cycles: ct.stall_cycles - tel.hbm_stalls[idx],
+                    outstanding,
+                };
+                tel.hbm_bytes[idx] = ct.bytes;
+                tel.hbm_stalls[idx] = ct.stall_cycles;
+                self.col.hbm_sample(t, ch, sample);
+            }
+        }
+    }
+
+    /// Final telemetry flush: close the last partial window and let the
+    /// collector close its open spans. Runs on every exit path, success or
+    /// error, so traces of failed runs still balance.
+    fn tel_finish(&mut self) {
+        if !C::ENABLED {
+            return;
+        }
+        self.tel_sample_window();
+        self.col.roll_window(self.now);
+        self.col.on_run_end(self.now);
     }
 
     /// Counters whose movement constitutes forward progress.
@@ -671,6 +889,7 @@ impl<'a, A: Algorithm> Engine<'a, A> {
     }
 
     fn finish(mut self) -> SimResult<A::Prop> {
+        self.tel_finish();
         if std::env::var_os("SCALAGRAPH_TRACE").is_some() {
             let mut busy: Vec<(u64, usize)> = self
                 .gu_busy_per_node
@@ -791,6 +1010,16 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             if tile < self.tiles.len() && ch < self.tiles[tile].hbm.num_channels() {
                 self.tiles[tile].hbm.stall_channel(ch, cycles);
                 self.stats.hbm_stalls_injected += 1;
+                if C::ENABLED {
+                    self.col.instant(
+                        self.now,
+                        InstantKind::HbmStallInjected {
+                            tile,
+                            channel: ch,
+                            cycles,
+                        },
+                    );
+                }
             }
         }
     }
@@ -1085,6 +1314,7 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                 continue;
             }
             let d = &self.delayed[i];
+            let (d_node, d_dir) = (d.node, d.dir);
             let to = neighbor(self.cfg, d.node, d.dir);
             let home = self.cfg.placement.home_node(d.update.dst);
             let to_dir = route_dir(self.cfg, to, home);
@@ -1097,6 +1327,9 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                 .is_some();
             if accepted {
                 self.stats.noc_hops += 1;
+                if C::ENABLED {
+                    self.col.link_traversal(d_node, d_dir, 1);
+                }
                 self.delayed.swap_remove(i);
             } else {
                 self.stats.noc_conflicts += 1;
@@ -1149,6 +1382,9 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                     // A downed link: zero credit, full back-pressure.
                     if !self.nodes[node].out[dir].is_empty() {
                         self.stats.noc_conflicts += 1;
+                        if C::ENABLED {
+                            self.col.link_backpressure(node, dir);
+                        }
                     }
                     continue;
                 }
@@ -1179,9 +1415,21 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                             match action {
                                 FlitAction::Drop => {
                                     self.stats.flits_dropped += 1;
+                                    if C::ENABLED {
+                                        self.col.instant(
+                                            self.now,
+                                            InstantKind::FlitDropped { node, dir },
+                                        );
+                                    }
                                 }
                                 FlitAction::Delay(cycles) => {
                                     self.stats.flits_delayed += 1;
+                                    if C::ENABLED {
+                                        self.col.instant(
+                                            self.now,
+                                            InstantKind::FlitDelayed { node, dir },
+                                        );
+                                    }
                                     self.delayed.push(DelayedFlit {
                                         release: self.now + cycles.max(1),
                                         node,
@@ -1196,6 +1444,12 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                                         out_of_range,
                                     );
                                     self.stats.updates_corrupted += 1;
+                                    if C::ENABLED {
+                                        self.col.instant(
+                                            self.now,
+                                            InstantKind::FlitCorrupted { node, dir },
+                                        );
+                                    }
                                     // The corrupted id needs a fresh route;
                                     // park it for immediate re-injection at
                                     // the neighbor next cycle.
@@ -1216,6 +1470,9 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                     let to_dir = route_dir(self.cfg, to, home);
                     if free[to][to_dir] == 0 {
                         self.stats.noc_conflicts += 1;
+                        if C::ENABLED {
+                            self.col.link_backpressure(node, dir);
+                        }
                         break;
                     }
                     free[to][to_dir] -= 1;
@@ -1228,6 +1485,9 @@ impl<'a, A: Algorithm> Engine<'a, A> {
                         ));
                     };
                     self.stats.noc_hops += 1;
+                    if C::ENABLED {
+                        self.col.link_traversal(node, dir, 1);
+                    }
                     moves.push((to, to_dir));
                     // Stash the flit out-of-band keyed by move order.
                     self.staged.push(update);
@@ -1277,6 +1537,10 @@ impl<'a, A: Algorithm> Engine<'a, A> {
             self.stats.updates_delivered += 1;
             self.stats.routing_latency_sum += self.now.saturating_sub(update.value.inject);
             self.stats.routing_latency_count += 1;
+            if C::ENABLED {
+                self.col
+                    .routing_latency(self.now.saturating_sub(update.value.inject));
+            }
         }
         Ok(())
     }

@@ -36,7 +36,10 @@ impl Csr {
     /// Panics if any edge endpoint is `>= num_vertices`. Use
     /// [`Csr::try_from_edges`] for fallible construction from untrusted data.
     pub fn from_edges(num_vertices: usize, edges: &[Edge]) -> Self {
-        Self::try_from_edges(num_vertices, edges).expect("edge endpoint out of range")
+        match Self::try_from_edges(num_vertices, edges) {
+            Ok(csr) => csr,
+            Err(e) => panic!("edge endpoint out of range: {e}"),
+        }
     }
 
     /// Fallible variant of [`Csr::from_edges`].
@@ -114,11 +117,11 @@ impl Csr {
                 detail: "offsets must be non-decreasing".to_owned(),
             });
         }
-        if *offsets.last().unwrap() != neighbors.len() as u64 {
+        let final_offset = offsets.last().copied().unwrap_or(0);
+        if final_offset != neighbors.len() as u64 {
             return Err(GraphError::MalformedOffsets {
                 detail: format!(
-                    "final offset {} does not equal neighbor count {}",
-                    offsets.last().unwrap(),
+                    "final offset {final_offset} does not equal neighbor count {}",
                     neighbors.len()
                 ),
             });

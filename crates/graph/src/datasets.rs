@@ -169,7 +169,10 @@ impl Dataset {
                 edges
             }
         };
-        EdgeList::from_vec(v, edges).expect("generator produced out-of-range endpoint")
+        match EdgeList::from_vec(v, edges) {
+            Ok(list) => list,
+            Err(e) => panic!("generator produced out-of-range endpoint: {e}"),
+        }
     }
 
     /// Generates the synthetic stand-in as a CSR graph.

@@ -153,7 +153,8 @@ pub fn write_csr_binary<P: AsRef<Path>>(graph: &Csr, path: P) -> io::Result<()> 
     }
     if graph.is_weighted() {
         for v in graph.vertices() {
-            for &wt in graph.edge_weights(v).expect("weighted graph") {
+            // `is_weighted` guarantees every vertex has weights.
+            for &wt in graph.edge_weights(v).unwrap_or(&[]) {
                 w.write_all(&wt.to_le_bytes())?;
             }
         }

@@ -36,6 +36,8 @@
 //! assert!(avg > 1.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod csr;
 pub mod datasets;
 pub mod edgelist;

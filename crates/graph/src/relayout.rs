@@ -84,11 +84,13 @@ where
                     }
                     None => {
                         // Steal from the nearest non-empty FIFO.
-                        let donor = (0..lanes)
+                        let stolen = (0..lanes)
                             .map(|d| (lane + d) % lanes)
-                            .find(|&l| !fifos[l].is_empty())
-                            .expect("edges remain but all FIFOs empty");
-                        fifos[donor].pop_front().unwrap()
+                            .find_map(|l| fifos[l].pop_front());
+                        let Some(idx) = stolen else {
+                            unreachable!("edges remain but all FIFOs empty")
+                        };
+                        idx
                     }
                 };
                 perm.push(idx);

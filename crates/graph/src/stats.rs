@@ -41,7 +41,7 @@ impl DegreeStats {
         let mut degrees: Vec<usize> = graph.vertices().map(|v| graph.out_degree(v)).collect();
         degrees.sort_unstable();
         let edges = graph.num_edges();
-        let max = *degrees.last().unwrap();
+        let max = degrees.last().copied().unwrap_or(0);
         let median = degrees[n / 2];
         let isolated = degrees.iter().take_while(|&&d| d == 0).count();
 

@@ -1,5 +1,7 @@
 //! FPGA hardware cost model (frequency, resources, power/energy).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod energy;
 pub mod frequency;
 pub mod resources;

@@ -27,6 +27,8 @@
 //! assert_eq!(done.unwrap().tag, 42);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::VecDeque;
 
 /// One off-chip memory request. The `tag` is opaque to the memory model;
@@ -178,6 +180,21 @@ pub struct MemStats {
     pub cycles: u64,
 }
 
+/// Cumulative per-pseudo-channel traffic counters, for time- and
+/// location-resolved telemetry (the device-wide [`MemStats`] cannot say
+/// *which* channel ran hot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelTelemetry {
+    /// Bytes serviced (reads + writes).
+    pub bytes: u64,
+    /// Read requests serviced.
+    pub reads: u64,
+    /// Write requests serviced.
+    pub writes: u64,
+    /// Cycles spent pinned by an injected stall.
+    pub stall_cycles: u64,
+}
+
 impl MemStats {
     /// Total bytes moved in either direction.
     pub fn total_bytes(&self) -> u64 {
@@ -210,6 +227,8 @@ pub struct Hbm {
     /// Per-channel stall deadline (fault injection): while `now` is below
     /// the deadline the channel services nothing and accepts nothing.
     stalled_until: Vec<u64>,
+    /// Per-channel cumulative traffic counters.
+    telemetry: Vec<ChannelTelemetry>,
 }
 
 impl Hbm {
@@ -218,6 +237,7 @@ impl Hbm {
         Hbm {
             channels: vec![Channel::default(); config.channels],
             stalled_until: vec![0; config.channels],
+            telemetry: vec![ChannelTelemetry::default(); config.channels],
             config,
             now: 0,
             stats: MemStats::default(),
@@ -324,6 +344,7 @@ impl Hbm {
             if self.stalled_until[i] > self.now {
                 // A pinned channel freezes completely; its in-flight
                 // latency deadlines simply age past.
+                self.telemetry[i].stall_cycles += 1;
                 continue;
             }
             let jitter = if jitter_on { self.next_jitter() } else { 0 };
@@ -335,30 +356,33 @@ impl Hbm {
                 ch.credit = ch.credit.min(self.config.bytes_per_cycle_per_channel);
             }
             ch.credit += self.config.bytes_per_cycle_per_channel;
-            while let Some(front) = ch.pending.front() {
+            while let Some(&front) = ch.pending.front() {
                 if ch.credit < front.bytes as f64 {
                     break;
                 }
                 ch.credit -= front.bytes as f64;
-                let req = ch.pending.pop_front().unwrap();
+                ch.pending.pop_front();
                 ch.in_flight
-                    .push_back((self.now + base_latency + jitter, req));
+                    .push_back((self.now + base_latency + jitter, front));
                 any_busy = true;
             }
             // Retire in-flight requests whose latency elapsed (zero-latency
             // configurations complete in the same cycle they are serviced).
-            while ch
-                .in_flight
-                .front()
-                .is_some_and(|&(ready, _)| ready <= self.now)
-            {
-                let (_, req) = ch.in_flight.pop_front().unwrap();
+            while let Some(&(ready, req)) = ch.in_flight.front() {
+                if ready > self.now {
+                    break;
+                }
+                ch.in_flight.pop_front();
+                let tel = &mut self.telemetry[i];
+                tel.bytes += req.bytes as u64;
                 if req.write {
                     self.stats.bytes_written += req.bytes as u64;
                     self.stats.writes += 1;
+                    tel.writes += 1;
                 } else {
                     self.stats.bytes_read += req.bytes as u64;
                     self.stats.reads += 1;
+                    tel.reads += 1;
                     ch.ready.push_back(req);
                 }
             }
@@ -384,6 +408,15 @@ impl Hbm {
     /// Cumulative statistics.
     pub fn stats(&self) -> MemStats {
         self.stats
+    }
+
+    /// Cumulative traffic counters of one pseudo-channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel_telemetry(&self, channel: usize) -> ChannelTelemetry {
+        self.telemetry[channel]
     }
 
     /// Current cycle count.
@@ -607,6 +640,31 @@ mod tests {
         assert!(hbm.is_stalled(1));
         assert!(hbm.pop_ready(1).is_none());
         assert_eq!(hbm.outstanding(1), 1);
+    }
+
+    #[test]
+    fn channel_telemetry_tracks_bytes_and_stalls() {
+        let mut hbm = Hbm::new(tiny_config());
+        hbm.try_request(0, MemRequest::read(0, 64));
+        hbm.try_request(0, MemRequest::write(1, 64));
+        hbm.stall_channel(1, 5);
+        for _ in 0..10 {
+            hbm.step();
+        }
+        let ch0 = hbm.channel_telemetry(0);
+        assert_eq!(ch0.bytes, 128);
+        assert_eq!((ch0.reads, ch0.writes), (1, 1));
+        assert_eq!(ch0.stall_cycles, 0);
+        let ch1 = hbm.channel_telemetry(1);
+        assert_eq!(ch1.bytes, 0);
+        // Stalled while `now < deadline`: the deadline cycle itself already
+        // services again, so a 5-cycle stall freezes steps 1..=4.
+        assert_eq!(ch1.stall_cycles, 4);
+        // Per-channel counters sum to the device-wide aggregate.
+        let total: u64 = (0..hbm.num_channels())
+            .map(|c| hbm.channel_telemetry(c).bytes)
+            .sum();
+        assert_eq!(total, hbm.stats().total_bytes());
     }
 
     #[test]

@@ -13,5 +13,5 @@ pub mod stats;
 
 pub use butterfly::{BflyPacket, Butterfly};
 pub use crossbar::{Crossbar, CrossbarKind};
-pub use mesh::{LinkFault, Mesh, MeshConfig, Packet};
+pub use mesh::{LinkFault, LinkLoad, Mesh, MeshConfig, Packet};
 pub use stats::NocStats;

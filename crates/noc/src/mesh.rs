@@ -143,6 +143,21 @@ pub enum LinkFault {
     },
 }
 
+/// Cumulative traffic of one directed mesh link, for utilization heatmaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkLoad {
+    /// Source router of the directed link.
+    pub from: usize,
+    /// Destination router.
+    pub to: usize,
+    /// Packets that crossed the link (including ones a lossy fault then
+    /// discarded — they still occupied the link).
+    pub traversals: u64,
+    /// Cycles the link wanted to carry a packet but could not (downstream
+    /// queue full, bubble reserved, or link downed).
+    pub blocked_cycles: u64,
+}
+
 #[derive(Debug, Clone)]
 pub struct Mesh {
     config: MeshConfig,
@@ -153,6 +168,10 @@ pub struct Mesh {
     link_faults: HashMap<(usize, usize), LinkFault>,
     /// Xorshift state for lossy-link decisions (deterministic).
     fault_rng: u64,
+    /// Cumulative traversals per directed link, `node * 4 + (dir - 1)`.
+    link_hops: Vec<u64>,
+    /// Cycles each directed link had a contender but granted nothing.
+    link_blocked: Vec<u64>,
 }
 
 impl Mesh {
@@ -166,11 +185,13 @@ impl Mesh {
         assert!(config.input_queue_capacity > 0);
         Mesh {
             routers: (0..config.nodes()).map(|_| Router::new()).collect(),
-            config,
             stats: NocStats::default(),
             now: 0,
             link_faults: HashMap::new(),
             fault_rng: 0x9e3779b97f4a7c15,
+            link_hops: vec![0; config.nodes() * 4],
+            link_blocked: vec![0; config.nodes() * 4],
+            config,
         }
     }
 
@@ -425,6 +446,9 @@ impl Mesh {
                 if contenders > 1 || (contenders == 1 && !granted) {
                     self.stats.conflict_cycles += (contenders - usize::from(granted)) as u64;
                 }
+                if dir != Dir::Eject && contenders > 0 && !granted {
+                    self.link_blocked[node * 4 + di - 1] += 1;
+                }
             }
         }
 
@@ -443,6 +467,7 @@ impl Mesh {
                 }
                 _ => {
                     let (n, in_port) = self.neighbor(node, dir);
+                    self.link_hops[node * 4 + dir_index(dir) - 1] += 1;
                     if !self.link_faults.is_empty() {
                         if let Some(&LinkFault::Lossy { one_in }) = self.link_faults.get(&(node, n))
                         {
@@ -482,6 +507,34 @@ impl Mesh {
     /// Cumulative statistics.
     pub fn stats(&self) -> NocStats {
         self.stats
+    }
+
+    /// Cumulative per-link traffic, one entry per directed link that ever
+    /// carried or refused a packet, in node order.
+    pub fn link_loads(&self) -> Vec<LinkLoad> {
+        let dirs = [Dir::North, Dir::South, Dir::West, Dir::East];
+        let mut loads = Vec::new();
+        for node in 0..self.config.nodes() {
+            for (k, &dir) in dirs.iter().enumerate() {
+                let (traversals, blocked) = (
+                    self.link_hops[node * 4 + k],
+                    self.link_blocked[node * 4 + k],
+                );
+                if traversals == 0 && blocked == 0 {
+                    continue;
+                }
+                // Only query the neighbor for links that saw traffic: edge
+                // nodes of a non-wrapped mesh have no neighbor in every
+                // direction, and such links can never be used or blocked.
+                loads.push(LinkLoad {
+                    from: node,
+                    to: self.neighbor(node, dir).0,
+                    traversals,
+                    blocked_cycles: blocked,
+                });
+            }
+        }
+        loads
     }
 
     /// Hop distance between two nodes (plus one ejection hop): Manhattan
@@ -828,6 +881,61 @@ mod tests {
         let p = run_until_delivered(&mut m, 0, 10).unwrap();
         assert_eq!(p.payload, 2);
         assert_eq!(m.stats().packets_dropped, 1);
+    }
+
+    #[test]
+    fn link_loads_track_traffic_and_blockage() {
+        let mut m = Mesh::new(MeshConfig::new(1, 3));
+        // 0 -> 2 crosses links 0->1 and 1->2 exactly once each.
+        m.try_inject(
+            0,
+            Packet {
+                dst: 2,
+                payload: 1,
+                inject_cycle: 0,
+            },
+        );
+        for _ in 0..10 {
+            m.step();
+        }
+        let loads = m.link_loads();
+        assert_eq!(loads.len(), 2);
+        assert!(loads.contains(&LinkLoad {
+            from: 0,
+            to: 1,
+            traversals: 1,
+            blocked_cycles: 0
+        }));
+        assert!(loads.contains(&LinkLoad {
+            from: 1,
+            to: 2,
+            traversals: 1,
+            blocked_cycles: 0
+        }));
+        let total: u64 = loads.iter().map(|l| l.traversals).sum();
+        // Every hop except the final ejection crossed a link.
+        assert_eq!(total, m.stats().flit_hops - 1);
+
+        // A downed link accrues blocked cycles instead of traversals.
+        let mut m = Mesh::new(MeshConfig::new(1, 2));
+        m.set_link_fault(0, 1, Some(LinkFault::Down));
+        m.try_inject(
+            0,
+            Packet {
+                dst: 1,
+                payload: 2,
+                inject_cycle: 0,
+            },
+        );
+        for _ in 0..8 {
+            m.step();
+        }
+        let loads = m.link_loads();
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].from, 0);
+        assert_eq!(loads[0].to, 1);
+        assert_eq!(loads[0].traversals, 0);
+        assert_eq!(loads[0].blocked_cycles, 8);
     }
 
     #[test]

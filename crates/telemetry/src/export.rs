@@ -1,0 +1,357 @@
+//! Serializers for recorded telemetry: Chrome trace-event JSON (loadable in
+//! `ui.perfetto.dev` or `chrome://tracing`), a tidy per-window CSV, and a
+//! mesh-link utilization heatmap JSON keyed by `(x, y, direction, window)`.
+//!
+//! Timestamps in the Chrome trace use **1 cycle = 1 µs** (the trace-event
+//! format counts microseconds); wall-clock time at a given `clock_mhz` is
+//! `cycles / clock_mhz` µs. The conversion factor is recorded in the trace's
+//! `otherData` so tooling can rescale.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::recorder::Recorder;
+use crate::{DIR_NAMES, INSTANT_TRACK};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes one trace event object, prefixing a comma separator unless it is
+/// the first.
+struct EventWriter<'w, W: Write> {
+    w: &'w mut W,
+    first: bool,
+}
+
+impl<'w, W: Write> EventWriter<'w, W> {
+    fn new(w: &'w mut W) -> Self {
+        EventWriter { w, first: true }
+    }
+
+    fn event(&mut self, body: &str) -> io::Result<()> {
+        if self.first {
+            self.first = false;
+        } else {
+            self.w.write_all(b",\n  ")?;
+        }
+        self.w.write_all(body.as_bytes())
+    }
+}
+
+impl Recorder {
+    /// Writes the recording as Chrome trace-event JSON.
+    ///
+    /// The output is an object format trace (`{"traceEvents": [...]}`) with
+    /// metadata naming the process and the timeline tracks, `B`/`E` span
+    /// pairs (always balanced — the recorder closes open spans at run end),
+    /// `C` counter events for the windowed tile/HBM series, and `i` instant
+    /// events for fault/watchdog activity. Load it at <https://ui.perfetto.dev>.
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(b"{\"traceEvents\": [\n  ")?;
+        let mut ev = EventWriter::new(w);
+
+        ev.event("{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"process_name\", \"args\": {\"name\": \"scalagraph-sim\"}}")?;
+        let tracks: [(u64, &str); 5] = [
+            (0, "run"),
+            (1, "iterations"),
+            (2, "scatter"),
+            (3, "apply"),
+            (INSTANT_TRACK, "events"),
+        ];
+        for (tid, name) in tracks {
+            ev.event(&format!(
+                "{{\"ph\": \"M\", \"pid\": 0, \"tid\": {tid}, \"name\": \"thread_name\", \"args\": {{\"name\": \"{name}\"}}}}"
+            ))?;
+        }
+
+        for span in self.spans() {
+            let name = json_escape(&span.name.to_string());
+            let tid = span.name.track();
+            ev.event(&format!(
+                "{{\"ph\": \"B\", \"pid\": 0, \"tid\": {tid}, \"ts\": {}, \"name\": \"{name}\"}}",
+                span.begin
+            ))?;
+            ev.event(&format!(
+                "{{\"ph\": \"E\", \"pid\": 0, \"tid\": {tid}, \"ts\": {}, \"name\": \"{name}\"}}",
+                span.end
+            ))?;
+        }
+
+        for row in self.tile_windows() {
+            ev.event(&format!(
+                "{{\"ph\": \"C\", \"pid\": 0, \"ts\": {}, \"name\": \"tile{}\", \"args\": {{\"gu_busy\": {}, \"queue_depth\": {}, \"agg_merges\": {}, \"dispatched_edges\": {}}}}}",
+                row.start_cycle,
+                row.tile,
+                row.sample.gu_busy,
+                row.sample.queue_depth,
+                row.sample.agg_merges,
+                row.sample.dispatched_edges
+            ))?;
+        }
+
+        for row in self.hbm_windows() {
+            // HBM rows carry no start cycle; the nominal window start is
+            // exact for every full window and only approximate for the
+            // final partial one.
+            let ts = (row.window * self.window_cycles()).min(self.run_cycles());
+            ev.event(&format!(
+                "{{\"ph\": \"C\", \"pid\": 0, \"ts\": {ts}, \"name\": \"hbm t{}c{}\", \"args\": {{\"bytes\": {}, \"stall_cycles\": {}, \"outstanding\": {}}}}}",
+                row.tile, row.channel, row.sample.bytes, row.sample.stall_cycles, row.sample.outstanding
+            ))?;
+        }
+
+        for (cycle, kind) in self.events() {
+            let name = json_escape(&kind.to_string());
+            ev.event(&format!(
+                "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {INSTANT_TRACK}, \"ts\": {cycle}, \"s\": \"g\", \"name\": \"{name}\"}}"
+            ))?;
+        }
+
+        let topo = self.topology();
+        write!(
+            w,
+            "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {{\"tool\": \"scalagraph-telemetry\", \"cycles_per_us\": 1, \"clock_mhz\": {}, \"window_cycles\": {}, \"tiles\": {}, \"rows_per_tile\": {}, \"cols\": {}, \"channels_per_tile\": {}}}}}\n",
+            topo.clock_mhz,
+            self.window_cycles(),
+            topo.tiles,
+            topo.rows_per_tile,
+            topo.cols,
+            topo.channels_per_tile
+        )
+    }
+
+    /// Writes the windowed time-series as a tidy CSV:
+    /// `kind,window,subject,metric,value` — one row per metric, easy to
+    /// pivot in pandas/R/spreadsheets.
+    pub fn write_windows_csv<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(w, "kind,window,subject,metric,value")?;
+        for row in self.tile_windows() {
+            let t = row.tile;
+            let s = row.sample;
+            for (metric, value) in [
+                ("gu_busy", s.gu_busy),
+                ("queue_depth", s.queue_depth),
+                ("agg_merges", s.agg_merges),
+                ("dispatched_edges", s.dispatched_edges),
+            ] {
+                writeln!(w, "tile,{},tile{t},{metric},{value}", row.window)?;
+            }
+        }
+        for row in self.hbm_windows() {
+            let s = row.sample;
+            for (metric, value) in [
+                ("bytes", s.bytes),
+                ("stall_cycles", s.stall_cycles),
+                ("outstanding", s.outstanding),
+            ] {
+                writeln!(
+                    w,
+                    "hbm,{},t{}c{},{metric},{value}",
+                    row.window, row.tile, row.channel
+                )?;
+            }
+        }
+        for row in self.link_windows() {
+            let subject = format!("pe{}:{}", row.node, DIR_NAMES[row.dir]);
+            writeln!(
+                w,
+                "link,{},{subject},traversals,{}",
+                row.window, row.traversals
+            )?;
+            writeln!(w, "link,{},{subject},blocked,{}", row.window, row.blocked)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the mesh-link utilization heatmap as JSON keyed by
+    /// `(x, y, direction, window)`. Utilization is traversals divided by
+    /// the window length (1.0 = one update every cycle). Only links with
+    /// activity appear.
+    pub fn write_link_heatmap<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let topo = self.topology();
+        let cols = topo.cols.max(1);
+        write!(
+            w,
+            "{{\"window_cycles\": {}, \"cols\": {}, \"rows\": {}, \"links\": [",
+            self.window_cycles(),
+            topo.cols,
+            topo.global_rows()
+        )?;
+        for (i, row) in self.link_windows().iter().enumerate() {
+            if i > 0 {
+                w.write_all(b",")?;
+            }
+            write!(
+                w,
+                "\n  {{\"x\": {}, \"y\": {}, \"direction\": \"{}\", \"window\": {}, \"traversals\": {}, \"blocked\": {}, \"utilization\": {:.6}}}",
+                row.node % cols,
+                row.node / cols,
+                DIR_NAMES[row.dir],
+                row.window,
+                row.traversals,
+                row.blocked,
+                row.traversals as f64 / self.window_cycles() as f64
+            )?;
+        }
+        w.write_all(b"\n]}\n")
+    }
+
+    /// [`write_chrome_trace`](Self::write_chrome_trace) to a file path,
+    /// creating parent directories.
+    pub fn export_chrome_trace<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        self.export_with(path, Self::write_chrome_trace)
+    }
+
+    /// [`write_windows_csv`](Self::write_windows_csv) to a file path,
+    /// creating parent directories.
+    pub fn export_windows_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        self.export_with(path, Self::write_windows_csv)
+    }
+
+    /// [`write_link_heatmap`](Self::write_link_heatmap) to a file path,
+    /// creating parent directories.
+    pub fn export_link_heatmap<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        self.export_with(path, Self::write_link_heatmap)
+    }
+
+    fn export_with<P: AsRef<Path>>(
+        &self,
+        path: P,
+        write: impl Fn(&Self, &mut io::BufWriter<std::fs::File>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        write(self, &mut w)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Collector, HbmChannelSample, InstantKind, SpanName, TileSample, Topology};
+
+    fn recorded() -> Recorder {
+        let mut r = Recorder::new(100);
+        r.on_run_start(Topology {
+            tiles: 1,
+            rows_per_tile: 2,
+            cols: 2,
+            channels_per_tile: 2,
+            clock_mhz: 250.0,
+        });
+        r.span_begin(0, SpanName::Iteration(0));
+        r.span_begin(0, SpanName::Scatter { iter: 0, slice: 0 });
+        r.link_traversal(0, crate::DIR_EAST, 4);
+        r.routing_latency(3);
+        r.tile_sample(
+            0,
+            TileSample {
+                gu_busy: 42,
+                queue_depth: 2,
+                agg_merges: 7,
+                dispatched_edges: 19,
+            },
+        );
+        r.hbm_sample(
+            0,
+            1,
+            HbmChannelSample {
+                bytes: 4096,
+                stall_cycles: 0,
+                outstanding: 3,
+            },
+        );
+        r.roll_window(100);
+        r.instant(120, InstantKind::WatchdogStall { stalled_for: 64 });
+        r.span_end(150, SpanName::Scatter { iter: 0, slice: 0 });
+        r.span_end(160, SpanName::Iteration(0));
+        r.on_run_end(200);
+        r
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_spans_and_metadata() {
+        let mut buf = Vec::new();
+        recorded().write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("scalagraph-sim"));
+        let begins = text.matches("\"ph\": \"B\"").count();
+        let ends = text.matches("\"ph\": \"E\"").count();
+        assert_eq!(begins, ends);
+        assert!(begins >= 3, "run + iteration + scatter spans expected");
+        assert!(text.contains("\"ph\": \"C\""));
+        assert!(text.contains("watchdog stall"));
+        // Braces and brackets balance (cheap structural sanity check; the
+        // integration tests run a real JSON parser over this output).
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn csv_is_tidy_and_covers_all_kinds() {
+        let mut buf = Vec::new();
+        recorded().write_windows_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("kind,window,subject,metric,value"));
+        assert!(text.contains("tile,0,tile0,gu_busy,42"));
+        assert!(text.contains("hbm,0,t0c1,bytes,4096"));
+        assert!(text.contains("link,0,pe0:east,traversals,4"));
+        for line in text.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 5, "not tidy: {line}");
+        }
+    }
+
+    #[test]
+    fn heatmap_keys_links_by_position() {
+        let mut buf = Vec::new();
+        recorded().write_link_heatmap(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"x\": 0"));
+        assert!(text.contains("\"direction\": \"east\""));
+        assert!(text.contains("\"utilization\": 0.040000"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn export_writes_files_with_parents() {
+        let dir = std::env::temp_dir().join("scalagraph-telemetry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = recorded();
+        let trace = dir.join("nested/trace.json");
+        rec.export_chrome_trace(&trace).unwrap();
+        rec.export_windows_csv(dir.join("windows.csv")).unwrap();
+        rec.export_link_heatmap(dir.join("heatmap.json")).unwrap();
+        assert!(trace.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

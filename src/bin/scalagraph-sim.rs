@@ -20,19 +20,50 @@
 //!   --seed <n>                      generator seed       [42]
 //!   --watchdog <cycles>             stall watchdog threshold, 0 disables [25000]
 //!   --baseline                      also run the GraphDynS-128 baseline
+//!   --metrics-window <cycles>       telemetry sampling window [1000]
+//!   --trace-out <path>              write a Chrome trace-event JSON
+//!                                   (open in ui.perfetto.dev or chrome://tracing)
+//!   --metrics-csv <path>            write per-window time-series CSV
+//!   --heatmap-out <path>            write mesh-link utilization heatmap JSON
 //! ```
 //!
-//! Invalid configurations and wedged runs exit with a structured error
-//! (and, for stalls, the watchdog's diagnostic snapshot) instead of a
-//! panic backtrace.
+//! Passing any of the four telemetry flags attaches a recorder to the run
+//! (results are bit-identical either way) and prints a telemetry summary
+//! after the counters. Invalid configurations and wedged runs exit with a
+//! structured error (and, for stalls, the watchdog's diagnostic snapshot)
+//! instead of a panic backtrace; requested trace files are still written
+//! so the timeline of a wedged run can be inspected.
 
 use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
 use scalagraph_suite::algo::Algorithm;
 use scalagraph_suite::baselines::{GraphDyns, GraphDynsConfig};
 use scalagraph_suite::graph::{io, Csr, Dataset, EdgeList};
 use scalagraph_suite::scalagraph::{Mapping, ScalaGraphConfig, SimResult, Simulator};
+use scalagraph_suite::telemetry::Recorder;
 use std::collections::HashMap;
 use std::process::exit;
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["no-pipeline", "baseline"];
+/// Flags that take a value.
+const OPTIONS: &[&str] = &[
+    "algo",
+    "graph",
+    "file",
+    "csr",
+    "scale",
+    "pes",
+    "mapping",
+    "agg",
+    "sched",
+    "iters",
+    "seed",
+    "watchdog",
+    "metrics-window",
+    "trace-out",
+    "metrics-csv",
+    "heatmap-out",
+];
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
@@ -57,16 +88,15 @@ fn parse_args() -> HashMap<String, String> {
             Some(k) => k.to_string(),
             None => usage_and_exit(&format!("unexpected argument `{a}`")),
         };
-        match key.as_str() {
-            "no-pipeline" | "baseline" => {
-                map.insert(key, "true".into());
-            }
-            _ => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| usage_and_exit(&format!("--{key} needs a value")));
-                map.insert(key, v);
-            }
+        if SWITCHES.contains(&key.as_str()) {
+            map.insert(key, "true".into());
+        } else if OPTIONS.contains(&key.as_str()) {
+            let v = args
+                .next()
+                .unwrap_or_else(|| usage_and_exit(&format!("--{key} needs a value")));
+            map.insert(key, v);
+        } else {
+            usage_and_exit(&format!("unknown flag `--{key}`"));
         }
     }
     map
@@ -158,20 +188,84 @@ fn report<P>(label: &str, result: &SimResult<P>, clock_mhz: f64) {
     println!("  pipelining engaged: {}", s.inter_phase_used);
 }
 
+/// Telemetry options distilled from the command line; `None` when no
+/// telemetry flag was passed (the run then uses the zero-cost null
+/// collector).
+struct TelemetryOpts {
+    window: u64,
+    trace_out: Option<String>,
+    csv_out: Option<String>,
+    heatmap_out: Option<String>,
+}
+
+fn telemetry_opts(args: &HashMap<String, String>) -> Option<TelemetryOpts> {
+    let wanted = ["metrics-window", "trace-out", "metrics-csv", "heatmap-out"]
+        .iter()
+        .any(|k| args.contains_key(*k));
+    if !wanted {
+        return None;
+    }
+    let window = args.get("metrics-window").map_or(1000, |s| {
+        s.parse().unwrap_or_else(|_| {
+            usage_and_exit(&format!("--metrics-window needs a cycle count, got `{s}`"))
+        })
+    });
+    if window == 0 {
+        usage_and_exit("--metrics-window must be at least 1 cycle");
+    }
+    Some(TelemetryOpts {
+        window,
+        trace_out: args.get("trace-out").cloned(),
+        csv_out: args.get("metrics-csv").cloned(),
+        heatmap_out: args.get("heatmap-out").cloned(),
+    })
+}
+
+/// Writes the requested export files. Called on success and on failure
+/// alike — a timeline of a wedged run is exactly when you want the trace.
+fn write_exports(opts: &TelemetryOpts, rec: &Recorder) {
+    fn emit(what: &str, path: &Option<String>, write: impl Fn(&str) -> std::io::Result<()>) {
+        if let Some(path) = path {
+            match write(path) {
+                Ok(()) => println!("  wrote {what} to {path}"),
+                Err(e) => eprintln!("warning: could not write {what} to {path}: {e}"),
+            }
+        }
+    }
+    emit("chrome trace", &opts.trace_out, |p| {
+        rec.export_chrome_trace(p)
+    });
+    emit("window CSV", &opts.csv_out, |p| rec.export_windows_csv(p));
+    emit("link heatmap", &opts.heatmap_out, |p| {
+        rec.export_link_heatmap(p)
+    });
+}
+
 fn run_all<A: Algorithm>(algo: &A, graph: &Csr, args: &HashMap<String, String>) {
     let cfg = build_config(args);
     let clock = cfg.effective_clock_mhz();
     let pes = cfg.placement.num_pes();
-    let result = Simulator::try_new(algo, graph, cfg)
-        .and_then(|mut sim| sim.try_run())
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            if let Some(snapshot) = e.snapshot() {
-                eprintln!("\n{snapshot}");
-            }
-            exit(1)
+    let tel = telemetry_opts(args);
+    let mut recorder = tel.as_ref().map(|t| Recorder::new(t.window));
+    let outcome =
+        Simulator::try_new(algo, graph, cfg).and_then(|mut sim| match recorder.as_mut() {
+            Some(rec) => sim.try_run_with(rec),
+            None => sim.try_run(),
         });
+    if let (Some(t), Some(rec)) = (&tel, &recorder) {
+        write_exports(t, rec);
+    }
+    let result = outcome.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        if let Some(snapshot) = e.snapshot() {
+            eprintln!("\n{snapshot}");
+        }
+        exit(1)
+    });
     report(&format!("ScalaGraph-{pes} {}", algo.name()), &result, clock);
+    if let Some(rec) = &recorder {
+        println!("\n{}", rec.summary());
+    }
     if args.contains_key("baseline") {
         let gd_cfg = GraphDynsConfig::graphdyns_128();
         let gd_clock = gd_cfg.effective_clock_mhz();

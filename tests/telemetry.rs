@@ -1,0 +1,337 @@
+//! Telemetry subsystem guarantees, pinned across the crate boundary:
+//!
+//! 1. Attaching a [`Recorder`] never perturbs the simulation — results and
+//!    every performance counter are bit-identical to the null-collector
+//!    path, with and without fault injection.
+//! 2. The Chrome trace export is well-formed JSON with balanced begin/end
+//!    span pairs on every track, so ui.perfetto.dev loads it.
+//! 3. The CSV and heatmap exports are structurally sound, and the summary
+//!    is consistent with the simulator's own counters.
+
+use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
+use scalagraph_suite::algo::Algorithm;
+use scalagraph_suite::graph::{generators, Csr};
+use scalagraph_suite::scalagraph::{
+    Fault, FaultKind, FaultPlan, LinkDir, ScalaGraphConfig, SimResult, Simulator,
+};
+use scalagraph_suite::telemetry::{InstantKind, Recorder};
+use std::collections::HashMap;
+
+fn test_graph(seed: u64) -> Csr {
+    Csr::from_edges(600, &generators::power_law(600, 5000, 0.8, seed))
+}
+
+fn run_both<A: Algorithm>(
+    algo: &A,
+    graph: &Csr,
+    cfg: ScalaGraphConfig,
+    window: u64,
+) -> (SimResult<A::Prop>, SimResult<A::Prop>, Recorder) {
+    let plain = Simulator::try_new(algo, graph, cfg.clone())
+        .and_then(|mut s| s.try_run())
+        .expect("plain run must succeed");
+    let mut rec = Recorder::new(window);
+    let traced = Simulator::try_new(algo, graph, cfg)
+        .and_then(|mut s| s.try_run_with(&mut rec))
+        .expect("recorded run must succeed");
+    (plain, traced, rec)
+}
+
+#[test]
+fn recorder_is_bit_identical_to_null_collector() {
+    let g = test_graph(1);
+    let cfg = ScalaGraphConfig::with_pes(32);
+    macro_rules! check {
+        ($algo:expr) => {
+            let (plain, traced, _) = run_both(&$algo, &g, cfg.clone(), 128);
+            assert_eq!(plain.properties, traced.properties);
+            assert_eq!(plain.frontier_sizes, traced.frontier_sizes);
+            assert_eq!(plain.stats, traced.stats);
+        };
+    }
+    check!(Bfs::from_root(0));
+    check!(Sssp::from_root(0));
+    check!(ConnectedComponents::new());
+    check!(PageRank::new(3));
+}
+
+#[test]
+fn recorder_is_bit_identical_under_fault_injection_and_records_instants() {
+    let g = test_graph(2);
+    let mut cfg = ScalaGraphConfig::with_pes(32);
+    cfg.fault_plan = Some(
+        FaultPlan::seeded(31)
+            .with(
+                Fault::new(FaultKind::HbmStall {
+                    tile: 0,
+                    channel: 1,
+                    cycles: 40,
+                })
+                .window(10, 11),
+            )
+            .with(
+                Fault::new(FaultKind::LinkDrop {
+                    node: 3,
+                    dir: LinkDir::South,
+                    one_in: 5,
+                })
+                .window(0, 300),
+            ),
+    );
+    let (plain, traced, rec) = run_both(&Bfs::from_root(0), &g, cfg, 64);
+    assert_eq!(plain.properties, traced.properties);
+    assert_eq!(plain.stats, traced.stats);
+    let stalls = rec
+        .events()
+        .iter()
+        .filter(|(_, k)| matches!(k, InstantKind::HbmStallInjected { .. }))
+        .count() as u64;
+    let drops = rec
+        .events()
+        .iter()
+        .filter(|(_, k)| matches!(k, InstantKind::FlitDropped { .. }))
+        .count() as u64;
+    assert_eq!(stalls, plain.stats.hbm_stalls_injected);
+    assert_eq!(drops, plain.stats.flits_dropped);
+}
+
+// ---- a minimal JSON syntax checker (no external crates) ----------------
+
+struct Json<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Json<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.ws();
+        self.b.get(self.i).copied().unwrap_or(0)
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            b'{' => {
+                self.eat(b'{')?;
+                if self.peek() != b'}' {
+                    loop {
+                        self.string()?;
+                        self.eat(b':')?;
+                        self.value()?;
+                        if self.peek() != b',' {
+                            break;
+                        }
+                        self.eat(b',')?;
+                    }
+                }
+                self.eat(b'}')
+            }
+            b'[' => {
+                self.eat(b'[')?;
+                if self.peek() != b']' {
+                    loop {
+                        self.value()?;
+                        if self.peek() != b',' {
+                            break;
+                        }
+                        self.eat(b',')?;
+                    }
+                }
+                self.eat(b']')
+            }
+            b'"' => self.string(),
+            b't' | b'f' | b'n' => {
+                while self.i < self.b.len() && self.b[self.i].is_ascii_alphabetic() {
+                    self.i += 1;
+                }
+                Ok(())
+            }
+            c if c == b'-' || c.is_ascii_digit() => {
+                while self.i < self.b.len()
+                    && matches!(
+                        self.b[self.i],
+                        b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+                    )
+                {
+                    self.i += 1;
+                }
+                Ok(())
+            }
+            c => Err(format!("unexpected byte `{}` at {}", c as char, self.i)),
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => self.i += 2,
+                _ => self.i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn check(bytes: &'a [u8]) -> Result<(), String> {
+        let mut p = Json { b: bytes, i: 0 };
+        p.value()?;
+        p.ws();
+        if p.i == p.b.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes at {}", p.i))
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_balanced_spans() {
+    let g = test_graph(3);
+    let (_, _, rec) = run_both(&PageRank::new(3), &g, ScalaGraphConfig::with_pes(32), 128);
+    let mut buf = Vec::new();
+    rec.write_chrome_trace(&mut buf).expect("in-memory write");
+    let text = String::from_utf8(buf).expect("trace must be UTF-8");
+    Json::check(text.as_bytes()).expect("trace must be valid JSON");
+    assert!(text.contains("\"traceEvents\""));
+    assert!(text.contains("\"displayTimeUnit\""));
+
+    // Every begin event must have a matching end on the same track, in
+    // order — Perfetto rejects traces that violate this.
+    let mut depth: HashMap<&str, i64> = HashMap::new();
+    let mut begins = 0;
+    for line in text.lines() {
+        let ph = if line.contains("\"ph\": \"B\"") {
+            begins += 1;
+            1
+        } else if line.contains("\"ph\": \"E\"") {
+            -1
+        } else {
+            continue;
+        };
+        let tid = line
+            .split("\"tid\": ")
+            .nth(1)
+            .and_then(|s| s.split(&[',', '}'][..]).next())
+            .expect("span events carry a tid");
+        let d = depth.entry(tid).or_insert(0);
+        *d += ph;
+        assert!(*d >= 0, "end before begin on track {tid}");
+    }
+    assert!(begins > 0, "trace must contain span events");
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "unbalanced spans: {depth:?}"
+    );
+}
+
+#[test]
+fn csv_and_heatmap_exports_are_well_formed() {
+    let g = test_graph(4);
+    let (_, _, rec) = run_both(&Bfs::from_root(0), &g, ScalaGraphConfig::with_pes(32), 128);
+
+    let mut csv = Vec::new();
+    rec.write_windows_csv(&mut csv).expect("in-memory write");
+    let csv = String::from_utf8(csv).expect("CSV must be UTF-8");
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some("kind,window,subject,metric,value"));
+    let mut rows = 0;
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 5, "malformed row: {line}");
+        assert!(
+            matches!(fields[0], "tile" | "hbm" | "link"),
+            "unknown kind in: {line}"
+        );
+        fields[1].parse::<u64>().expect("window must be numeric");
+        fields[4].parse::<u64>().expect("value must be numeric");
+        rows += 1;
+    }
+    assert!(rows > 0, "CSV must contain data rows");
+
+    let mut heat = Vec::new();
+    rec.write_link_heatmap(&mut heat).expect("in-memory write");
+    let heat = String::from_utf8(heat).expect("heatmap must be UTF-8");
+    Json::check(heat.as_bytes()).expect("heatmap must be valid JSON");
+    for key in [
+        "\"window_cycles\"",
+        "\"cols\"",
+        "\"rows\"",
+        "\"links\"",
+        "\"utilization\"",
+    ] {
+        assert!(heat.contains(key), "heatmap missing {key}");
+    }
+}
+
+#[test]
+fn wedged_run_still_exports_a_balanced_trace_with_the_watchdog_event() {
+    let g = test_graph(6);
+    let mut cfg = ScalaGraphConfig::with_pes(32);
+    cfg.watchdog_stall_cycles = 1_500;
+    cfg.fault_plan = Some(
+        FaultPlan::seeded(37).with(
+            Fault::new(FaultKind::HbmStall {
+                tile: 0,
+                channel: 0,
+                cycles: u64::MAX,
+            })
+            .window(20, 21),
+        ),
+    );
+    let mut rec = Recorder::new(128);
+    let err = Simulator::try_new(&Bfs::from_root(0), &g, cfg)
+        .and_then(|mut s| s.try_run_with(&mut rec))
+        .expect_err("pinned channel must wedge the run");
+    assert!(err.snapshot().is_some());
+    assert!(
+        rec.events()
+            .iter()
+            .any(|(_, k)| matches!(k, InstantKind::WatchdogStall { .. })),
+        "the watchdog firing must appear on the event track"
+    );
+    let mut buf = Vec::new();
+    rec.write_chrome_trace(&mut buf).expect("in-memory write");
+    let text = String::from_utf8(buf).expect("trace must be UTF-8");
+    Json::check(text.as_bytes()).expect("trace of a failed run must still be valid JSON");
+    let begins = text.matches("\"ph\": \"B\"").count();
+    let ends = text.matches("\"ph\": \"E\"").count();
+    assert!(begins > 0);
+    assert_eq!(begins, ends, "error-path flush must close open spans");
+}
+
+#[test]
+fn summary_is_consistent_with_simulator_counters() {
+    let g = test_graph(5);
+    let (plain, _, rec) = run_both(&PageRank::new(3), &g, ScalaGraphConfig::with_pes(32), 200);
+    let s = rec.summary();
+    assert_eq!(s.run_cycles, plain.stats.cycles);
+    assert_eq!(s.window_cycles, 200);
+    assert_eq!(s.total_link_traversals, plain.stats.noc_hops);
+    assert_eq!(s.offchip_bytes, plain.stats.offchip_bytes());
+    assert!(s.windows >= s.run_cycles / 200);
+    assert!(s.routing_latency_p50 <= s.routing_latency_p95);
+    assert!(s.routing_latency_p95 <= s.routing_latency_max);
+    assert!(s.scatter_only_cycles + s.apply_only_cycles + s.overlap_cycles <= s.run_cycles);
+    let peak = s.peak_link.expect("a PageRank run must exercise links");
+    assert!(peak.traversals > 0);
+    assert!(s.peak_link_utilization > 0.0);
+}
