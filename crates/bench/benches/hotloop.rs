@@ -1,0 +1,79 @@
+//! Criterion benches for the hot-loop optimisations: simulator stepping
+//! throughput with fast-forward on/off, and sweep fan-out at 1 vs N
+//! threads. `cargo bench -p scalagraph-bench --bench hotloop`; CI runs the
+//! same targets in `--quick` mode as a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scalagraph::{MemoryPreset, ScalaGraphConfig};
+use scalagraph_bench::runners::{run_scalagraph, sweep_scalagraph_with};
+use scalagraph_bench::workloads::{PreparedGraph, Workload};
+use scalagraph_graph::{generators, Csr, Dataset};
+use scalagraph_mem::HbmConfig;
+
+fn rmat_prep() -> PreparedGraph {
+    let graph = Csr::from_edges(2048, &generators::rmat(2048, 8192, 42));
+    let root = Dataset::pick_root(&graph);
+    PreparedGraph { graph, root }
+}
+
+fn latency_bound_config(fast_forward: bool) -> ScalaGraphConfig {
+    let mut cfg = ScalaGraphConfig::with_pes(256);
+    cfg.inter_phase_pipelining = false;
+    let mut hbm = HbmConfig::u280(cfg.effective_clock_mhz() * 1e6);
+    hbm.latency_cycles = 384;
+    cfg.memory = MemoryPreset::Custom(hbm);
+    cfg.fast_forward = fast_forward;
+    cfg
+}
+
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotloop_fast_forward");
+    g.sample_size(10);
+    let prep = rmat_prep();
+    for (name, ff) in [("ff_off", false), ("ff_on", true)] {
+        g.bench_function(name, |b| {
+            let cfg = latency_bound_config(ff);
+            b.iter(|| run_scalagraph(&prep, Workload::Bfs, cfg.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_busy_steady_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotloop_steady_state");
+    g.sample_size(10);
+    let prep = rmat_prep();
+    // Busy pipelined run: measures the slab/scratch hot path and confirms
+    // the fast-forward activity gate costs nothing when never quiescent.
+    for (name, ff) in [("busy_ff_off", false), ("busy_ff_on", true)] {
+        g.bench_function(name, |b| {
+            let mut cfg = ScalaGraphConfig::with_pes(128);
+            cfg.fast_forward = ff;
+            b.iter(|| run_scalagraph(&prep, Workload::PageRank, cfg.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sweep_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotloop_sweep_threads");
+    g.sample_size(10);
+    let prep = rmat_prep();
+    let configs: Vec<(String, ScalaGraphConfig)> = (0..4)
+        .map(|i| (format!("cfg{i}"), latency_bound_config(true)))
+        .collect();
+    for threads in [1usize, 4] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| sweep_scalagraph_with(threads, &prep, Workload::Bfs, configs.clone()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    hotloop,
+    bench_fast_forward,
+    bench_busy_steady_state,
+    bench_sweep_threads
+);
+criterion_main!(hotloop);

@@ -1,0 +1,206 @@
+//! `bench_hotloop` — end-to-end timing of the hot-loop optimisations.
+//!
+//! Runs a fixed R-MAT workload through an HBM-latency sensitivity sweep
+//! twice: once sequentially with fast-forward off (the pre-optimisation
+//! baseline) and once on the default thread pool with fast-forward on.
+//! Asserts the two sweeps produce bit-identical metrics, then writes
+//! `BENCH_hotloop.json` reporting simulated-cycles/sec, sweep wall-clock,
+//! and the end-to-end speedup.
+//!
+//! ```text
+//! bench_hotloop [--out <path>] [--check <path>] [--threads <n>]
+//!   --out <path>     where to write the JSON        [BENCH_hotloop.json]
+//!   --check <path>   compare against a previously written JSON and exit
+//!                    nonzero if optimized cycles/sec regressed >20%
+//!   --threads <n>    worker threads for the optimized sweep [all cores]
+//! ```
+
+use scalagraph::{MemoryPreset, ScalaGraphConfig};
+use scalagraph_bench::runners::{sweep_scalagraph_with, SweepRecord};
+use scalagraph_bench::sweep::default_threads;
+use scalagraph_bench::workloads::{PreparedGraph, Workload};
+use scalagraph_graph::{generators, Csr, Dataset};
+use scalagraph_mem::HbmConfig;
+use std::time::Instant;
+
+/// Fixed workload: every run of this binary simulates exactly this graph.
+const RMAT_VERTICES: usize = 4096;
+const RMAT_EDGES: usize = 16384;
+const RMAT_SEED: u64 = 42;
+
+/// The sweep: HBM load-to-use latency sensitivity at 512 PEs with serial
+/// phases — the paper-style experiment where idle-cycle fast-forward
+/// matters, because deeper memory pipelines mean longer quiescent waits.
+const LATENCIES: &[u32] = &[64, 128, 256, 384, 512];
+
+fn workload() -> PreparedGraph {
+    let graph = Csr::from_edges(
+        RMAT_VERTICES,
+        &generators::rmat(RMAT_VERTICES, RMAT_EDGES, RMAT_SEED),
+    );
+    let root = Dataset::pick_root(&graph);
+    PreparedGraph { graph, root }
+}
+
+fn configs(fast_forward: bool) -> Vec<(String, ScalaGraphConfig)> {
+    let mut out = Vec::new();
+    for &lat in LATENCIES {
+        let mut cfg = ScalaGraphConfig::with_pes(512);
+        cfg.inter_phase_pipelining = false;
+        let mut hbm = HbmConfig::u280(cfg.effective_clock_mhz() * 1e6);
+        hbm.latency_cycles = lat;
+        cfg.memory = MemoryPreset::Custom(hbm);
+        cfg.fast_forward = fast_forward;
+        out.push((format!("lat{lat}"), cfg));
+    }
+    // One busy, pipelined configuration so the sweep also covers the case
+    // fast-forward cannot help (the activity gate keeps it near-free).
+    let mut cfg = ScalaGraphConfig::with_pes(512);
+    cfg.fast_forward = fast_forward;
+    out.push(("u280-pipelined".to_string(), cfg));
+    out
+}
+
+struct SweepTiming {
+    wall_seconds: f64,
+    total_cycles: u64,
+    records: Vec<SweepRecord>,
+}
+
+fn timed_sweep(threads: usize, prep: &PreparedGraph, fast_forward: bool) -> SweepTiming {
+    let start = Instant::now();
+    let records = sweep_scalagraph_with(threads, prep, Workload::Bfs, configs(fast_forward));
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let total_cycles = records
+        .iter()
+        .filter_map(|r| r.outcome.as_ref().ok())
+        .map(|m| m.cycles)
+        .sum();
+    SweepTiming {
+        wall_seconds,
+        total_cycles,
+        records,
+    }
+}
+
+fn cycles_per_sec(t: &SweepTiming) -> f64 {
+    t.total_cycles as f64 / t.wall_seconds.max(1e-9)
+}
+
+/// Extracts `"key": <number>` from the `"optimized"` object of a previous
+/// report. Hand-rolled because the JSON is ours and flat.
+fn read_baseline_cps(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let opt = text.split("\"optimized\"").nth(1)?;
+    let num = opt.split("\"cycles_per_sec\":").nth(1)?;
+    num.trim_start()
+        .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .next()?
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let mut out_path = "BENCH_hotloop.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut threads = default_threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--out" => out_path = value("--out"),
+            "--check" => check_path = Some(value("--check")),
+            "--threads" => {
+                threads = value("--threads")
+                    .parse()
+                    .expect("--threads needs a positive integer");
+                assert!(threads > 0, "--threads needs a positive integer");
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    let prep = workload();
+    println!(
+        "workload: BFS on R-MAT |V|={} |E|={} (seed {}), {} configs",
+        prep.graph.num_vertices(),
+        prep.graph.num_edges(),
+        RMAT_SEED,
+        configs(true).len()
+    );
+
+    // Warm-up pass so neither timed sweep pays first-touch costs.
+    let _ = timed_sweep(1, &prep, true);
+
+    let baseline = timed_sweep(1, &prep, false);
+    let optimized = timed_sweep(threads, &prep, true);
+
+    // The whole point: the optimisations must not change a single result.
+    assert_eq!(baseline.records.len(), optimized.records.len());
+    for (b, o) in baseline.records.iter().zip(&optimized.records) {
+        assert_eq!(b.label, o.label);
+        let (bm, om) = (
+            b.outcome.as_ref().expect("baseline config failed"),
+            o.outcome.as_ref().expect("optimized config failed"),
+        );
+        assert_eq!(bm, om, "metrics diverged for {}", b.label);
+    }
+
+    let speedup = baseline.wall_seconds / optimized.wall_seconds.max(1e-9);
+    println!(
+        "baseline (seq, no-ff) : {:8.1} ms  {:>12.0} cycles/s",
+        baseline.wall_seconds * 1e3,
+        cycles_per_sec(&baseline)
+    );
+    println!(
+        "optimized (par, ff)   : {:8.1} ms  {:>12.0} cycles/s  ({threads} threads)",
+        optimized.wall_seconds * 1e3,
+        cycles_per_sec(&optimized)
+    );
+    println!("end-to-end sweep speedup: {speedup:.2}x (bit-identical results)");
+
+    let mut config_lines = Vec::new();
+    for r in &optimized.records {
+        let m = r.outcome.as_ref().expect("optimized config failed");
+        config_lines.push(format!(
+            "    {{ \"label\": \"{}\", \"cycles\": {}, \"traversed_edges\": {} }}",
+            r.label, m.cycles, m.traversed_edges
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"BFS on R-MAT |V|={v} |E|={e} seed={s}\",\n  \
+         \"configs\": [\n{cfgs}\n  ],\n  \
+         \"baseline\": {{ \"fast_forward\": false, \"threads\": 1, \
+         \"wall_ms\": {bw:.2}, \"cycles_per_sec\": {bc:.0} }},\n  \
+         \"optimized\": {{ \"fast_forward\": true, \"threads\": {t}, \
+         \"wall_ms\": {ow:.2}, \"cycles_per_sec\": {oc:.0} }},\n  \
+         \"speedup\": {sp:.3},\n  \"bit_identical\": true\n}}\n",
+        v = RMAT_VERTICES,
+        e = RMAT_EDGES,
+        s = RMAT_SEED,
+        cfgs = config_lines.join(",\n"),
+        bw = baseline.wall_seconds * 1e3,
+        bc = cycles_per_sec(&baseline),
+        t = threads,
+        ow = optimized.wall_seconds * 1e3,
+        oc = cycles_per_sec(&optimized),
+        sp = speedup,
+    );
+    std::fs::write(&out_path, json).expect("could not write report");
+    println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let old = read_baseline_cps(&path)
+            .unwrap_or_else(|| panic!("no optimized cycles_per_sec in {path}"));
+        let new = cycles_per_sec(&optimized);
+        let ratio = new / old;
+        println!("regression check vs {path}: {old:.0} -> {new:.0} cycles/s ({ratio:.2}x)");
+        if ratio < 0.8 {
+            eprintln!("error: cycles/sec regressed more than 20% vs {path}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! System runners: execute a workload on ScalaGraph, GraphDynS, or the
 //! Gunrock model and return a uniform metrics record.
 
-use crate::sweep::parallel_map;
+use crate::sweep::{default_threads, parallel_map_with};
 use crate::workloads::{PreparedGraph, Workload, PAGERANK_ITERATIONS};
 use scalagraph::telemetry::{Recorder, TelemetrySummary};
 use scalagraph::{ScalaGraphConfig, SimError, SimStats, Simulator};
@@ -201,7 +201,19 @@ pub fn sweep_scalagraph(
     workload: Workload,
     configs: Vec<(String, ScalaGraphConfig)>,
 ) -> Vec<SweepRecord> {
-    parallel_map(configs, |(label, cfg)| SweepRecord {
+    sweep_scalagraph_with(default_threads(), prep, workload, configs)
+}
+
+/// [`sweep_scalagraph`] with an explicit worker count; `threads == 1` runs
+/// every configuration sequentially on the caller's thread. Record order
+/// matches `configs` order regardless of the worker count.
+pub fn sweep_scalagraph_with(
+    threads: usize,
+    prep: &PreparedGraph,
+    workload: Workload,
+    configs: Vec<(String, ScalaGraphConfig)>,
+) -> Vec<SweepRecord> {
+    parallel_map_with(threads, configs, |(label, cfg)| SweepRecord {
         outcome: try_run_scalagraph(prep, workload, cfg),
         label,
         telemetry: None,
@@ -235,8 +247,22 @@ pub fn sweep_scalagraph_telemetry(
     configs: Vec<(String, ScalaGraphConfig)>,
     window: u64,
 ) -> Vec<SweepRecord> {
-    parallel_map(configs, |(label, cfg)| {
-        match try_run_scalagraph_telemetry(prep, workload, cfg, window) {
+    sweep_scalagraph_telemetry_with(default_threads(), prep, workload, configs, window)
+}
+
+/// [`sweep_scalagraph_telemetry`] with an explicit worker count (see
+/// [`sweep_scalagraph_with`]).
+pub fn sweep_scalagraph_telemetry_with(
+    threads: usize,
+    prep: &PreparedGraph,
+    workload: Workload,
+    configs: Vec<(String, ScalaGraphConfig)>,
+    window: u64,
+) -> Vec<SweepRecord> {
+    parallel_map_with(
+        threads,
+        configs,
+        |(label, cfg)| match try_run_scalagraph_telemetry(prep, workload, cfg, window) {
             Ok((metrics, summary)) => SweepRecord {
                 label,
                 outcome: Ok(metrics),
@@ -247,8 +273,8 @@ pub fn sweep_scalagraph_telemetry(
                 outcome: Err(e),
                 telemetry: None,
             },
-        }
-    })
+        },
+    )
 }
 
 /// Convenience: run `workload` on the GraphDynS baseline with `cfg`.

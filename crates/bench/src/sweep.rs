@@ -5,8 +5,25 @@
 //! uses every core. Each simulation is single-threaded and deterministic,
 //! so parallelism cannot change any result — only the wall clock.
 
-/// Applies `f` to every item of `inputs` in parallel (bounded by the
-/// available cores), preserving order.
+/// The sweep thread count: the `SCALAGRAPH_THREADS` environment variable
+/// when set to a positive integer, otherwise every available core.
+pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("SCALAGRAPH_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(1)
+}
+
+/// Applies `f` to every item of `inputs` in parallel (bounded by
+/// [`default_threads`]), preserving order.
 ///
 /// # Example
 ///
@@ -20,10 +37,23 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .max(1);
+    parallel_map_with(default_threads(), inputs, f)
+}
+
+/// [`parallel_map`] with an explicit worker count. `threads == 1` runs the
+/// closure inline on the caller's thread — no pool, no queue — so a
+/// single-threaded sweep is exactly a `for` loop (the sequential baseline
+/// the benchmarks compare against).
+pub fn parallel_map_with<T, R, F>(threads: usize, inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return inputs.into_iter().map(f).collect();
+    }
     let n = inputs.len();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, T)> = inputs.into_iter().enumerate().collect();
@@ -82,5 +112,20 @@ mod tests {
             (0..10_000u64).fold(x, |a, b| a.wrapping_add(b))
         });
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_sequential() {
+        let inputs: Vec<i64> = (0..64).collect();
+        let seq = parallel_map_with(1, inputs.clone(), |x| x * x - 3);
+        for threads in [2, 3, 8] {
+            let par = parallel_map_with(threads, inputs.clone(), |x| x * x - 3);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
     }
 }

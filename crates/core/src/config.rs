@@ -83,6 +83,14 @@ pub struct ScalaGraphConfig {
     /// `None` leaves every fault hook cold; results are then bit-identical
     /// to a build without the subsystem.
     pub fault_plan: Option<FaultPlan>,
+    /// Idle-cycle fast-forward: when every unit is quiescent and the
+    /// machine is only waiting on timers (fetch stalls, HBM latency,
+    /// delayed flits, broadcast drain), jump the clock straight to the
+    /// earliest release cycle instead of stepping one cycle at a time.
+    /// Results, `SimStats`, watchdog behaviour, and telemetry windows are
+    /// bit-identical either way — the flag trades nothing but wall-clock
+    /// (pinned by the bit-identity test suite).
+    pub fast_forward: bool,
 }
 
 impl ScalaGraphConfig {
@@ -127,6 +135,7 @@ impl ScalaGraphConfig {
             router_queue_capacity: 8,
             watchdog_stall_cycles: DEFAULT_WATCHDOG_STALL_CYCLES,
             fault_plan: None,
+            fast_forward: false,
         }
     }
 

@@ -241,6 +241,25 @@ impl FaultInjector {
         out
     }
 
+    /// The earliest cycle strictly after `now` at which a not-yet-applied
+    /// HBM stall fault activates, if any. Lets a fast-forwarding engine
+    /// bound its jump so [`hbm_stalls_at`](Self::hbm_stalls_at) is still
+    /// consulted on exactly the cycles it would have been when stepping.
+    pub fn next_hbm_stall_cycle(&self, now: u64) -> Option<u64> {
+        let mut earliest: Option<u64> = None;
+        for (i, f) in self.plan.faults.iter().enumerate() {
+            if self.hbm_applied[i] || !matches!(f.kind, FaultKind::HbmStall { .. }) {
+                continue;
+            }
+            // The fault fires on the first stepped cycle inside its window.
+            let fire = f.from_cycle.max(now + 1);
+            if fire < f.until_cycle {
+                earliest = Some(earliest.map_or(fire, |e| e.min(fire)));
+            }
+        }
+        earliest
+    }
+
     /// Whether the link leaving `node` towards port `dir` is down at
     /// `cycle`.
     pub fn link_blocked(&self, cycle: u64, node: usize, dir: usize) -> bool {
@@ -340,6 +359,39 @@ mod tests {
         assert!(inj.hbm_stalls_at(4).is_empty());
         assert_eq!(inj.hbm_stalls_at(5), vec![(1, 4, 99)]);
         assert!(inj.hbm_stalls_at(6).is_empty(), "one-shot activation");
+    }
+
+    #[test]
+    fn next_hbm_stall_cycle_tracks_unapplied_faults() {
+        let plan = FaultPlan::seeded(1)
+            .with(
+                Fault::new(FaultKind::HbmStall {
+                    tile: 0,
+                    channel: 0,
+                    cycles: 9,
+                })
+                .window(5, 8),
+            )
+            .with(
+                Fault::new(FaultKind::HbmStall {
+                    tile: 0,
+                    channel: 1,
+                    cycles: 9,
+                })
+                .window(30, 40),
+            )
+            .with(Fault::new(FaultKind::LinkDown {
+                node: 0,
+                dir: LinkDir::East,
+            }));
+        let mut inj = FaultInjector::new(plan).unwrap();
+        assert_eq!(inj.next_hbm_stall_cycle(0), Some(5));
+        assert_eq!(inj.next_hbm_stall_cycle(6), Some(7), "window still open");
+        assert_eq!(inj.next_hbm_stall_cycle(7), Some(30), "window closed");
+        let _ = inj.hbm_stalls_at(5);
+        assert_eq!(inj.next_hbm_stall_cycle(0), Some(30), "applied is spent");
+        let _ = inj.hbm_stalls_at(30);
+        assert_eq!(inj.next_hbm_stall_cycle(0), None);
     }
 
     #[test]

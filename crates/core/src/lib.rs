@@ -49,6 +49,7 @@ pub mod fault;
 pub mod mapping;
 pub mod placement;
 pub mod sim;
+pub mod slab;
 pub mod stats;
 
 pub use config::{MemoryPreset, ScalaGraphConfig};

@@ -30,6 +30,7 @@ use crate::error::{
 };
 use crate::fault::{FaultInjector, FlitAction};
 use crate::mapping::Mapping;
+use crate::slab::TagSlab;
 use crate::stats::{SimResult, SimStats};
 use scalagraph_algo::{Algorithm, EdgeCtx};
 use scalagraph_graph::{Csr, VertexId, EDGES_PER_LINE, LINE_BYTES};
@@ -37,7 +38,7 @@ use scalagraph_mem::{Hbm, MemRequest};
 use scalagraph_telemetry::{
     Collector, HbmChannelSample, InstantKind, NullCollector, SpanName, TileSample, Topology,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::ops::Range;
 
 /// Safety cap on simulated cycles; reaching it means the workload diverged
@@ -89,7 +90,9 @@ struct EdgeCursor<P> {
 }
 
 /// A run of contiguous edges of one source vertex, ready for dispatch.
-#[derive(Debug, Clone)]
+/// Deliberately not `Clone`: segments move through the prefetch slab and
+/// dispatch queues, never duplicating on the hot path.
+#[derive(Debug)]
 struct Segment<P> {
     src: VertexId,
     prop: P,
@@ -97,19 +100,39 @@ struct Segment<P> {
     edges: Range<usize>,
 }
 
+/// Memory-request tags encode the owning slab and slot so responses route
+/// back without a hash lookup: bit 0 picks the slab (0 = vertex records,
+/// 1 = edge lines), the rest is the recycled slot id. Write-backs carry no
+/// response, so their tags only need to be distinct for diagnostics — a
+/// monotonic counter above [`WRITE_TAG_BIT`].
+const TAG_KIND_LINE: u64 = 1;
+const WRITE_TAG_BIT: u64 = 1 << 63;
+
+fn vpref_tag(slot: u32) -> u64 {
+    u64::from(slot) << 1
+}
+
+fn line_tag(slot: u32) -> u64 {
+    (u64::from(slot) << 1) | TAG_KIND_LINE
+}
+
+fn tag_slot(tag: u64) -> u32 {
+    ((tag & !WRITE_TAG_BIT) >> 1) as u32
+}
+
 /// Per-tile fetch/dispatch frontend.
 struct TileFrontend<P> {
     hbm: Hbm,
     channel_rr: usize,
-    next_tag: u64,
+    next_write_tag: u64,
     /// Actives awaiting a vertex-record fetch.
     vpref_pending: VecDeque<ActiveVertex<P>>,
-    /// Record-line fetches in flight: tag → batch.
-    vpref_inflight: HashMap<u64, Vec<ActiveVertex<P>>>,
+    /// Record-line fetches in flight, slot-indexed by the request tag.
+    vpref_inflight: TagSlab<ActiveVertex<P>>,
     /// Records fetched; edge lines being issued.
     records_ready: VecDeque<EdgeCursor<P>>,
-    /// Edge-line fetches in flight: tag → segments the line carries.
-    line_inflight: HashMap<u64, Vec<Segment<P>>>,
+    /// Edge-line fetches in flight, slot-indexed by the request tag.
+    line_inflight: TagSlab<Segment<P>>,
     /// Most recently issued edge line `(line id, tag)`, for adjacent-line
     /// merging across consecutive active vertices.
     last_line: Option<(usize, u64)>,
@@ -124,11 +147,11 @@ impl<P: Copy> TileFrontend<P> {
         TileFrontend {
             hbm,
             channel_rr: 0,
-            next_tag: 0,
+            next_write_tag: 0,
             vpref_pending: VecDeque::new(),
-            vpref_inflight: HashMap::new(),
+            vpref_inflight: TagSlab::new(),
             records_ready: VecDeque::new(),
-            line_inflight: HashMap::new(),
+            line_inflight: TagSlab::new(),
             last_line: None,
             row_queues: (0..rows).map(|_| VecDeque::new()).collect(),
             write_backlog: 0,
@@ -143,9 +166,9 @@ impl<P: Copy> TileFrontend<P> {
             && self.row_queues.iter().all(VecDeque::is_empty)
     }
 
-    fn fresh_tag(&mut self) -> u64 {
-        self.next_tag += 1;
-        self.next_tag
+    fn fresh_write_tag(&mut self) -> u64 {
+        self.next_write_tag += 1;
+        WRITE_TAG_BIT | self.next_write_tag
     }
 }
 
@@ -310,6 +333,23 @@ pub fn try_run_on<A: Algorithm>(
     Simulator::try_new(algo, graph, config)?.try_run()
 }
 
+/// Per-cycle scratch buffers the engine reuses across cycles instead of
+/// reallocating: dispatch lane ownership and source budgets, routing free
+/// space and decided moves. Taken out of the engine with `mem::take` for
+/// the duration of a step stage and put back after, so the buffers never
+/// fight the borrow checker and never hit the allocator in steady state.
+#[derive(Default)]
+struct Scratch {
+    /// Which segment owns each PE lane this dispatch cycle.
+    lane_owner: Vec<u16>,
+    /// Distinct source vertices scheduled this dispatch cycle.
+    srcs_used: Vec<VertexId>,
+    /// Routing: free buffer slots per (node, direction).
+    route_free: Vec<[usize; NUM_DIRS]>,
+    /// Routing: decided (destination node, destination buffer) moves.
+    route_moves: Vec<(usize, usize)>,
+}
+
 /// A flit held between routers by an injected link-delay (or corruption)
 /// fault: it left `node` via `dir` and re-enters the downstream buffer at
 /// `release`.
@@ -430,6 +470,9 @@ struct Engine<'a, A: Algorithm, C: Collector> {
     /// Staging area for updates crossing a link this cycle (reused
     /// allocation).
     staged: Vec<PendingUpdate<Flit<A::Prop>>>,
+    /// Reused per-cycle scratch buffers for dispatch and routing, so the
+    /// steady-state hot loop allocates nothing.
+    scratch: Scratch,
     /// Per-node GU busy counters (trace only).
     gu_busy_per_node: Vec<u64>,
     /// Per-(tile,row) dispatched-edge counters (trace only).
@@ -499,6 +542,7 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             apply_inflight: 0,
             fetch_stall: 0,
             staged: Vec::new(),
+            scratch: Scratch::default(),
             gu_busy_per_node: vec![0; placement.num_pes()],
             dispatched_per_row: vec![0; placement.tiles * placement.rows_per_tile],
             injector: cfg.fault_plan.clone().and_then(FaultInjector::new),
@@ -535,13 +579,27 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
 
         let mut last_mark = self.progress_mark();
         let mut stalled_for: u64 = 0;
+        // Fast-forward gate: attempting a jump costs a full quiescence scan,
+        // which would be pure overhead on the ~always-busy cycles of dense
+        // workloads. Only attempt one after a cycle whose cheap activity
+        // signature did not move — an idle window always starts with one.
+        let mut quiet_hint = true;
+        let mut last_activity = self.activity_signature();
         loop {
             if self.advance_phases() {
                 break;
             }
+            if self.cfg.fast_forward && quiet_hint && self.try_fast_forward(&mut stalled_for) {
+                continue;
+            }
             if let Err(e) = self.step() {
                 self.tel_finish();
                 return Err(e);
+            }
+            if self.cfg.fast_forward {
+                let activity = self.activity_signature();
+                quiet_hint = activity == last_activity;
+                last_activity = activity;
             }
             if C::ENABLED {
                 self.tel_cycle();
@@ -740,6 +798,161 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             || self.delayed.iter().any(|d| d.release > self.now)
     }
 
+    /// Cheap per-cycle activity fingerprint for the fast-forward gate: a
+    /// sum of every counter that moves when a unit does real work, and of
+    /// none that tick during an idle wait (`scatter_cycles`,
+    /// `dispatch_starved_row_cycles`, ... are deliberately excluded). The
+    /// gate is a heuristic only — [`try_fast_forward`](Self::try_fast_forward)
+    /// re-checks full quiescence before any jump.
+    fn activity_signature(&self) -> u64 {
+        let s = &self.stats;
+        s.traversed_edges
+            .wrapping_add(s.updates_produced)
+            .wrapping_add(s.updates_delivered)
+            .wrapping_add(s.noc_hops)
+            .wrapping_add(s.noc_conflicts)
+            .wrapping_add(s.applies)
+            .wrapping_add(s.activations)
+            .wrapping_add(s.vpref_lines)
+            .wrapping_add(s.epref_lines)
+            .wrapping_add(s.epref_piggybacks)
+            .wrapping_add(s.flits_dropped)
+            .wrapping_add(s.flits_delayed)
+            .wrapping_add(s.updates_corrupted)
+            .wrapping_add(s.hbm_stalls_injected)
+    }
+
+    /// Idle-cycle fast-forward: when every unit is quiescent and the
+    /// machine is only counting down timers (fetch stalls, broadcast
+    /// drain, HBM latency, delayed flits), jump `now` to just before the
+    /// earliest cycle on which anything can act and replay the skipped
+    /// cycles' bookkeeping in closed form. Returns `true` if any cycles
+    /// were skipped; the caller then re-enters the loop so the event
+    /// cycle itself executes through the normal [`step`](Self::step).
+    ///
+    /// **Invariant: bit-identical results.** A skip is only taken when a
+    /// cycle-by-cycle replay would provably touch nothing but the counters
+    /// reproduced here; stats, properties, telemetry windows, injected
+    /// faults, and watchdog/cycle-cap errors all land on the same cycle
+    /// with the same values as a non-fast-forwarded run.
+    fn try_fast_forward(&mut self, stalled_for: &mut u64) -> bool {
+        // --- Quiescence: nothing but timers may act on the next cycle.
+        if self.apply_inflight != 0 {
+            return false;
+        }
+        // A parked flit with a due (or overdue) release retries next cycle.
+        if self.delayed.iter().any(|d| d.release <= self.now + 1) {
+            return false;
+        }
+        if self
+            .nodes
+            .iter()
+            .any(|n| !n.gu_queue.is_empty() || !n.out.iter().all(AggregationBuffer::is_empty))
+        {
+            return false;
+        }
+        for t in &self.tiles {
+            if !t.row_queues.iter().all(VecDeque::is_empty) {
+                return false;
+            }
+            // With the fetch stall down, the prefetchers would act on (or
+            // at least rotate state over) any pending frontend work.
+            if self.fetch_stall == 0
+                && (!t.vpref_pending.is_empty()
+                    || !t.records_ready.is_empty()
+                    || t.write_backlog >= 8)
+            {
+                return false;
+            }
+        }
+
+        // --- Earliest cycle that must execute normally.
+        let mut event = CYCLE_SAFETY_CAP;
+        if self.fetch_stall > 0 {
+            // First cycle on which step_prefetch runs again.
+            event = event.min(self.now + self.fetch_stall + 1);
+        }
+        if self.broadcast_backlog > 0 {
+            // First cycle after the backlog fully drains, where
+            // advance_phases may close the apply pass.
+            event = event.min(self.now + self.broadcast_backlog + 1);
+        }
+        for d in &self.delayed {
+            event = event.min(d.release);
+        }
+        for t in &self.tiles {
+            if let Some(c) = t.hbm.next_event_cycle() {
+                event = event.min(c);
+            }
+        }
+        if let Some(inj) = &self.injector {
+            if let Some(c) = inj.next_hbm_stall_cycle(self.now) {
+                event = event.min(c);
+            }
+        }
+        if C::ENABLED {
+            // Window sampling must happen on the exact boundary cycle. A
+            // collector that cannot name its deadline suppresses skipping.
+            match self.col.window_deadline() {
+                Some(c) => event = event.min(c),
+                None => return false,
+            }
+        }
+        // Watchdog emulation: the cycle on which it would fire must be
+        // stepped normally so the error snapshot is identical. `wait` is
+        // the number of upcoming cycles still covered by a timer.
+        let threshold = self.cfg.watchdog_stall_cycles;
+        let mut wait = self.fetch_stall.max(self.broadcast_backlog);
+        for d in &self.delayed {
+            wait = wait.max(d.release - self.now);
+        }
+        if threshold > 0 {
+            let fire = if wait > 0 {
+                // stalled_for is necessarily 0 here (the previous stepped
+                // cycle saw waiting_on_timer); counting restarts once the
+                // last timer expires.
+                self.now + wait + (threshold - 1)
+            } else {
+                self.now + threshold.saturating_sub(*stalled_for)
+            };
+            event = event.min(fire);
+        }
+
+        let k = event.saturating_sub(self.now + 1);
+        if k == 0 {
+            return false;
+        }
+
+        // --- Replay k no-op cycles in closed form.
+        if self.scatter_input_open || !self.scatter_machine_empty() {
+            self.stats.scatter_cycles += k;
+        }
+        if self.phase == Phase::Apply {
+            self.stats.apply_cycles += k;
+        }
+        let p = self.cfg.placement;
+        self.stats.dispatch_starved_row_cycles += k * (p.tiles * p.rows_per_tile) as u64;
+        self.now += k;
+        self.fetch_stall -= self.fetch_stall.min(k);
+        self.broadcast_backlog -= self.broadcast_backlog.min(k);
+        for t in &mut self.tiles {
+            t.hbm.advance(k);
+        }
+        if threshold > 0 {
+            // Skipped cycle i (1-based) observed waiting_on_timer iff
+            // i < wait, resetting the stall counter; afterwards it counts
+            // back up one per cycle.
+            if wait <= 1 {
+                *stalled_for += k;
+            } else if k < wait {
+                *stalled_for = 0;
+            } else {
+                *stalled_for = k - wait + 1;
+            }
+        }
+        true
+    }
+
     /// Captures the machine state for a watchdog/deadlock/cap error.
     fn snapshot(&self, stalled_for: u64) -> StallSnapshot {
         let mut tiles = Vec::new();
@@ -754,9 +967,9 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             let snap = TileSnapshot {
                 tile: i,
                 vpref_pending: t.vpref_pending.len(),
-                vpref_inflight: t.vpref_inflight.len(),
+                vpref_inflight: t.vpref_inflight.occupied(),
                 records_ready: t.records_ready.len(),
-                line_inflight: t.line_inflight.len(),
+                line_inflight: t.line_inflight.occupied(),
                 write_backlog: t.write_backlog,
                 row_queue_depths: t.row_queues.iter().map(VecDeque::len).collect(),
                 hbm_channels,
@@ -967,9 +1180,9 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                     "[trace] cyc {} tile {i}: vpend={} vinfl={} rec={} linfl={} rows={} gu={} idle_hbm={}",
                     self.now,
                     tile.vpref_pending.len(),
-                    tile.vpref_inflight.len(),
+                    tile.vpref_inflight.occupied(),
                     tile.records_ready.len(),
-                    tile.line_inflight.len(),
+                    tile.line_inflight.occupied(),
                     tile.row_queues.iter().map(|q| q.len()).sum::<usize>(),
                     self.nodes.iter().map(|n| n.gu_queue.len()).sum::<usize>(),
                     tile.hbm.is_idle(),
@@ -1027,94 +1240,105 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
     // ----- memory + prefetch -------------------------------------------
 
     fn step_memory(&mut self) {
+        let dev = self.dev;
+        let graph = self.graph;
+        let placement = self.cfg.placement;
+        let slice = self.slice;
         for t in 0..self.tiles.len() {
-            self.tiles[t].hbm.step();
-            for ch in 0..self.tiles[t].hbm.num_channels() {
-                while let Some(resp) = self.tiles[t].hbm.pop_ready(ch) {
-                    if let Some(batch) = self.tiles[t].vpref_inflight.remove(&resp.tag) {
-                        let csr = self.dev.tile_csr(self.slice, t);
+            let tile = &mut self.tiles[t];
+            tile.hbm.step();
+            for ch in 0..tile.hbm.num_channels() {
+                while let Some(resp) = tile.hbm.pop_ready(ch) {
+                    // Only reads pop from the ready queue, and bit 0 of the
+                    // tag names the issuing slab; the slot id is the rest.
+                    let slot = tag_slot(resp.tag);
+                    if resp.tag & TAG_KIND_LINE == 0 {
+                        let Some(batch) = tile.vpref_inflight.release(slot) else {
+                            continue;
+                        };
+                        let csr = dev.tile_csr(slice, t);
                         for av in batch {
                             let range = csr.edge_range(av.v);
                             // The vertex record carries the *global*
                             // out-degree (PageRank normalizes by it), not
                             // this tile partition's share.
-                            let degree = self.graph.out_degree(av.v) as u32;
-                            self.tiles[t].records_ready.push_back(EdgeCursor {
+                            let degree = graph.out_degree(av.v) as u32;
+                            tile.records_ready.push_back(EdgeCursor {
                                 av,
                                 cursor: range.start,
                                 end: range.end,
                                 degree,
                             });
                         }
-                    } else if let Some(segs) = self.tiles[t].line_inflight.remove(&resp.tag) {
-                        if self.tiles[t]
-                            .last_line
-                            .is_some_and(|(_, tag)| tag == resp.tag)
-                        {
-                            self.tiles[t].last_line = None;
+                    } else {
+                        let Some(segs) = tile.line_inflight.release(slot) else {
+                            continue;
+                        };
+                        if tile.last_line.is_some_and(|(_, tag)| tag == resp.tag) {
+                            tile.last_line = None;
                         }
                         for seg in segs {
-                            let row = self.cfg.placement.row_of(seg.src);
-                            self.tiles[t].row_queues[row].push_back(seg);
+                            let row = placement.row_of(seg.src);
+                            tile.row_queues[row].push_back(seg);
                         }
                     }
-                    // Write completions carry no payload.
                 }
             }
         }
     }
 
     fn step_prefetch(&mut self) -> Result<(), SimError> {
+        let now = self.now;
         for t in 0..self.tiles.len() {
+            let tile = &mut self.tiles[t];
             // Flush pending active-list write-backs: one 64-byte line per
             // eight activations.
-            while self.tiles[t].write_backlog >= 8 {
-                let ch = self.tiles[t].channel_rr;
-                if !self.tiles[t].hbm.can_accept(ch) {
+            while tile.write_backlog >= 8 {
+                let ch = tile.channel_rr;
+                if !tile.hbm.can_accept(ch) {
                     break;
                 }
-                let tag = self.tiles[t].fresh_tag();
-                self.tiles[t]
-                    .hbm
+                let tag = tile.fresh_write_tag();
+                tile.hbm
                     .try_request(ch, MemRequest::write(tag, LINE_BYTES as u32));
-                self.tiles[t].write_backlog -= 8;
-                self.tiles[t].channel_rr = (ch + 1) % self.tiles[t].hbm.num_channels();
+                tile.write_backlog -= 8;
+                tile.channel_rr = (ch + 1) % tile.hbm.num_channels();
             }
 
             // VPref: each prefetcher (one per pseudo-channel) can fetch a
-            // record line of eight actives per cycle.
-            for _ in 0..self.tiles[t].hbm.num_channels() {
-                if self.tiles[t].vpref_pending.is_empty() {
+            // record line of eight actives per cycle. The batch drains
+            // straight into a recycled slab slot — no per-request Vec.
+            for _ in 0..tile.hbm.num_channels() {
+                if tile.vpref_pending.is_empty() {
                     break;
                 }
-                let ch = self.tiles[t].channel_rr;
-                if !self.tiles[t].hbm.can_accept(ch) {
+                let ch = tile.channel_rr;
+                if !tile.hbm.can_accept(ch) {
                     // This pseudo-channel is saturated; try the next one.
-                    self.tiles[t].channel_rr = (ch + 1) % self.tiles[t].hbm.num_channels();
+                    tile.channel_rr = (ch + 1) % tile.hbm.num_channels();
                     continue;
                 }
-                let take = self.tiles[t].vpref_pending.len().min(8);
-                let batch: Vec<_> = self.tiles[t].vpref_pending.drain(..take).collect();
-                let tag = self.tiles[t].fresh_tag();
-                self.tiles[t]
-                    .hbm
-                    .try_request(ch, MemRequest::read(tag, LINE_BYTES as u32));
-                self.tiles[t].vpref_inflight.insert(tag, batch);
+                let take = tile.vpref_pending.len().min(8);
+                let (slot, batch) = tile.vpref_inflight.acquire();
+                batch.extend(tile.vpref_pending.drain(..take));
+                tile.hbm
+                    .try_request(ch, MemRequest::read(vpref_tag(slot), LINE_BYTES as u32));
                 self.stats.vpref_lines += 1;
-                self.tiles[t].channel_rr = (ch + 1) % self.tiles[t].hbm.num_channels();
+                tile.channel_rr = (ch + 1) % tile.hbm.num_channels();
             }
 
             // EPref: issue edge lines of record-ready vertices, up to one
             // request per pseudo-channel per cycle. A line shared with the
             // previous vertex piggybacks on the in-flight fetch (the
-            // degree-aware scheduler's locality).
-            let mut budget = self.tiles[t].hbm.num_channels();
+            // degree-aware scheduler's locality); segments move into the
+            // slab either way, never cloning.
+            let mut budget = tile.hbm.num_channels();
             while budget > 0 {
-                let Some(head) = self.tiles[t].records_ready.front().copied() else {
+                let Some(head) = tile.records_ready.front().copied() else {
                     break;
                 };
                 if head.cursor >= head.end {
-                    self.tiles[t].records_ready.pop_front();
+                    tile.records_ready.pop_front();
                     continue;
                 }
                 let line = head.cursor / EDGES_PER_LINE;
@@ -1126,50 +1350,47 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                     src_degree: head.degree,
                     edges: lo..hi,
                 };
-                let piggybacked = match self.tiles[t].last_line {
+                match tile.last_line {
                     Some((ll, tag)) if ll == line => {
-                        match self.tiles[t].line_inflight.get_mut(&tag) {
-                            Some(segs) => segs.push(seg.clone()),
+                        match tile.line_inflight.get_mut(tag_slot(tag)) {
+                            Some(segs) => segs.push(seg),
                             None => {
                                 return Err(SimError::protocol(
                                     format!("piggyback tag {tag} not in flight in tile {t}"),
-                                    self.now,
+                                    now,
                                 ))
                             }
                         }
                         self.stats.epref_piggybacks += 1;
-                        true
                     }
-                    _ => false,
-                };
-                if !piggybacked {
-                    let mut ch = self.tiles[t].channel_rr;
-                    let channels = self.tiles[t].hbm.num_channels();
-                    let mut scanned = 0;
-                    while !self.tiles[t].hbm.can_accept(ch) && scanned < channels {
-                        ch = (ch + 1) % channels;
-                        scanned += 1;
+                    _ => {
+                        let mut ch = tile.channel_rr;
+                        let channels = tile.hbm.num_channels();
+                        let mut scanned = 0;
+                        while !tile.hbm.can_accept(ch) && scanned < channels {
+                            ch = (ch + 1) % channels;
+                            scanned += 1;
+                        }
+                        if scanned == channels {
+                            break;
+                        }
+                        let (slot, segs) = tile.line_inflight.acquire();
+                        segs.push(seg);
+                        let tag = line_tag(slot);
+                        tile.hbm
+                            .try_request(ch, MemRequest::read(tag, LINE_BYTES as u32));
+                        self.stats.epref_lines += 1;
+                        tile.last_line = Some((line, tag));
+                        tile.channel_rr = (ch + 1) % channels;
+                        budget -= 1;
                     }
-                    if scanned == channels {
-                        break;
-                    }
-                    self.tiles[t].channel_rr = ch;
-                    let tag = self.tiles[t].fresh_tag();
-                    self.tiles[t]
-                        .hbm
-                        .try_request(ch, MemRequest::read(tag, LINE_BYTES as u32));
-                    self.tiles[t].line_inflight.insert(tag, vec![seg]);
-                    self.stats.epref_lines += 1;
-                    self.tiles[t].last_line = Some((line, tag));
-                    self.tiles[t].channel_rr = (ch + 1) % self.tiles[t].hbm.num_channels();
-                    budget -= 1;
                 }
-                match self.tiles[t].records_ready.front_mut() {
+                match tile.records_ready.front_mut() {
                     Some(head) => head.cursor = hi,
                     None => {
                         return Err(SimError::protocol(
                             format!("record cursor vanished during edge issue in tile {t}"),
-                            self.now,
+                            now,
                         ))
                     }
                 }
@@ -1189,6 +1410,10 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
         // are scanned in order; a segment stopped by a busy or full lane
         // rotates to the back so later segments can fill the free lanes.
         let scan_window = 2 * cols.max(16);
+        // Per-row scratch lives in the pooled engine buffers: cleared and
+        // refilled each row, never reallocated in steady state.
+        let mut lane_owner = std::mem::take(&mut self.scratch.lane_owner);
+        let mut srcs_used = std::mem::take(&mut self.scratch.srcs_used);
         for t in 0..self.tiles.len() {
             for row in 0..placement.rows_per_tile {
                 if self.tiles[t].row_queues[row].is_empty() {
@@ -1200,13 +1425,13 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                 // same-lane edges within one line are absorbed by the
                 // dispatch skew buffer (Section IV-C), so they do not
                 // block their own line.
-                let mut lane_owner: Vec<u16> = vec![u16::MAX; cols];
+                lane_owner.clear();
+                lane_owner.resize(cols, u16::MAX);
                 let mut edges_left = cols;
                 // Distinct source vertices scheduled this cycle (Section
                 // IV-C): a vertex may span several line segments; they all
                 // count once.
-                let mut srcs_used: Vec<VertexId> =
-                    Vec::with_capacity(self.cfg.max_scheduled_vertices);
+                srcs_used.clear();
                 let mut scanned = 0usize;
                 while edges_left > 0 && scanned < scan_window {
                     let Some(mut seg) = self.tiles[t].row_queues[row].pop_front() else {
@@ -1255,6 +1480,8 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                 }
             }
         }
+        self.scratch.lane_owner = lane_owner;
+        self.scratch.srcs_used = srcs_used;
     }
 
     // ----- compute -------------------------------------------------------
@@ -1352,8 +1579,9 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
 
     fn step_routing(&mut self) -> Result<(), SimError> {
         let n_nodes = self.nodes.len();
-        // Snapshot free space per (node, buffer).
-        let mut free: Vec<[usize; NUM_DIRS]> = Vec::with_capacity(n_nodes);
+        // Snapshot free space per (node, buffer), reusing pooled scratch.
+        let mut free = std::mem::take(&mut self.scratch.route_free);
+        free.clear();
         for node in &self.nodes {
             let mut f = [0usize; NUM_DIRS];
             for (d, slot) in f.iter_mut().enumerate() {
@@ -1370,7 +1598,8 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
         let cap = self.cfg.router_queue_capacity;
         let width = self.cfg.link_width;
         let faults_armed = self.injector.is_some();
-        let mut moves: Vec<(usize, usize)> = Vec::new();
+        let mut moves = std::mem::take(&mut self.scratch.route_moves);
+        moves.clear();
         for node in 0..n_nodes {
             for dir in [NORTH, SOUTH, WEST, EAST] {
                 if faults_armed
@@ -1496,7 +1725,7 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             }
         }
 
-        for (i, (to, to_dir)) in moves.into_iter().enumerate() {
+        for (i, &(to, to_dir)) in moves.iter().enumerate() {
             let update = self.staged[i];
             let res =
                 self.nodes[to].out[to_dir].try_push(update.dst, update.value, cap, |a, b| Flit {
@@ -1506,6 +1735,8 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             debug_assert!(res.is_some(), "reserved slot must accept");
         }
         self.staged.clear();
+        self.scratch.route_free = free;
+        self.scratch.route_moves = moves;
         Ok(())
     }
 
@@ -2000,5 +2231,113 @@ mod tests {
         let sim = run_on(&Bfs::from_root(0), &g, cfg);
         // DOM has no scatter routing, so hops come only from broadcasts.
         assert!(sim.stats.noc_hops >= sim.stats.activations * 31);
+    }
+
+    // ----- idle-cycle fast-forward ----------------------------------------
+
+    /// The fast-forward contract: not "close enough", but the same machine.
+    /// Every counter in `SimStats`, every frontier size, every property
+    /// must match a cycle-by-cycle run exactly.
+    fn assert_ff_identical<A: Algorithm>(algo: &A, graph: &Csr, cfg: &ScalaGraphConfig) {
+        let mut off = cfg.clone();
+        off.fast_forward = false;
+        let mut on = cfg.clone();
+        on.fast_forward = true;
+        let a = run_on(algo, graph, off);
+        let b = run_on(algo, graph, on);
+        assert_eq!(a.properties, b.properties, "properties diverge");
+        assert_eq!(a.frontier_sizes, b.frontier_sizes, "frontiers diverge");
+        assert_eq!(a.stats, b.stats, "stats diverge");
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_for_pipelined_bfs() {
+        let g = Csr::from_edges(600, &generators::power_law(600, 8000, 0.8, 41));
+        assert_ff_identical(&Bfs::from_root(Dataset::pick_root(&g)), &g, &cfg32());
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_without_pipelining() {
+        // Non-pipelined runs spend long stretches in the inter-iteration
+        // fetch stall — the main idle window the jump exists for.
+        let g = Csr::from_edges(500, &generators::uniform(500, 4000, 7));
+        let mut cfg = cfg32();
+        cfg.inter_phase_pipelining = false;
+        assert_ff_identical(&Bfs::from_root(3), &g, &cfg);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_for_sssp_and_cc() {
+        let mut list = EdgeList::new(200);
+        for e in generators::uniform(200, 1500, 13) {
+            list.push(e);
+        }
+        list.randomize_weights(255, 5);
+        let g = Csr::from_edge_list(&list);
+        assert_ff_identical(&Sssp::from_root(0), &g, &cfg32());
+
+        let mut list = EdgeList::new(150);
+        for e in generators::uniform(150, 600, 17) {
+            list.push(e);
+        }
+        list.symmetrize();
+        let g = Csr::from_edge_list(&list);
+        assert_ff_identical(&ConnectedComponents::new(), &g, &cfg32());
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_for_pagerank_and_dom_broadcasts() {
+        let g = Csr::from_edges(120, &generators::power_law(120, 1200, 0.8, 21));
+        assert_ff_identical(&PageRank::new(5), &g, &cfg32());
+
+        // DOM exercises the broadcast-backlog drain timer.
+        let g = Csr::from_edges(128, &generators::uniform(128, 1000, 59));
+        let mut cfg = cfg32();
+        cfg.mapping = Mapping::DestinationOriented;
+        assert_ff_identical(&Bfs::from_root(0), &g, &cfg);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_across_slices() {
+        let g = Csr::from_edges(300, &generators::uniform(300, 3000, 37));
+        let mut cfg = cfg32();
+        cfg.spd_capacity_vertices = 64; // forces ~5 slices
+        assert_ff_identical(&Bfs::from_root(0), &g, &cfg);
+    }
+
+    #[test]
+    fn fast_forward_trips_the_watchdog_on_the_same_cycle() {
+        use crate::fault::{Fault, FaultKind, FaultPlan};
+        // Permanently pin a channel mid-run: the watchdog must fire on the
+        // identical cycle with the identical stall count either way.
+        let g = Csr::from_edges(400, &generators::uniform(400, 3000, 11));
+        let algo = Bfs::from_root(0);
+        let mut cfg = cfg32();
+        cfg.watchdog_stall_cycles = 2_000;
+        cfg.fault_plan = Some(
+            FaultPlan::seeded(11).with(
+                Fault::new(FaultKind::HbmStall {
+                    tile: 0,
+                    channel: 0,
+                    cycles: u64::MAX,
+                })
+                .window(20, 21),
+            ),
+        );
+        let run = |ff: bool| {
+            let mut c = cfg.clone();
+            c.fast_forward = ff;
+            try_run_on(&algo, &g, c)
+        };
+        match (run(false), run(true)) {
+            (Err(ea), Err(eb)) => {
+                let sa = ea.snapshot().expect("stall errors carry a snapshot");
+                let sb = eb.snapshot().expect("stall errors carry a snapshot");
+                assert_eq!(sa.cycle, sb.cycle, "watchdog cycle diverges");
+                assert_eq!(sa.stalled_for, sb.stalled_for);
+                assert!(sa.stalled_for >= 2_000);
+            }
+            (a, b) => panic!("expected identical stalls, got {a:?} vs {b:?}"),
+        }
     }
 }

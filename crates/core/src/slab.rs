@@ -1,0 +1,150 @@
+//! Tag-indexed slab for in-flight memory requests.
+//!
+//! The engine tracks every outstanding fetch by an opaque tag it hands the
+//! memory model. The original implementation kept a `HashMap<u64, Vec<…>>`
+//! per tile, which hashed on every issue/retire and allocated a fresh
+//! payload `Vec` per request — both on the hottest loop in the simulator.
+//! [`TagSlab`] replaces that with a free-list of recycled slots: tags are
+//! slot indices, lookup is a bounds check, and each slot's buffer survives
+//! release so the steady state allocates nothing.
+
+/// A slab of payload buffers indexed by recycled slot ids.
+///
+/// `acquire` hands out a slot (reusing the lowest-overhead free one) whose
+/// buffer is empty but retains its previous capacity; `release` empties the
+/// slot and recycles it. Slot ids are dense and stable while live, so they
+/// embed directly into memory-request tags.
+#[derive(Debug)]
+pub struct TagSlab<T> {
+    slots: Vec<Vec<T>>,
+    live: Vec<bool>,
+    free: Vec<u32>,
+    occupied: usize,
+}
+
+impl<T> Default for TagSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TagSlab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        TagSlab {
+            slots: Vec::new(),
+            live: Vec::new(),
+            free: Vec::new(),
+            occupied: 0,
+        }
+    }
+
+    /// Claims a slot and returns its id plus the (empty) payload buffer.
+    /// Recycled buffers keep their capacity, so a warmed-up slab acquires
+    /// without allocating.
+    pub fn acquire(&mut self) -> (u32, &mut Vec<T>) {
+        self.occupied += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.live[slot as usize] = true;
+                slot
+            }
+            None => {
+                self.slots.push(Vec::new());
+                self.live.push(true);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        (slot, &mut self.slots[slot as usize])
+    }
+
+    /// The payload buffer of a live slot, or `None` for a stale id.
+    pub fn get_mut(&mut self, slot: u32) -> Option<&mut Vec<T>> {
+        if *self.live.get(slot as usize)? {
+            Some(&mut self.slots[slot as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Releases a live slot, draining its payload to the caller. The
+    /// buffer's allocation stays with the slot for reuse. Returns `None`
+    /// for a stale id.
+    pub fn release(&mut self, slot: u32) -> Option<std::vec::Drain<'_, T>> {
+        let s = slot as usize;
+        if !*self.live.get(s)? {
+            return None;
+        }
+        self.live[s] = false;
+        self.free.push(slot);
+        self.occupied -= 1;
+        Some(self.slots[s].drain(..))
+    }
+
+    /// Number of live slots.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether no slot is live.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_recycles_slots_and_capacity() {
+        let mut slab: TagSlab<u64> = TagSlab::new();
+        let (a, buf) = slab.acquire();
+        buf.extend([1, 2, 3]);
+        let (b, _) = slab.acquire();
+        assert_ne!(a, b);
+        assert_eq!(slab.occupied(), 2);
+        let drained: Vec<u64> = slab.release(a).unwrap().collect();
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert_eq!(slab.occupied(), 1);
+        // The freed slot id comes back, with its buffer empty but capacity
+        // retained.
+        let (c, buf) = slab.acquire();
+        assert_eq!(c, a);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 3);
+        assert!(!slab.is_empty());
+    }
+
+    #[test]
+    fn stale_ids_are_rejected() {
+        let mut slab: TagSlab<u32> = TagSlab::new();
+        let (a, _) = slab.acquire();
+        assert!(slab.get_mut(a).is_some());
+        assert!(slab.release(a).is_some());
+        assert!(slab.get_mut(a).is_none(), "released slot is not live");
+        assert!(slab.release(a).is_none(), "double release is refused");
+        assert!(slab.get_mut(999).is_none(), "out-of-range id is refused");
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn interleaved_traffic_stays_consistent() {
+        let mut slab: TagSlab<usize> = TagSlab::new();
+        let mut livemap = std::collections::HashMap::new();
+        for round in 0..50usize {
+            let (slot, buf) = slab.acquire();
+            buf.push(round);
+            livemap.insert(slot, round);
+            if round % 3 == 0 {
+                let victim = *livemap.keys().next().unwrap();
+                let payload: Vec<usize> = slab.release(victim).unwrap().collect();
+                assert_eq!(payload, vec![livemap.remove(&victim).unwrap()]);
+            }
+        }
+        assert_eq!(slab.occupied(), livemap.len());
+        for (slot, round) in livemap {
+            assert_eq!(slab.get_mut(slot).unwrap().as_slice(), &[round]);
+        }
+    }
+}

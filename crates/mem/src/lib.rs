@@ -155,7 +155,7 @@ impl HbmConfig {
     }
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct Channel {
     pending: VecDeque<MemRequest>,
     in_flight: VecDeque<(u64, MemRequest)>, // (ready_cycle, request)
@@ -216,7 +216,7 @@ impl MemStats {
 /// Per cycle, each channel accrues `bytes_per_cycle_per_channel` of service
 /// credit; queued requests are drained in order as credit allows, then
 /// complete `latency_cycles` later.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hbm {
     config: HbmConfig,
     channels: Vec<Channel>,
@@ -390,6 +390,93 @@ impl Hbm {
         if any_busy {
             self.stats.busy_cycles += 1;
         }
+    }
+
+    /// Advances the device by `cycles` cycles in one jump, bit-identically
+    /// to calling [`step`](Self::step) that many times, under the
+    /// precondition that none of those cycles would have serviced or retired
+    /// a request. The caller establishes the precondition via
+    /// [`next_event_cycle`](Self::next_event_cycle); violating it is a logic
+    /// error (debug assertions catch it).
+    ///
+    /// Replicated exactly: `now`, cycle counters, per-channel stall
+    /// telemetry, the idle-cycle credit cap (one idle cycle leaves
+    /// `min(credit, rate) + rate`; two or more leave `2 * rate`), and the
+    /// jitter RNG state (one draw per unstalled channel per cycle — idle
+    /// draws discard the value, so only the draw *count* matters).
+    pub fn advance(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let rate = self.config.bytes_per_cycle_per_channel;
+        let jitter_on = self.config.latency_jitter > 0;
+        let mut draws = 0u64;
+        for i in 0..self.channels.len() {
+            // Skipped cycles are now+1 ..= now+cycles; cycle c is pinned
+            // while c < stalled_until.
+            let stalled = self.stalled_until[i]
+                .saturating_sub(self.now + 1)
+                .min(cycles);
+            self.telemetry[i].stall_cycles += stalled;
+            let active = cycles - stalled;
+            if active == 0 {
+                continue;
+            }
+            let ch = &mut self.channels[i];
+            debug_assert!(
+                ch.pending.is_empty(),
+                "advance over a channel that would service pending work"
+            );
+            debug_assert!(
+                ch.in_flight
+                    .front()
+                    .is_none_or(|&(ready, _)| ready > self.now + cycles),
+                "advance over a channel that would retire in-flight work"
+            );
+            if active == 1 {
+                ch.credit = ch.credit.min(rate) + rate;
+            } else {
+                ch.credit = rate + rate;
+            }
+            if jitter_on {
+                draws += active;
+            }
+        }
+        for _ in 0..draws {
+            let _ = self.next_jitter();
+        }
+        self.now += cycles;
+        self.stats.cycles += cycles;
+    }
+
+    /// The earliest future cycle at which [`step`](Self::step) could service,
+    /// retire, or unpin anything, or `None` if the device is fully drained
+    /// and will never act again on its own. Used by simulators to bound an
+    /// idle-cycle [`advance`](Self::advance): jumping `now` to any cycle
+    /// strictly below the returned value is observationally identical to
+    /// stepping.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let mut earliest: Option<u64> = None;
+        let mut fold = |c: u64| earliest = Some(earliest.map_or(c, |e| e.min(c)));
+        for (i, ch) in self.channels.iter().enumerate() {
+            // The step that increments `now` to `stalled_until` is the first
+            // active one for a pinned channel.
+            let first_active = (self.now + 1).max(self.stalled_until[i]);
+            if !ch.ready.is_empty() {
+                // Unconsumed responses: the caller may act next cycle.
+                fold(self.now + 1);
+            }
+            if !ch.pending.is_empty() {
+                // Queued work services at the first unpinned cycle
+                // (conservatively imminent — credit arithmetic stays in
+                // step()).
+                fold(first_active);
+            }
+            if let Some(&(ready, _)) = ch.in_flight.front() {
+                fold(first_active.max(ready));
+            }
+        }
+        earliest
     }
 
     /// Pops the next completed read on `channel`, if any.
@@ -665,6 +752,72 @@ mod tests {
             .map(|c| hbm.channel_telemetry(c).bytes)
             .sum();
         assert_eq!(total, hbm.stats().total_bytes());
+    }
+
+    #[test]
+    fn advance_is_bit_identical_to_idle_steps() {
+        for jitter in [0u32, 8] {
+            // Build a device with history: leftover credit on channel 0, a
+            // pinned channel 1, and fractional credit from a 48 B transfer.
+            let mut hbm = Hbm::new(tiny_config().with_jitter(jitter));
+            assert!(hbm.try_request(0, MemRequest::read(1, 48)));
+            for _ in 0..20 {
+                hbm.step();
+            }
+            while hbm.pop_ready(0).is_some() {}
+            hbm.stall_channel(1, 9);
+            let mut stepped = hbm.clone();
+            let mut jumped = hbm.clone();
+            for span in [1u64, 2, 5, 13] {
+                for _ in 0..span {
+                    stepped.step();
+                }
+                jumped.advance(span);
+                assert_eq!(stepped, jumped, "jitter {jitter}, span {span}");
+            }
+            // The RNG stream must also line up for future jittered traffic.
+            assert!(stepped.try_request(0, MemRequest::read(2, 64)));
+            assert!(jumped.try_request(0, MemRequest::read(2, 64)));
+            for _ in 0..50 {
+                stepped.step();
+                jumped.step();
+            }
+            assert_eq!(stepped, jumped, "jitter {jitter}, post-advance traffic");
+        }
+    }
+
+    #[test]
+    fn advance_stops_short_of_the_next_event() {
+        let mut hbm = Hbm::new(tiny_config());
+        assert!(hbm.try_request(0, MemRequest::read(7, 64)));
+        hbm.step(); // serviced at cycle 1, ready at 1 + 4
+        assert_eq!(hbm.next_event_cycle(), Some(5));
+        let mut stepped = hbm.clone();
+        hbm.advance(3); // cycles 2..=4 are pure latency wait
+        for _ in 0..3 {
+            stepped.step();
+        }
+        assert_eq!(hbm, stepped);
+        hbm.step();
+        assert_eq!(hbm.pop_ready(0).unwrap().tag, 7);
+        assert_eq!(hbm.next_event_cycle(), None, "drained device never acts");
+    }
+
+    #[test]
+    fn next_event_cycle_sees_pinned_channels() {
+        let mut hbm = Hbm::new(tiny_config());
+        assert!(hbm.try_request(1, MemRequest::read(3, 64)));
+        hbm.stall_channel(1, 10);
+        // Pending work behind a pin: nothing can happen before the pin
+        // lifts at cycle 10.
+        assert_eq!(hbm.next_event_cycle(), Some(10));
+        let mut stepped = hbm.clone();
+        hbm.advance(9);
+        for _ in 0..9 {
+            stepped.step();
+        }
+        assert_eq!(hbm, stepped);
+        assert_eq!(hbm.channel_telemetry(1).stall_cycles, 9);
     }
 
     #[test]

@@ -275,6 +275,16 @@ pub trait Collector {
         let _ = now;
     }
 
+    /// The cycle at which [`window_due`](Self::window_due) next turns true,
+    /// if the collector samples on a window. Engines that fast-forward
+    /// through idle cycles clamp their jump to this deadline so every window
+    /// boundary is still observed at exactly the cycle it would have been
+    /// when stepping. `None` means "no deadline"; an enabled collector
+    /// without a known deadline therefore suppresses fast-forwarding.
+    fn window_deadline(&self) -> Option<u64> {
+        None
+    }
+
     /// Per-window tile activity, delivered once per tile per window.
     fn tile_sample(&mut self, tile: usize, sample: TileSample) {
         let _ = (tile, sample);

@@ -392,6 +392,10 @@ impl Collector for Recorder {
         now >= self.window_start + self.window
     }
 
+    fn window_deadline(&self) -> Option<u64> {
+        Some(self.window_start + self.window)
+    }
+
     fn roll_window(&mut self, now: u64) {
         let window = self.window_index;
         self.flush_links(window);

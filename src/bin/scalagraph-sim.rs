@@ -19,6 +19,10 @@
 //!   --iters <n>                     PageRank iterations  [5]
 //!   --seed <n>                      generator seed       [42]
 //!   --watchdog <cycles>             stall watchdog threshold, 0 disables [25000]
+//!   --threads <n>                   worker threads for parallel sweeps
+//!                                   (sets SCALAGRAPH_THREADS) [all cores]
+//!   --fast-forward                  skip quiescent cycles in bulk [on]
+//!   --no-fast-forward               step every cycle individually
 //!   --baseline                      also run the GraphDynS-128 baseline
 //!   --metrics-window <cycles>       telemetry sampling window [1000]
 //!   --trace-out <path>              write a Chrome trace-event JSON
@@ -44,7 +48,7 @@ use std::collections::HashMap;
 use std::process::exit;
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["no-pipeline", "baseline"];
+const SWITCHES: &[&str] = &["no-pipeline", "baseline", "fast-forward", "no-fast-forward"];
 /// Flags that take a value.
 const OPTIONS: &[&str] = &[
     "algo",
@@ -59,6 +63,7 @@ const OPTIONS: &[&str] = &[
     "iters",
     "seed",
     "watchdog",
+    "threads",
     "metrics-window",
     "trace-out",
     "metrics-csv",
@@ -162,6 +167,9 @@ fn build_config(args: &HashMap<String, String>) -> ScalaGraphConfig {
             usage_and_exit(&format!("--watchdog needs a cycle count, got `{w}`"))
         });
     }
+    // Fast-forward is on by default; results are bit-identical either way,
+    // so --no-fast-forward exists for A/B timing, not correctness.
+    cfg.fast_forward = !args.contains_key("no-fast-forward");
     cfg
 }
 
@@ -276,6 +284,15 @@ fn run_all<A: Algorithm>(algo: &A, graph: &Csr, args: &HashMap<String, String>) 
 
 fn main() {
     let args = parse_args();
+    if args.contains_key("fast-forward") && args.contains_key("no-fast-forward") {
+        usage_and_exit("--fast-forward and --no-fast-forward are mutually exclusive");
+    }
+    if let Some(t) = args.get("threads") {
+        match t.parse::<usize>() {
+            Ok(n) if n > 0 => std::env::set_var("SCALAGRAPH_THREADS", n.to_string()),
+            _ => usage_and_exit(&format!("--threads needs a positive integer, got `{t}`")),
+        }
+    }
     let algo_name = args.get("algo").map(String::as_str).unwrap_or("bfs");
     let iters: usize = args.get("iters").map_or(5, |s| s.parse().unwrap_or(5));
 

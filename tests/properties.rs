@@ -218,6 +218,38 @@ proptest! {
         let sim = run_on(&algo, &g, cfg);
         prop_assert_eq!(sim.properties, golden.properties);
     }
+
+    #[test]
+    fn fast_forward_is_bit_identical_on_random_configs(
+        g in arb_graph(60, 400),
+        pes_pow in 0u32..3,
+        mapping_idx in 0usize..3,
+        regs in 0usize..20,
+        width in 1usize..17,
+        pipe in any::<bool>(),
+        latency in 4u32..256,
+    ) {
+        use scalagraph_suite::mem::HbmConfig;
+        use scalagraph_suite::scalagraph::MemoryPreset;
+        let algo = Bfs::from_root(0);
+        let mut cfg = ScalaGraphConfig::with_pes(32 << pes_pow);
+        cfg.mapping = Mapping::ALL[mapping_idx];
+        cfg.aggregation_registers = regs;
+        cfg.max_scheduled_vertices = width;
+        cfg.inter_phase_pipelining = pipe;
+        // Randomized memory latency so the idle windows fast-forward skips
+        // vary from none to hundreds of cycles.
+        let mut hbm = HbmConfig::u280(cfg.effective_clock_mhz() * 1e6);
+        hbm.latency_cycles = latency;
+        cfg.memory = MemoryPreset::Custom(hbm);
+        cfg.fast_forward = false;
+        let slow = run_on(&algo, &g, cfg.clone());
+        cfg.fast_forward = true;
+        let fast = run_on(&algo, &g, cfg);
+        prop_assert_eq!(&fast.properties, &slow.properties);
+        prop_assert_eq!(&fast.frontier_sizes, &slow.frontier_sizes);
+        prop_assert_eq!(fast.stats, slow.stats);
+    }
 }
 
 use scalagraph_suite::noc::{BflyPacket, Butterfly, Crossbar, CrossbarKind};

@@ -240,6 +240,83 @@ fn dropped_flits_never_panic() {
     }
 }
 
+/// Runs `cfg` with fast-forward off and on and asserts the outcomes are
+/// bit-identical — same properties, frontier trace, and stats on success,
+/// same error cycle and stall diagnosis on failure.
+fn assert_fast_forward_identical(graph: &Csr, cfg: &ScalaGraphConfig) {
+    let mut off = cfg.clone();
+    off.fast_forward = false;
+    let mut on = cfg.clone();
+    on.fast_forward = true;
+    let algo = Bfs::from_root(0);
+    match (try_run_on(&algo, graph, off), try_run_on(&algo, graph, on)) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.properties, b.properties);
+            assert_eq!(a.frontier_sizes, b.frontier_sizes);
+            assert_eq!(a.stats, b.stats);
+        }
+        (Err(a), Err(b)) => {
+            let (sa, sb) = (a.snapshot(), b.snapshot());
+            assert_eq!(
+                sa.map(|s| (s.cycle, s.stalled_for)),
+                sb.map(|s| (s.cycle, s.stalled_for)),
+                "off: {a}\non: {b}"
+            );
+        }
+        (a, b) => panic!(
+            "fast-forward changed the outcome: off={:?} on={:?}",
+            a.map(|r| r.stats),
+            b.map(|r| r.stats)
+        ),
+    }
+}
+
+#[test]
+fn fast_forward_is_bit_identical_under_recoverable_faults() {
+    let g = test_graph(8);
+    // Slow link: delays stretch the idle windows fast-forward skips over.
+    let mut cfg = ScalaGraphConfig::with_pes(32);
+    cfg.fault_plan = Some(FaultPlan::seeded(23).with(Fault::new(FaultKind::LinkDelay {
+        node: 7,
+        dir: LinkDir::South,
+        cycles: 7,
+    })));
+    assert_fast_forward_identical(&g, &cfg);
+
+    // Transient HBM stalls: the injector's fire cycles must be hit exactly
+    // even when the engine is skipping quiescent stretches.
+    let mut cfg = ScalaGraphConfig::with_pes(32);
+    cfg.fault_plan = Some(
+        FaultPlan::seeded(37).with(
+            Fault::new(FaultKind::HbmStall {
+                tile: 0,
+                channel: 1,
+                cycles: 300,
+            })
+            .window(50, 2_000),
+        ),
+    );
+    assert_fast_forward_identical(&g, &cfg);
+}
+
+#[test]
+fn fast_forward_trips_the_watchdog_identically() {
+    let g = test_graph(4);
+    let mut cfg = ScalaGraphConfig::with_pes(32);
+    cfg.watchdog_stall_cycles = 2_000;
+    cfg.fault_plan = Some(
+        FaultPlan::seeded(11).with(
+            Fault::new(FaultKind::HbmStall {
+                tile: 0,
+                channel: 0,
+                cycles: u64::MAX,
+            })
+            .window(20, 21),
+        ),
+    );
+    assert_fast_forward_identical(&g, &cfg);
+}
+
 #[test]
 fn corrupt_graph_files_error_instead_of_panicking() {
     let dir = std::env::temp_dir().join("scalagraph_robustness_tests");

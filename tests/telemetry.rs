@@ -319,6 +319,39 @@ fn wedged_run_still_exports_a_balanced_trace_with_the_watchdog_event() {
 }
 
 #[test]
+fn fast_forward_with_a_recorder_attached_is_bit_identical() {
+    let g = test_graph(7);
+    // A latency-heavy serial configuration: long quiescent stretches, so
+    // fast-forward actually engages and must still stop on every window
+    // boundary the recorder samples.
+    let mut cfg = ScalaGraphConfig::with_pes(32);
+    cfg.inter_phase_pipelining = false;
+    for window in [64, 1000] {
+        let mut off = cfg.clone();
+        off.fast_forward = false;
+        let mut on = cfg.clone();
+        on.fast_forward = true;
+        let (plain_off, traced_off, rec_off) = run_both(&Bfs::from_root(0), &g, off, window);
+        let (plain_on, traced_on, rec_on) = run_both(&Bfs::from_root(0), &g, on, window);
+        assert_eq!(plain_off.stats, plain_on.stats, "window={window}");
+        assert_eq!(traced_off.properties, traced_on.properties);
+        assert_eq!(traced_off.frontier_sizes, traced_on.frontier_sizes);
+        assert_eq!(traced_off.stats, traced_on.stats);
+        // The sampled timelines must agree window for window, not just in
+        // aggregate: fast-forward may never jump across a sample boundary.
+        let (a, b) = (rec_off.summary(), rec_on.summary());
+        assert_eq!(a.windows, b.windows, "window={window}");
+        assert_eq!(a.run_cycles, b.run_cycles);
+        assert_eq!(a.total_link_traversals, b.total_link_traversals);
+        let mut csv_off = Vec::new();
+        let mut csv_on = Vec::new();
+        rec_off.write_windows_csv(&mut csv_off).expect("write");
+        rec_on.write_windows_csv(&mut csv_on).expect("write");
+        assert_eq!(csv_off, csv_on, "per-window CSV diverged (window={window})");
+    }
+}
+
+#[test]
 fn summary_is_consistent_with_simulator_counters() {
     let g = test_graph(5);
     let (plain, _, rec) = run_both(&PageRank::new(3), &g, ScalaGraphConfig::with_pes(32), 200);
