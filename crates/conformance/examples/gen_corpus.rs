@@ -1,0 +1,190 @@
+//! Regenerates the checked-in `corpus/` scenarios in canonical form.
+//!
+//! ```text
+//! cargo run -p scalagraph-conformance --example gen_corpus
+//! ```
+//!
+//! Each scenario here is a regression pin or a known-interesting case; the
+//! tier-1 `tests/conformance.rs` suite replays every file this writes. Run
+//! this after changing the scenario JSON schema so the corpus stays in the
+//! canonical byte-for-byte serialization.
+
+use scalagraph::fault::LinkDir;
+use scalagraph::Mapping;
+use scalagraph_conformance::{
+    AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSpec, MemorySpec,
+    ModeMatrix, Scenario,
+};
+
+fn unit_graph(family: Family) -> GraphSpec {
+    GraphSpec {
+        family,
+        symmetrize: false,
+        max_weight: 0,
+        weight_seed: 0,
+    }
+}
+
+fn corpus() -> Vec<Scenario> {
+    vec![
+        // Regression: a pipelined wave that consumes a non-empty frontier
+        // but produces zero apply work (BFS from a zero-out-degree star
+        // leaf) must still count as an iteration, exactly as the reference
+        // engine counts it. `strict_frontier` forces the strict comparison
+        // even though pipelining is on: with a single wave there is nothing
+        // for the overlap to legally reorder.
+        Scenario {
+            name: "regression-star-leaf-iteration".into(),
+            graph: unit_graph(Family::Star { vertices: 64 }),
+            algo: AlgoSpec::Bfs { root: 5 },
+            config: ConfigSpec::small(),
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::full(),
+            expect: Expectation::Converge,
+            strict_frontier: Some(true),
+            synthetic_bug: false,
+        },
+        // Regression: same final-wave undercount on the other edge case —
+        // a path's trailing vertex has no out-edges, so the last wave of a
+        // pipelined run used to go uncounted (N-1 instead of N). On a path
+        // every frontier is a single vertex, so the pipelined evolution
+        // must match the reference exactly.
+        Scenario {
+            name: "regression-path-trailing-iteration".into(),
+            graph: unit_graph(Family::Path { vertices: 12 }),
+            algo: AlgoSpec::Bfs { root: 0 },
+            config: ConfigSpec::small(),
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::full(),
+            expect: Expectation::Converge,
+            strict_frontier: Some(true),
+            synthetic_bug: false,
+        },
+        // A permanently pinned HBM pseudo-channel must wedge the run, the
+        // watchdog must blame a unit of the faulted tile, and the stepped
+        // and fast-forward modes must produce the identical diagnosis.
+        // The pin fires at cycle 20, once requests are in flight on the
+        // channel — a pin at cycle 0 lands on an empty channel and traps
+        // nothing — and the graph is big enough that tile 0's channel 0
+        // is on the critical path by then.
+        Scenario {
+            name: "wedge-hbm-stall-watchdog".into(),
+            graph: unit_graph(Family::Uniform {
+                vertices: 400,
+                edges: 3_000,
+                seed: 4,
+            }),
+            algo: AlgoSpec::Bfs { root: 0 },
+            config: ConfigSpec {
+                watchdog_stall_cycles: 2_000,
+                ..ConfigSpec::small()
+            },
+            fault_seed: 1,
+            faults: vec![FaultSpec {
+                kind: FaultKindSpec::HbmStall {
+                    tile: 0,
+                    channel: 0,
+                    cycles: 0, // forever
+                },
+                from: 20,
+                until: 21,
+            }],
+            modes: ModeMatrix {
+                fast_forward: true,
+                recording: true,
+                graphdyns: false,
+                gunrock: false,
+            },
+            expect: Expectation::Wedge {
+                suspect_contains: "tile 0".into(),
+            },
+            strict_frontier: None,
+            synthetic_bug: false,
+        },
+        // Timing-only faults (a delayed router port, a transient HBM
+        // stall) must be absorbed without changing any result, on a
+        // weighted R-MAT graph under the destination-oriented mapping.
+        Scenario {
+            name: "converge-sssp-faulty-delay".into(),
+            graph: GraphSpec {
+                family: Family::Rmat {
+                    vertices: 128,
+                    edges: 512,
+                    seed: 11,
+                },
+                symmetrize: false,
+                max_weight: 32,
+                weight_seed: 5,
+            },
+            algo: AlgoSpec::Sssp { root: 7 },
+            config: ConfigSpec {
+                pes: 64,
+                mapping: Mapping::DestinationOriented,
+                ..ConfigSpec::small()
+            },
+            fault_seed: 13,
+            faults: vec![
+                FaultSpec {
+                    kind: FaultKindSpec::LinkDelay {
+                        node: 9,
+                        dir: LinkDir::East,
+                        cycles: 4,
+                    },
+                    from: 0,
+                    until: 5_000,
+                },
+                FaultSpec {
+                    kind: FaultKindSpec::HbmStall {
+                        tile: 1,
+                        channel: 1,
+                        cycles: 16,
+                    },
+                    from: 100,
+                    until: 400,
+                },
+            ],
+            modes: ModeMatrix::full(),
+            expect: Expectation::Converge,
+            strict_frontier: None,
+            synthetic_bug: false,
+        },
+        // Float-valued properties across every engine: PageRank on a dense
+        // uniform graph, with a non-default aggregation depth and a custom
+        // HBM latency/jitter point.
+        Scenario {
+            name: "converge-pagerank-dense".into(),
+            graph: unit_graph(Family::Uniform {
+                vertices: 100,
+                edges: 900,
+                seed: 21,
+            }),
+            algo: AlgoSpec::PageRank { iters: 4 },
+            config: ConfigSpec {
+                aggregation_registers: 4,
+                memory: MemorySpec::Custom {
+                    latency_cycles: 24,
+                    jitter: 2,
+                },
+                ..ConfigSpec::small()
+            },
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::full(),
+            expect: Expectation::Converge,
+            strict_frontier: None,
+            synthetic_bug: false,
+        },
+    ]
+}
+
+fn main() {
+    let dir = format!("{}/../../corpus", env!("CARGO_MANIFEST_DIR"));
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for s in corpus() {
+        let path = format!("{dir}/{}.json", s.name);
+        std::fs::write(&path, s.to_json_string()).expect("write scenario");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,993 @@
+//! Serializable conformance scenarios.
+//!
+//! A [`Scenario`] pins everything a differential run needs — the graph
+//! generator and its seed, the algorithm, the accelerator configuration, an
+//! optional fault schedule, and the engine/mode matrix to compare — in a
+//! JSON form that round-trips bit-exactly. A scenario found by the fuzzer
+//! can therefore be checked into `corpus/` and replayed byte-for-byte with
+//! `scalagraph-sim replay`.
+//!
+//! JSON encoding notes: `u64::MAX` is not representable in JSON, so cycle
+//! fields that mean "forever" (`Fault::until_cycle`, `HbmStall::cycles`)
+//! encode it as `0` — a zero-length window or zero-length stall would be
+//! meaningless, so the encoding is unambiguous.
+
+use crate::json::{obj, parse, Json};
+use scalagraph::fault::{Fault, FaultKind, FaultPlan, LinkDir};
+use scalagraph::{Mapping, MemoryPreset, ScalaGraphConfig};
+use scalagraph_graph::{generators, Csr, EdgeList};
+use scalagraph_mem::HbmConfig;
+
+/// The graph generator family plus its size/seed parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Graph500 R-MAT (heavy-tailed).
+    Rmat {
+        /// Vertex count.
+        vertices: usize,
+        /// Edge count.
+        edges: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Uniformly random endpoints.
+    Uniform {
+        /// Vertex count.
+        vertices: usize,
+        /// Edge count.
+        edges: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Directed path `0 -> 1 -> ...`.
+    Path {
+        /// Vertex count.
+        vertices: usize,
+    },
+    /// Vertex 0 points at every other vertex.
+    Star {
+        /// Vertex count.
+        vertices: usize,
+    },
+    /// 2D grid with right/down edges.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Complete binary tree, parent-to-child edges.
+    BinaryTree {
+        /// Vertex count.
+        vertices: usize,
+    },
+}
+
+impl Family {
+    /// Vertex count of the generated graph.
+    pub fn vertices(&self) -> usize {
+        match *self {
+            Family::Rmat { vertices, .. }
+            | Family::Uniform { vertices, .. }
+            | Family::Path { vertices }
+            | Family::Star { vertices }
+            | Family::BinaryTree { vertices } => vertices,
+            Family::Grid { rows, cols } => rows * cols,
+        }
+    }
+
+    /// Nominal edge count (generator input, before symmetrization).
+    pub fn edges(&self) -> usize {
+        match *self {
+            Family::Rmat { edges, .. } | Family::Uniform { edges, .. } => edges,
+            Family::Path { vertices } | Family::BinaryTree { vertices } => {
+                vertices.saturating_sub(1)
+            }
+            Family::Star { vertices } => vertices.saturating_sub(1),
+            Family::Grid { rows, cols } => 2 * rows * cols,
+        }
+    }
+}
+
+/// How the scenario builds its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// Generator family and parameters.
+    pub family: Family,
+    /// Mirror every edge (required for meaningful connected components).
+    pub symmetrize: bool,
+    /// Randomize edge weights in `1..=max_weight`; `0` keeps unit weights.
+    pub max_weight: u32,
+    /// Seed of the weight randomization.
+    pub weight_seed: u64,
+}
+
+impl GraphSpec {
+    /// Builds the CSR this spec describes.
+    pub fn build(&self) -> Result<Csr, String> {
+        let v = self.family.vertices();
+        if v < 2 {
+            return Err(format!("graph must have at least 2 vertices, got {v}"));
+        }
+        let edges = match self.family {
+            Family::Rmat {
+                vertices,
+                edges,
+                seed,
+            } => generators::rmat(vertices, edges, seed),
+            Family::Uniform {
+                vertices,
+                edges,
+                seed,
+            } => generators::uniform(vertices, edges, seed),
+            Family::Path { vertices } => generators::path(vertices),
+            Family::Star { vertices } => generators::star(vertices),
+            Family::Grid { rows, cols } => generators::grid(rows, cols),
+            Family::BinaryTree { vertices } => generators::binary_tree(vertices),
+        };
+        let mut list = EdgeList::new(v);
+        for e in edges {
+            list.push(e);
+        }
+        if self.symmetrize {
+            list.symmetrize();
+        }
+        if self.max_weight > 0 {
+            list.randomize_weights(self.max_weight, self.weight_seed);
+        }
+        Ok(Csr::from_edge_list(&list))
+    }
+
+    fn to_json(self) -> Json {
+        let mut members: Vec<(&str, Json)> = Vec::new();
+        let (name, rest): (&str, Vec<(&str, Json)>) = match self.family {
+            Family::Rmat {
+                vertices,
+                edges,
+                seed,
+            } => (
+                "rmat",
+                vec![
+                    ("vertices", Json::Int(vertices as u64)),
+                    ("edges", Json::Int(edges as u64)),
+                    ("seed", Json::Int(seed)),
+                ],
+            ),
+            Family::Uniform {
+                vertices,
+                edges,
+                seed,
+            } => (
+                "uniform",
+                vec![
+                    ("vertices", Json::Int(vertices as u64)),
+                    ("edges", Json::Int(edges as u64)),
+                    ("seed", Json::Int(seed)),
+                ],
+            ),
+            Family::Path { vertices } => ("path", vec![("vertices", Json::Int(vertices as u64))]),
+            Family::Star { vertices } => ("star", vec![("vertices", Json::Int(vertices as u64))]),
+            Family::Grid { rows, cols } => (
+                "grid",
+                vec![
+                    ("rows", Json::Int(rows as u64)),
+                    ("cols", Json::Int(cols as u64)),
+                ],
+            ),
+            Family::BinaryTree { vertices } => (
+                "binary_tree",
+                vec![("vertices", Json::Int(vertices as u64))],
+            ),
+        };
+        members.push(("family", Json::Str(name.into())));
+        members.extend(rest);
+        members.push(("symmetrize", Json::Bool(self.symmetrize)));
+        members.push(("max_weight", Json::Int(u64::from(self.max_weight))));
+        members.push(("weight_seed", Json::Int(self.weight_seed)));
+        obj(members)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let family = match v.req_str("family")? {
+            "rmat" => Family::Rmat {
+                vertices: v.req_u64("vertices")? as usize,
+                edges: v.req_u64("edges")? as usize,
+                seed: v.req_u64("seed")?,
+            },
+            "uniform" => Family::Uniform {
+                vertices: v.req_u64("vertices")? as usize,
+                edges: v.req_u64("edges")? as usize,
+                seed: v.req_u64("seed")?,
+            },
+            "path" => Family::Path {
+                vertices: v.req_u64("vertices")? as usize,
+            },
+            "star" => Family::Star {
+                vertices: v.req_u64("vertices")? as usize,
+            },
+            "grid" => Family::Grid {
+                rows: v.req_u64("rows")? as usize,
+                cols: v.req_u64("cols")? as usize,
+            },
+            "binary_tree" => Family::BinaryTree {
+                vertices: v.req_u64("vertices")? as usize,
+            },
+            other => return Err(format!("unknown graph family `{other}`")),
+        };
+        Ok(GraphSpec {
+            family,
+            symmetrize: v.opt_bool("symmetrize", false)?,
+            max_weight: v.opt_u64("max_weight", 0)? as u32,
+            weight_seed: v.opt_u64("weight_seed", 0)?,
+        })
+    }
+}
+
+/// Which algorithm the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoSpec {
+    /// Breadth-first search from `root`.
+    Bfs {
+        /// Source vertex.
+        root: u32,
+    },
+    /// Single-source shortest paths from `root`.
+    Sssp {
+        /// Source vertex.
+        root: u32,
+    },
+    /// Connected components (label propagation).
+    Cc,
+    /// PageRank with a fixed iteration schedule.
+    PageRank {
+        /// Iterations to run.
+        iters: usize,
+    },
+    /// Widest path (maximum bottleneck capacity) from `root`.
+    WidestPath {
+        /// Source vertex.
+        root: u32,
+    },
+}
+
+impl AlgoSpec {
+    /// Short name matching the CLI's `--algo` vocabulary.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AlgoSpec::Bfs { .. } => "bfs",
+            AlgoSpec::Sssp { .. } => "sssp",
+            AlgoSpec::Cc => "cc",
+            AlgoSpec::PageRank { .. } => "pagerank",
+            AlgoSpec::WidestPath { .. } => "widest",
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let mut members = vec![("kind", Json::Str(self.kind().into()))];
+        match self {
+            AlgoSpec::Bfs { root } | AlgoSpec::Sssp { root } | AlgoSpec::WidestPath { root } => {
+                members.push(("root", Json::Int(u64::from(root))));
+            }
+            AlgoSpec::Cc => {}
+            AlgoSpec::PageRank { iters } => members.push(("iters", Json::Int(iters as u64))),
+        }
+        obj(members)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(match v.req_str("kind")? {
+            "bfs" => AlgoSpec::Bfs {
+                root: v.req_u64("root")? as u32,
+            },
+            "sssp" => AlgoSpec::Sssp {
+                root: v.req_u64("root")? as u32,
+            },
+            "cc" => AlgoSpec::Cc,
+            "pagerank" => AlgoSpec::PageRank {
+                iters: v.req_u64("iters")? as usize,
+            },
+            "widest" => AlgoSpec::WidestPath {
+                root: v.req_u64("root")? as u32,
+            },
+            other => return Err(format!("unknown algorithm `{other}`")),
+        })
+    }
+}
+
+/// Off-chip memory choice for a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemorySpec {
+    /// The paper's U280 HBM2 stack.
+    U280,
+    /// Unlimited bandwidth (scalability-study mode).
+    Unlimited,
+    /// U280 geometry with an explicit access latency and jitter — the knob
+    /// the timing-independence property tests sweep.
+    Custom {
+        /// Access latency in cycles.
+        latency_cycles: u32,
+        /// Uniform extra latency bound in cycles.
+        jitter: u32,
+    },
+}
+
+/// The accelerator configuration knobs a scenario pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigSpec {
+    /// PE count (positive multiple of 32).
+    pub pes: usize,
+    /// Workload mapping: `"row"`, `"source"`, or `"destination"`.
+    pub mapping: Mapping,
+    /// Aggregation-pipeline registers per router.
+    pub aggregation_registers: usize,
+    /// Degree-aware scheduler width (1..=16).
+    pub max_scheduled_vertices: usize,
+    /// Inter-phase pipelining flag.
+    pub inter_phase_pipelining: bool,
+    /// Scratchpad capacity in vertices; `0` keeps the preset (no slicing
+    /// for scenario-sized graphs).
+    pub spd_capacity_vertices: usize,
+    /// Off-chip memory model.
+    pub memory: MemorySpec,
+    /// Watchdog window in cycles (`0` disables).
+    pub watchdog_stall_cycles: u64,
+}
+
+impl ConfigSpec {
+    /// A 32-PE configuration with every knob at its preset default.
+    pub fn small() -> Self {
+        ConfigSpec {
+            pes: 32,
+            mapping: Mapping::RowOriented,
+            aggregation_registers: 16,
+            max_scheduled_vertices: 16,
+            inter_phase_pipelining: true,
+            spd_capacity_vertices: 0,
+            memory: MemorySpec::U280,
+            watchdog_stall_cycles: scalagraph::config::DEFAULT_WATCHDOG_STALL_CYCLES,
+        }
+    }
+
+    /// Builds the engine configuration (without a fault plan).
+    pub fn build(&self) -> Result<ScalaGraphConfig, String> {
+        if self.pes == 0 || !self.pes.is_multiple_of(32) {
+            return Err(format!(
+                "pes must be a positive multiple of 32, got {}",
+                self.pes
+            ));
+        }
+        let mut cfg = ScalaGraphConfig::with_pes(self.pes);
+        cfg.mapping = self.mapping;
+        cfg.aggregation_registers = self.aggregation_registers;
+        cfg.max_scheduled_vertices = self.max_scheduled_vertices;
+        cfg.inter_phase_pipelining = self.inter_phase_pipelining;
+        if self.spd_capacity_vertices > 0 {
+            cfg.spd_capacity_vertices = self.spd_capacity_vertices;
+        }
+        cfg.memory = match self.memory {
+            MemorySpec::U280 => MemoryPreset::U280,
+            MemorySpec::Unlimited => MemoryPreset::Unlimited,
+            MemorySpec::Custom {
+                latency_cycles,
+                jitter,
+            } => {
+                let mut hbm = HbmConfig::u280_stack(cfg.effective_clock_mhz() * 1e6);
+                hbm.latency_cycles = latency_cycles;
+                hbm.latency_jitter = jitter;
+                MemoryPreset::Custom(hbm)
+            }
+        };
+        cfg.watchdog_stall_cycles = self.watchdog_stall_cycles;
+        cfg.validate().map_err(|e| e.to_string())?;
+        Ok(cfg)
+    }
+
+    fn to_json(self) -> Json {
+        let mapping = match self.mapping {
+            Mapping::RowOriented => "row",
+            Mapping::SourceOriented => "source",
+            Mapping::DestinationOriented => "destination",
+        };
+        let memory = match self.memory {
+            MemorySpec::U280 => obj(vec![("preset", Json::Str("u280".into()))]),
+            MemorySpec::Unlimited => obj(vec![("preset", Json::Str("unlimited".into()))]),
+            MemorySpec::Custom {
+                latency_cycles,
+                jitter,
+            } => obj(vec![
+                ("preset", Json::Str("custom".into())),
+                ("latency_cycles", Json::Int(u64::from(latency_cycles))),
+                ("jitter", Json::Int(u64::from(jitter))),
+            ]),
+        };
+        obj(vec![
+            ("pes", Json::Int(self.pes as u64)),
+            ("mapping", Json::Str(mapping.into())),
+            (
+                "aggregation_registers",
+                Json::Int(self.aggregation_registers as u64),
+            ),
+            (
+                "max_scheduled_vertices",
+                Json::Int(self.max_scheduled_vertices as u64),
+            ),
+            (
+                "inter_phase_pipelining",
+                Json::Bool(self.inter_phase_pipelining),
+            ),
+            (
+                "spd_capacity_vertices",
+                Json::Int(self.spd_capacity_vertices as u64),
+            ),
+            ("memory", memory),
+            (
+                "watchdog_stall_cycles",
+                Json::Int(self.watchdog_stall_cycles),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let mapping = match v.req_str("mapping")? {
+            "row" => Mapping::RowOriented,
+            "source" => Mapping::SourceOriented,
+            "destination" => Mapping::DestinationOriented,
+            other => return Err(format!("unknown mapping `{other}`")),
+        };
+        let mem = v.req("memory")?;
+        let memory = match mem.req_str("preset")? {
+            "u280" => MemorySpec::U280,
+            "unlimited" => MemorySpec::Unlimited,
+            "custom" => MemorySpec::Custom {
+                latency_cycles: mem.req_u64("latency_cycles")? as u32,
+                jitter: mem.opt_u64("jitter", 0)? as u32,
+            },
+            other => return Err(format!("unknown memory preset `{other}`")),
+        };
+        Ok(ConfigSpec {
+            pes: v.req_u64("pes")? as usize,
+            mapping,
+            aggregation_registers: v.req_u64("aggregation_registers")? as usize,
+            max_scheduled_vertices: v.req_u64("max_scheduled_vertices")? as usize,
+            inter_phase_pipelining: v.req_bool("inter_phase_pipelining")?,
+            spd_capacity_vertices: v.opt_u64("spd_capacity_vertices", 0)? as usize,
+            memory,
+            watchdog_stall_cycles: v.opt_u64(
+                "watchdog_stall_cycles",
+                scalagraph::config::DEFAULT_WATCHDOG_STALL_CYCLES,
+            )?,
+        })
+    }
+}
+
+/// One scheduled fault, JSON-encodable (see the module docs for the
+/// `0 = forever` convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What the fault does.
+    pub kind: FaultKindSpec,
+    /// First active cycle.
+    pub from: u64,
+    /// First inactive cycle; `0` means permanent.
+    pub until: u64,
+}
+
+/// JSON-encodable mirror of [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FaultKindSpec {
+    LinkDown {
+        node: usize,
+        dir: LinkDir,
+    },
+    LinkDrop {
+        node: usize,
+        dir: LinkDir,
+        one_in: u32,
+    },
+    LinkDelay {
+        node: usize,
+        dir: LinkDir,
+        cycles: u64,
+    },
+    /// `cycles == 0` pins the channel forever.
+    HbmStall {
+        tile: usize,
+        channel: usize,
+        cycles: u64,
+    },
+    CorruptPayload {
+        node: usize,
+        dir: LinkDir,
+        one_in: u32,
+        out_of_range: bool,
+    },
+}
+
+fn dir_to_str(d: LinkDir) -> &'static str {
+    match d {
+        LinkDir::North => "north",
+        LinkDir::South => "south",
+        LinkDir::West => "west",
+        LinkDir::East => "east",
+    }
+}
+
+fn dir_from_str(s: &str) -> Result<LinkDir, String> {
+    match s {
+        "north" => Ok(LinkDir::North),
+        "south" => Ok(LinkDir::South),
+        "west" => Ok(LinkDir::West),
+        "east" => Ok(LinkDir::East),
+        other => Err(format!("unknown link direction `{other}`")),
+    }
+}
+
+impl FaultSpec {
+    /// The engine fault this spec encodes.
+    pub fn to_fault(&self) -> Fault {
+        let kind = match self.kind {
+            FaultKindSpec::LinkDown { node, dir } => FaultKind::LinkDown { node, dir },
+            FaultKindSpec::LinkDrop { node, dir, one_in } => {
+                FaultKind::LinkDrop { node, dir, one_in }
+            }
+            FaultKindSpec::LinkDelay { node, dir, cycles } => {
+                FaultKind::LinkDelay { node, dir, cycles }
+            }
+            FaultKindSpec::HbmStall {
+                tile,
+                channel,
+                cycles,
+            } => FaultKind::HbmStall {
+                tile,
+                channel,
+                cycles: if cycles == 0 { u64::MAX } else { cycles },
+            },
+            FaultKindSpec::CorruptPayload {
+                node,
+                dir,
+                one_in,
+                out_of_range,
+            } => FaultKind::CorruptPayload {
+                node,
+                dir,
+                one_in,
+                out_of_range,
+            },
+        };
+        Fault::new(kind).window(
+            self.from,
+            if self.until == 0 {
+                u64::MAX
+            } else {
+                self.until
+            },
+        )
+    }
+
+    /// Whether the fault can change final results (drops or corruption).
+    /// Delays and stalls only perturb timing, which the engines must absorb
+    /// without changing any result.
+    pub fn is_result_preserving(&self) -> bool {
+        !matches!(
+            self.kind,
+            FaultKindSpec::LinkDrop { .. } | FaultKindSpec::CorruptPayload { .. }
+        )
+    }
+
+    fn to_json(self) -> Json {
+        let mut members: Vec<(&str, Json)> = Vec::new();
+        match self.kind {
+            FaultKindSpec::LinkDown { node, dir } => {
+                members.push(("kind", Json::Str("link_down".into())));
+                members.push(("node", Json::Int(node as u64)));
+                members.push(("dir", Json::Str(dir_to_str(dir).into())));
+            }
+            FaultKindSpec::LinkDrop { node, dir, one_in } => {
+                members.push(("kind", Json::Str("link_drop".into())));
+                members.push(("node", Json::Int(node as u64)));
+                members.push(("dir", Json::Str(dir_to_str(dir).into())));
+                members.push(("one_in", Json::Int(u64::from(one_in))));
+            }
+            FaultKindSpec::LinkDelay { node, dir, cycles } => {
+                members.push(("kind", Json::Str("link_delay".into())));
+                members.push(("node", Json::Int(node as u64)));
+                members.push(("dir", Json::Str(dir_to_str(dir).into())));
+                members.push(("cycles", Json::Int(cycles)));
+            }
+            FaultKindSpec::HbmStall {
+                tile,
+                channel,
+                cycles,
+            } => {
+                members.push(("kind", Json::Str("hbm_stall".into())));
+                members.push(("tile", Json::Int(tile as u64)));
+                members.push(("channel", Json::Int(channel as u64)));
+                members.push(("cycles", Json::Int(cycles)));
+            }
+            FaultKindSpec::CorruptPayload {
+                node,
+                dir,
+                one_in,
+                out_of_range,
+            } => {
+                members.push(("kind", Json::Str("corrupt_payload".into())));
+                members.push(("node", Json::Int(node as u64)));
+                members.push(("dir", Json::Str(dir_to_str(dir).into())));
+                members.push(("one_in", Json::Int(u64::from(one_in))));
+                members.push(("out_of_range", Json::Bool(out_of_range)));
+            }
+        }
+        members.push(("from", Json::Int(self.from)));
+        members.push(("until", Json::Int(self.until)));
+        obj(members)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let kind = match v.req_str("kind")? {
+            "link_down" => FaultKindSpec::LinkDown {
+                node: v.req_u64("node")? as usize,
+                dir: dir_from_str(v.req_str("dir")?)?,
+            },
+            "link_drop" => FaultKindSpec::LinkDrop {
+                node: v.req_u64("node")? as usize,
+                dir: dir_from_str(v.req_str("dir")?)?,
+                one_in: v.req_u64("one_in")? as u32,
+            },
+            "link_delay" => FaultKindSpec::LinkDelay {
+                node: v.req_u64("node")? as usize,
+                dir: dir_from_str(v.req_str("dir")?)?,
+                cycles: v.req_u64("cycles")?,
+            },
+            "hbm_stall" => FaultKindSpec::HbmStall {
+                tile: v.req_u64("tile")? as usize,
+                channel: v.req_u64("channel")? as usize,
+                cycles: v.req_u64("cycles")?,
+            },
+            "corrupt_payload" => FaultKindSpec::CorruptPayload {
+                node: v.req_u64("node")? as usize,
+                dir: dir_from_str(v.req_str("dir")?)?,
+                one_in: v.req_u64("one_in")? as u32,
+                out_of_range: v.req_bool("out_of_range")?,
+            },
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        Ok(FaultSpec {
+            kind,
+            from: v.req_u64("from")?,
+            until: v.opt_u64("until", 0)?,
+        })
+    }
+}
+
+/// Which engine/mode/collector combinations the oracle compares, beyond the
+/// always-run reference engine and stepped ScalaGraph simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeMatrix {
+    /// Re-run ScalaGraph with idle-cycle fast-forward (must be
+    /// bit-identical to stepped).
+    pub fast_forward: bool,
+    /// Re-run ScalaGraph with a telemetry recorder attached (must be
+    /// bit-identical to stepped, and the summary must be consistent).
+    pub recording: bool,
+    /// Run the GraphDynS baseline (loop-exact vs the reference).
+    pub graphdyns: bool,
+    /// Run the Gunrock GPU model (exact vs the reference).
+    pub gunrock: bool,
+}
+
+impl ModeMatrix {
+    /// Everything on.
+    pub fn full() -> Self {
+        ModeMatrix {
+            fast_forward: true,
+            recording: true,
+            graphdyns: true,
+            gunrock: true,
+        }
+    }
+
+    /// Only the two ScalaGraph execution modes.
+    pub fn sim_only() -> Self {
+        ModeMatrix {
+            fast_forward: true,
+            recording: false,
+            graphdyns: false,
+            gunrock: false,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("fast_forward", Json::Bool(self.fast_forward)),
+            ("recording", Json::Bool(self.recording)),
+            ("graphdyns", Json::Bool(self.graphdyns)),
+            ("gunrock", Json::Bool(self.gunrock)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(ModeMatrix {
+            fast_forward: v.opt_bool("fast_forward", true)?,
+            recording: v.opt_bool("recording", false)?,
+            graphdyns: v.opt_bool("graphdyns", false)?,
+            gunrock: v.opt_bool("gunrock", false)?,
+        })
+    }
+}
+
+/// What the scenario is expected to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expectation {
+    /// Every engine completes and agrees.
+    Converge,
+    /// The simulation wedges: every ScalaGraph mode must surface the same
+    /// watchdog error, whose suspect names must contain this substring.
+    Wedge {
+        /// Substring the blamed unit's description must contain.
+        suspect_contains: String,
+    },
+}
+
+impl Expectation {
+    fn to_json(&self) -> Json {
+        match self {
+            Expectation::Converge => obj(vec![("verdict", Json::Str("converge".into()))]),
+            Expectation::Wedge { suspect_contains } => obj(vec![
+                ("verdict", Json::Str("wedge".into())),
+                ("suspect_contains", Json::Str(suspect_contains.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.req_str("verdict")? {
+            "converge" => Ok(Expectation::Converge),
+            "wedge" => Ok(Expectation::Wedge {
+                suspect_contains: v.req_str("suspect_contains")?.to_string(),
+            }),
+            other => Err(format!("unknown verdict `{other}`")),
+        }
+    }
+}
+
+/// A complete, replayable conformance scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable identifier (also the corpus file stem).
+    pub name: String,
+    /// Graph generator spec.
+    pub graph: GraphSpec,
+    /// Algorithm to run.
+    pub algo: AlgoSpec,
+    /// Accelerator configuration.
+    pub config: ConfigSpec,
+    /// Seed of the fault injector's probabilistic stream.
+    pub fault_seed: u64,
+    /// Scheduled faults; empty means no fault plan at all.
+    pub faults: Vec<FaultSpec>,
+    /// Engine/mode matrix to compare.
+    pub modes: ModeMatrix,
+    /// Expected outcome.
+    pub expect: Expectation,
+    /// Force (`Some(true)`) or suppress (`Some(false)`) strict comparison
+    /// of iteration counts and frontier evolution against the reference.
+    /// `None` selects automatically: strict unless inter-phase pipelining
+    /// actually engaged (a pipelined Apply may legally observe next-wave
+    /// updates early and converge in fewer iterations).
+    pub strict_frontier: Option<bool>,
+    /// Test-only hook: perturb the stepped observation so the oracle
+    /// reports a mismatch on an otherwise-healthy scenario. Exists so the
+    /// shrinker can be exercised end to end without a real engine bug.
+    #[doc(hidden)]
+    pub synthetic_bug: bool,
+}
+
+impl Scenario {
+    /// The fault plan this scenario attaches, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        if self.faults.is_empty() {
+            return None;
+        }
+        let mut plan = FaultPlan::seeded(self.fault_seed);
+        for f in &self.faults {
+            plan = plan.with(f.to_fault());
+        }
+        Some(plan)
+    }
+
+    /// Serializes to the canonical pretty-printed corpus form.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// The JSON document for this scenario.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("graph", self.graph.to_json()),
+            ("algo", self.algo.to_json()),
+            ("config", self.config.to_json()),
+            ("fault_seed", Json::Int(self.fault_seed)),
+            (
+                "faults",
+                Json::Arr(self.faults.iter().map(|f| f.to_json()).collect()),
+            ),
+            ("modes", self.modes.to_json()),
+            ("expect", self.expect.to_json()),
+        ];
+        if let Some(strict) = self.strict_frontier {
+            members.push(("strict_frontier", Json::Bool(strict)));
+        }
+        if self.synthetic_bug {
+            members.push(("synthetic_bug", Json::Bool(true)));
+        }
+        obj(members)
+    }
+
+    /// Parses a scenario from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        Self::from_json(&parse(text)?)
+    }
+
+    /// Parses a scenario from a JSON document.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let faults = match v.get("faults") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_array()
+                .ok_or("key `faults` must be an array")?
+                .iter()
+                .map(FaultSpec::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let strict_frontier = match v.get("strict_frontier") {
+            None => None,
+            Some(b) => Some(b.as_bool().ok_or("key `strict_frontier` must be a bool")?),
+        };
+        Ok(Scenario {
+            name: v.req_str("name")?.to_string(),
+            graph: GraphSpec::from_json(v.req("graph")?)?,
+            algo: AlgoSpec::from_json(v.req("algo")?)?,
+            config: ConfigSpec::from_json(v.req("config")?)?,
+            fault_seed: v.opt_u64("fault_seed", 0)?,
+            faults,
+            modes: ModeMatrix::from_json(v.req("modes")?)?,
+            expect: Expectation::from_json(v.req("expect")?)?,
+            strict_frontier,
+            synthetic_bug: v.opt_bool("synthetic_bug", false)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            name: "sample".into(),
+            graph: GraphSpec {
+                family: Family::Rmat {
+                    vertices: 64,
+                    edges: 256,
+                    seed: 7,
+                },
+                symmetrize: true,
+                max_weight: 255,
+                weight_seed: 3,
+            },
+            algo: AlgoSpec::Sssp { root: 1 },
+            config: ConfigSpec {
+                pes: 64,
+                mapping: Mapping::DestinationOriented,
+                aggregation_registers: 4,
+                max_scheduled_vertices: 2,
+                inter_phase_pipelining: false,
+                spd_capacity_vertices: 32,
+                memory: MemorySpec::Custom {
+                    latency_cycles: 40,
+                    jitter: 2,
+                },
+                watchdog_stall_cycles: 2_000,
+            },
+            fault_seed: 11,
+            faults: vec![
+                FaultSpec {
+                    kind: FaultKindSpec::LinkDelay {
+                        node: 5,
+                        dir: LinkDir::South,
+                        cycles: 3,
+                    },
+                    from: 0,
+                    until: 0,
+                },
+                FaultSpec {
+                    kind: FaultKindSpec::HbmStall {
+                        tile: 0,
+                        channel: 2,
+                        cycles: 0,
+                    },
+                    from: 20,
+                    until: 21,
+                },
+            ],
+            modes: ModeMatrix::full(),
+            expect: Expectation::Wedge {
+                suspect_contains: "tile 0".into(),
+            },
+            strict_frontier: Some(true),
+            synthetic_bug: false,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let s = sample();
+        let text = s.to_json_string();
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+        // Canonical form: re-serialization is byte-identical.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn forever_encoding_maps_to_u64_max() {
+        let s = sample();
+        let plan = s.fault_plan().unwrap();
+        assert_eq!(plan.seed, 11);
+        assert_eq!(plan.faults[0].until_cycle, u64::MAX, "until 0 = permanent");
+        match plan.faults[1].kind {
+            FaultKind::HbmStall { cycles, .. } => assert_eq!(cycles, u64::MAX),
+            ref other => panic!("wrong kind {other:?}"),
+        }
+        assert_eq!(plan.faults[1].from_cycle, 20);
+        assert_eq!(plan.faults[1].until_cycle, 21);
+    }
+
+    #[test]
+    fn graph_specs_build_deterministically() {
+        let spec = sample().graph;
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert_eq!(a.num_vertices(), 64);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn config_spec_builds_and_validates() {
+        let cfg = sample().config.build().unwrap();
+        assert_eq!(cfg.placement.num_pes(), 64);
+        assert_eq!(cfg.spd_capacity_vertices, 32);
+        assert!(!cfg.inter_phase_pipelining);
+        let mut bad = sample().config;
+        bad.pes = 48;
+        assert!(bad.build().is_err());
+        bad = sample().config;
+        bad.max_scheduled_vertices = 99;
+        assert!(bad.build().is_err());
+    }
+
+    #[test]
+    fn defaulted_keys_round_trip_minimal_scenarios() {
+        let text = r#"{
+            "name": "minimal",
+            "graph": {"family": "path", "vertices": 8},
+            "algo": {"kind": "cc"},
+            "config": {"pes": 32, "mapping": "row", "aggregation_registers": 16,
+                       "max_scheduled_vertices": 16, "inter_phase_pipelining": true,
+                       "memory": {"preset": "u280"}},
+            "modes": {},
+            "expect": {"verdict": "converge"}
+        }"#;
+        let s = Scenario::from_json_str(text).unwrap();
+        assert_eq!(s.graph.family.vertices(), 8);
+        assert!(s.faults.is_empty());
+        assert!(s.fault_plan().is_none());
+        assert!(s.modes.fast_forward && !s.modes.recording);
+        assert_eq!(s.strict_frontier, None);
+        assert!(!s.synthetic_bug);
+        let round = Scenario::from_json_str(&s.to_json_string()).unwrap();
+        assert_eq!(round, s);
+    }
+}

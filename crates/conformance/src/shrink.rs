@@ -1,0 +1,319 @@
+//! Automatic scenario minimization.
+//!
+//! Given a scenario the oracle rejects, the shrinker searches for the
+//! smallest scenario that still reproduces the *same divergence* — same
+//! first-mismatch field between the same two engines. Greedy
+//! first-improvement: try each reduction candidate in order, restart from
+//! the first one that preserves the signature, stop at a fixpoint or when
+//! the oracle-run budget is exhausted.
+//!
+//! Candidates are ordered large-to-small (halve the graph before dropping a
+//! single fault before nudging a knob), and every candidate is strictly
+//! smaller under a well-founded measure — vertex/edge counts, fault count,
+//! and distance-from-default of each knob all only decrease — so the loop
+//! terminates even without the budget.
+
+use crate::oracle::{run_scenario, Report};
+use crate::scenario::{AlgoSpec, ConfigSpec, Family, Scenario};
+
+/// The identity of a divergence: the first mismatch's field and engine
+/// pair. A shrink step is only accepted if this is preserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// First diverging field.
+    pub field: String,
+    /// Left engine of the comparison.
+    pub left_engine: String,
+    /// Right engine of the comparison.
+    pub right_engine: String,
+}
+
+/// Extracts the signature of a failing report (`None` if it passed).
+pub fn signature(report: &Report) -> Option<Signature> {
+    report.mismatches.first().map(|m| Signature {
+        field: m.field.clone(),
+        left_engine: m.left_engine.clone(),
+        right_engine: m.right_engine.clone(),
+    })
+}
+
+/// What the shrinker settled on.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized scenario (possibly the input, if nothing smaller
+    /// reproduced).
+    pub scenario: Scenario,
+    /// The oracle report of the minimized scenario.
+    pub report: Report,
+    /// Differential runs spent.
+    pub oracle_runs: usize,
+}
+
+/// Minimizes `scenario` while preserving the first-mismatch signature of
+/// `original_report`. Spends at most `max_runs` oracle runs.
+///
+/// If `original_report` passed (no mismatch), the input is returned
+/// untouched.
+pub fn shrink(scenario: &Scenario, original_report: &Report, max_runs: usize) -> ShrinkOutcome {
+    let target = match signature(original_report) {
+        Some(sig) => sig,
+        None => {
+            return ShrinkOutcome {
+                scenario: scenario.clone(),
+                report: original_report.clone(),
+                oracle_runs: 0,
+            }
+        }
+    };
+    let mut best = scenario.clone();
+    let mut best_report = original_report.clone();
+    let mut runs = 0usize;
+    'outer: loop {
+        for mut candidate in candidates(&best) {
+            if runs >= max_runs {
+                break 'outer;
+            }
+            candidate.name = format!("{}-min", scenario.name);
+            runs += 1;
+            if let Ok(report) = run_scenario(&candidate) {
+                if signature(&report).as_ref() == Some(&target) {
+                    best = candidate;
+                    best_report = report;
+                    continue 'outer; // restart candidate sweep from the top
+                }
+            }
+        }
+        break; // fixpoint: no candidate reproduced
+    }
+    best.name = scenario.name.clone();
+    best_report.scenario = best.name.clone();
+    ShrinkOutcome {
+        scenario: best,
+        report: best_report,
+        oracle_runs: runs,
+    }
+}
+
+/// Strictly-smaller variants of `s`, most aggressive first.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let v = s.graph.family.vertices();
+
+    // Graph size: halve, then decrement (the classic shrink ladder — the
+    // halving finds the magnitude, the decrement polishes).
+    for target in [v / 2, v.saturating_sub(1)] {
+        if target >= 2 && target < v {
+            out.push(with_vertices(s, target));
+        }
+    }
+    // Edge count, for the random families.
+    match s.graph.family {
+        Family::Rmat {
+            vertices,
+            edges,
+            seed,
+        } if edges > vertices => {
+            let mut c = s.clone();
+            c.graph.family = Family::Rmat {
+                vertices,
+                edges: (edges / 2).max(vertices),
+                seed,
+            };
+            out.push(c);
+        }
+        Family::Uniform {
+            vertices,
+            edges,
+            seed,
+        } if edges > vertices => {
+            let mut c = s.clone();
+            c.graph.family = Family::Uniform {
+                vertices,
+                edges: (edges / 2).max(vertices),
+                seed,
+            };
+            out.push(c);
+        }
+        _ => {}
+    }
+
+    // Drop each fault individually.
+    for i in 0..s.faults.len() {
+        let mut c = s.clone();
+        c.faults.remove(i);
+        out.push(c);
+    }
+
+    // Graph decorations back to trivial.
+    if s.graph.max_weight > 0 {
+        let mut c = s.clone();
+        c.graph.max_weight = 0;
+        out.push(c);
+    }
+    if s.graph.symmetrize {
+        let mut c = s.clone();
+        c.graph.symmetrize = false;
+        out.push(c);
+    }
+
+    // PageRank schedule.
+    if let AlgoSpec::PageRank { iters } = s.algo {
+        if iters > 1 {
+            let mut c = s.clone();
+            c.algo = AlgoSpec::PageRank { iters: iters / 2 };
+            out.push(c);
+        }
+    }
+
+    // Configuration knobs, each toward the `ConfigSpec::small()` default.
+    let defaults = ConfigSpec::small();
+    let knobs: Vec<fn(&mut ConfigSpec, &ConfigSpec)> = vec![
+        |c, d| c.pes = d.pes,
+        |c, d| c.mapping = d.mapping,
+        |c, d| c.aggregation_registers = d.aggregation_registers,
+        |c, d| c.max_scheduled_vertices = d.max_scheduled_vertices,
+        |c, d| c.spd_capacity_vertices = d.spd_capacity_vertices,
+        |c, d| c.memory = d.memory,
+        |c, d| c.watchdog_stall_cycles = d.watchdog_stall_cycles,
+        |c, d| c.inter_phase_pipelining = d.inter_phase_pipelining,
+    ];
+    for knob in knobs {
+        let mut cfg = s.config;
+        knob(&mut cfg, &defaults);
+        if cfg != s.config {
+            let mut c = s.clone();
+            c.config = cfg;
+            out.push(c);
+        }
+    }
+
+    out
+}
+
+/// `s` with the graph resized to `target` vertices, roots clamped back into
+/// range and dependent parameters rescaled.
+fn with_vertices(s: &Scenario, target: usize) -> Scenario {
+    let mut c = s.clone();
+    c.graph.family = match s.graph.family {
+        Family::Rmat {
+            edges,
+            seed,
+            vertices,
+        } => Family::Rmat {
+            vertices: target,
+            edges: edges * target / vertices.max(1),
+            seed,
+        },
+        Family::Uniform {
+            edges,
+            seed,
+            vertices,
+        } => Family::Uniform {
+            vertices: target,
+            edges: edges * target / vertices.max(1),
+            seed,
+        },
+        Family::Path { .. } => Family::Path { vertices: target },
+        Family::Star { .. } => Family::Star { vertices: target },
+        Family::Grid { rows, cols } => {
+            // Halve the longer side; floor at 1.
+            if rows >= cols {
+                Family::Grid {
+                    rows: (rows / 2).max(1),
+                    cols,
+                }
+            } else {
+                Family::Grid {
+                    rows,
+                    cols: (cols / 2).max(1),
+                }
+            }
+        }
+        Family::BinaryTree { .. } => Family::BinaryTree { vertices: target },
+    };
+    let n = c.graph.family.vertices() as u32;
+    c.algo = match c.algo {
+        AlgoSpec::Bfs { root } => AlgoSpec::Bfs {
+            root: root.min(n.saturating_sub(1)),
+        },
+        AlgoSpec::Sssp { root } => AlgoSpec::Sssp {
+            root: root.min(n.saturating_sub(1)),
+        },
+        AlgoSpec::WidestPath { root } => AlgoSpec::WidestPath {
+            root: root.min(n.saturating_sub(1)),
+        },
+        other => other,
+    };
+    if c.config.spd_capacity_vertices > 0 {
+        c.config.spd_capacity_vertices = c.config.spd_capacity_vertices.min(n as usize);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Expectation, Family, GraphSpec, ModeMatrix};
+    use scalagraph::Mapping;
+
+    fn failing_scenario() -> Scenario {
+        Scenario {
+            name: "synthetic".into(),
+            graph: GraphSpec {
+                family: Family::Uniform {
+                    vertices: 200,
+                    edges: 900,
+                    seed: 9,
+                },
+                symmetrize: true,
+                max_weight: 16,
+                weight_seed: 2,
+            },
+            algo: AlgoSpec::Bfs { root: 150 },
+            config: ConfigSpec {
+                pes: 64,
+                mapping: Mapping::SourceOriented,
+                aggregation_registers: 4,
+                ..ConfigSpec::small()
+            },
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::sim_only(),
+            expect: Expectation::Converge,
+            strict_frontier: None,
+            // Injected bug: the oracle perturbs the stepped digest, so the
+            // mismatch survives any graph reduction.
+            synthetic_bug: true,
+        }
+    }
+
+    #[test]
+    fn shrinks_synthetic_bug_to_a_tiny_graph() {
+        let s = failing_scenario();
+        let report = run_scenario(&s).unwrap();
+        assert!(!report.passed());
+        let sig = signature(&report).unwrap();
+        let out = shrink(&s, &report, 200);
+        assert!(
+            out.scenario.graph.family.vertices() <= 16,
+            "expected <=16 vertices, got {}",
+            out.scenario.graph.family.vertices()
+        );
+        assert_eq!(signature(&out.report).as_ref(), Some(&sig));
+        assert_eq!(out.scenario.name, s.name);
+        // Knobs drift back to defaults on the way down.
+        assert_eq!(out.scenario.config.pes, 32);
+        assert!(out.oracle_runs <= 200);
+    }
+
+    #[test]
+    fn passing_report_is_returned_untouched() {
+        let mut s = failing_scenario();
+        s.synthetic_bug = false;
+        let report = run_scenario(&s).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        let out = shrink(&s, &report, 200);
+        assert_eq!(out.oracle_runs, 0);
+        assert_eq!(out.scenario, s);
+    }
+}

@@ -1883,6 +1883,13 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                     // No apply work from this wave.
                     if self.pipelined {
                         // Converged: nothing was updated, nothing pending.
+                        // The wave still consumed a frontier; if that
+                        // frontier was non-empty (e.g. every active vertex
+                        // had zero out-degree) the reference engine counts
+                        // it as an iteration, so we must too.
+                        if !self.iter_active.is_empty() && self.scatter_iter < self.limit {
+                            self.stats.iterations += 1;
+                        }
                         return true;
                     }
                     if self.next_wave() {

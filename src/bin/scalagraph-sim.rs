@@ -5,6 +5,15 @@
 //! prints the performance counters.
 //!
 //! ```text
+//! scalagraph-sim fuzz [--budget <n>] [--seed <n>] [--out <dir>]
+//!   differential fuzz campaign over random conformance scenarios;
+//!   deterministic per (budget, seed). Minimized repros are written to
+//!   --out as corpus-ready JSON. Exits non-zero if any scenario diverges.
+//!
+//! scalagraph-sim replay <scenario.json> [...]
+//!   replay checked-in conformance scenarios through the differential
+//!   oracle and print each report. Exits non-zero on any mismatch.
+//!
 //! scalagraph-sim [options]
 //!   --algo <bfs|sssp|cc|pagerank>   algorithm            [bfs]
 //!   --graph <PK|LJ|OR|RM|TW|FL>     dataset stand-in     [PK]
@@ -41,6 +50,7 @@
 use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
 use scalagraph_suite::algo::Algorithm;
 use scalagraph_suite::baselines::{GraphDyns, GraphDynsConfig};
+use scalagraph_suite::conformance::{self, Scenario};
 use scalagraph_suite::graph::{io, Csr, Dataset, EdgeList};
 use scalagraph_suite::scalagraph::{Mapping, ScalaGraphConfig, SimResult, Simulator};
 use scalagraph_suite::telemetry::Recorder;
@@ -282,7 +292,91 @@ fn run_all<A: Algorithm>(algo: &A, graph: &Csr, args: &HashMap<String, String>) 
     }
 }
 
+/// `scalagraph-sim fuzz`: a deterministic differential fuzz campaign.
+fn cmd_fuzz(rest: &[String]) -> ! {
+    let mut budget = 100usize;
+    let mut seed = 42u64;
+    let mut out_dir: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| usage_and_exit(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--budget" => {
+                budget = value("--budget")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--budget needs a non-negative integer"))
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--seed needs an integer"))
+            }
+            "--out" => out_dir = Some(value("--out")),
+            other => usage_and_exit(&format!("unknown fuzz flag `{other}`")),
+        }
+    }
+    let report = conformance::fuzz(budget, seed);
+    print!("{}", report.render());
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: could not create {dir}: {e}");
+            exit(2);
+        }
+        for f in &report.failures {
+            let path = format!("{dir}/{}.json", f.minimized.name);
+            match std::fs::write(&path, f.minimized.to_json_string()) {
+                Ok(()) => println!("wrote minimized repro to {path}"),
+                Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            }
+        }
+    }
+    exit(if report.failures.is_empty() && report.rejected == 0 {
+        0
+    } else {
+        1
+    })
+}
+
+/// `scalagraph-sim replay`: replay conformance scenarios from JSON files.
+fn cmd_replay(paths: &[String]) -> ! {
+    if paths.is_empty() {
+        usage_and_exit("replay needs at least one scenario file");
+    }
+    let mut failed = false;
+    for path in paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: could not read {path}: {e}");
+            exit(2)
+        });
+        let scenario = Scenario::from_json_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not a valid scenario: {e}");
+            exit(2)
+        });
+        match conformance::run_scenario(&scenario) {
+            Ok(report) => {
+                print!("{}", report.render());
+                failed |= !report.passed();
+            }
+            Err(e) => {
+                eprintln!("error: scenario `{}` is malformed: {e}", scenario.name);
+                failed = true;
+            }
+        }
+    }
+    exit(if failed { 1 } else { 0 })
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("fuzz") => cmd_fuzz(&raw[1..]),
+        Some("replay") => cmd_replay(&raw[1..]),
+        _ => {}
+    }
     let args = parse_args();
     if args.contains_key("fast-forward") && args.contains_key("no-fast-forward") {
         usage_and_exit("--fast-forward and --no-fast-forward are mutually exclusive");

@@ -7,6 +7,7 @@
 pub use scalagraph;
 pub use scalagraph_algo as algo;
 pub use scalagraph_baselines as baselines;
+pub use scalagraph_conformance as conformance;
 pub use scalagraph_graph as graph;
 pub use scalagraph_hwmodel as hwmodel;
 pub use scalagraph_mem as mem;

@@ -87,6 +87,24 @@ fn pagerank_close_on_all_families() {
                 "graphdyns {name} vertex {i}: {a} vs {b}"
             );
         }
+        // The GPU model reuses the reference executor, so unlike the
+        // cycle-accurate engines its ranks must match bit for bit.
+        let gpu = GunrockModel::v100().run(&algo, &g);
+        assert_eq!(gpu.properties, golden.properties, "gunrock {name}");
+    }
+}
+
+#[test]
+fn widest_path_exact_on_all_baselines() {
+    use scalagraph_suite::algo::algorithms::WidestPath;
+    for (name, g) in families(6) {
+        let mut list = EdgeList::new(g.num_vertices());
+        for e in g.edges() {
+            list.push(e);
+        }
+        list.randomize_weights(255, 17);
+        let weighted = Csr::from_edge_list(&list);
+        check_exact(&WidestPath::from_root(0), &weighted, name);
     }
 }
 

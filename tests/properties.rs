@@ -410,3 +410,24 @@ proptest! {
         prop_assert_eq!(hbm.stats().reads, total);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Conformance harness: any sampled scenario must survive JSON
+    // serialize -> deserialize -> rerun with bit-identical oracle reports.
+    // The sampler maps every u64 onto a well-formed scenario, so the seed
+    // space IS the scenario space.
+    #[test]
+    fn conformance_scenarios_survive_round_trip_and_rerun(seed in any::<u64>()) {
+        use scalagraph_suite::conformance::{run_scenario, sample_scenario, Scenario, SplitMix64};
+        let scenario = sample_scenario(&mut SplitMix64::new(seed), 0);
+        let text = scenario.to_json_string();
+        let back = Scenario::from_json_str(&text).unwrap();
+        prop_assert_eq!(&back, &scenario);
+        prop_assert_eq!(back.to_json_string(), text, "canonical form must be a fixpoint");
+        let original = run_scenario(&scenario).unwrap();
+        let replayed = run_scenario(&back).unwrap();
+        prop_assert_eq!(original, replayed, "deserialized scenario must rerun identically");
+    }
+}
