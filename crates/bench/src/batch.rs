@@ -1,0 +1,116 @@
+//! Resilient scenario sweeps.
+//!
+//! The classic sweeps in [`crate::sweep`] assume every configuration is
+//! trusted: a wedge or panic tears the whole experiment down. Figure
+//! regeneration over *fuzz-derived* or fault-heavy scenarios needs the
+//! opposite: run everything, survive anything, report per-scenario
+//! outcomes. This module routes such sweeps through the
+//! [`scalagraph_runtime`] batch executor — bounded admission, per-job
+//! deadlines, panic isolation, and a balanced outcome ledger — and renders
+//! the result as a [`crate::print_table`]-compatible table.
+
+use std::time::Duration;
+
+use scalagraph_conformance::Scenario;
+use scalagraph_runtime::{BatchReport, BatchRuntime, JobSpec, JobStatus, RuntimeConfig};
+
+use crate::sweep::default_threads;
+
+/// Runs `scenarios` through the batch runtime with bench-friendly
+/// defaults: one worker per sweep thread, queue sized to the batch (no
+/// admission rejections for a fully-known sweep), and an optional per-job
+/// wall-clock deadline that turns wedges into `deadline-exceeded` rows
+/// instead of a hung experiment.
+pub fn resilient_sweep(scenarios: Vec<Scenario>, deadline: Option<Duration>) -> BatchReport {
+    let config = RuntimeConfig {
+        workers: default_threads(),
+        queue_capacity: scenarios.len().max(1),
+        default_deadline: deadline,
+        ..RuntimeConfig::default()
+    };
+    let specs = scenarios.into_iter().map(JobSpec::new).collect();
+    BatchRuntime::new(config).run(specs)
+}
+
+/// Table rows (`name`, `status`, `attempts`, `cycles`, `wall ms`) for a
+/// batch report, in submission order — feed to
+/// [`print_table`](crate::print_table).
+pub fn outcome_rows(report: &BatchReport) -> Vec<Vec<String>> {
+    report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let cycles = match &o.status {
+                JobStatus::Completed { metrics } => metrics.cycles.to_string(),
+                _ => "-".into(),
+            };
+            vec![
+                o.name.clone(),
+                o.status.label().to_string(),
+                o.attempts.to_string(),
+                cycles,
+                o.wall_ms.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers matching [`outcome_rows`].
+pub const OUTCOME_HEADERS: [&str; 5] = ["scenario", "status", "attempts", "cycles", "wall ms"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalagraph_conformance::scenario::{AlgoSpec, ConfigSpec, Expectation, Family, ModeMatrix};
+    use scalagraph_conformance::GraphSpec;
+
+    fn scenario(name: &str, vertices: usize) -> Scenario {
+        Scenario {
+            name: name.into(),
+            graph: GraphSpec {
+                family: Family::Uniform {
+                    vertices,
+                    edges: vertices * 4,
+                    seed: 11,
+                },
+                symmetrize: false,
+                max_weight: 0,
+                weight_seed: 0,
+            },
+            algo: AlgoSpec::Bfs { root: 0 },
+            config: ConfigSpec::small(),
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::sim_only(),
+            expect: Expectation::Converge,
+            strict_frontier: None,
+            synthetic_bug: false,
+        }
+    }
+
+    #[test]
+    fn sweep_completes_and_balances() {
+        let scenarios = vec![
+            scenario("s-small", 48),
+            scenario("s-medium", 96),
+            scenario("s-large", 160),
+        ];
+        let report = resilient_sweep(scenarios, Some(Duration::from_secs(30)));
+        assert!(report.balanced(), "{}", report.render());
+        assert_eq!(report.counters.completed, 3);
+        assert_eq!(report.counters.rejected, 0, "queue sized to the batch");
+        let rows = outcome_rows(&report);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], "s-small");
+        assert_eq!(rows[0][1], "completed");
+        assert_ne!(rows[0][3], "-", "completed rows carry cycle counts");
+    }
+
+    #[test]
+    fn empty_sweep_is_a_clean_empty_report() {
+        let report = resilient_sweep(Vec::new(), None);
+        assert!(report.balanced());
+        assert!(report.outcomes.is_empty());
+        assert!(outcome_rows(&report).is_empty());
+    }
+}

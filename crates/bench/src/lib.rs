@@ -6,6 +6,9 @@
 //! holds the pieces they share: workload construction, system runners,
 //! and table formatting.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod batch;
 pub mod runners;
 pub mod sweep;
 pub mod workloads;

@@ -58,7 +58,7 @@ where
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, T)> = inputs.into_iter().enumerate().collect();
     let queue = parking_lot_free_queue(work);
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads.min(n.max(1)) {
             let queue = &queue;
@@ -72,13 +72,53 @@ where
             }));
         }
         for h in handles {
-            for (i, r) in h.join().expect("sweep worker panicked") {
-                slots[i] = Some(r);
+            // A panicking closure is a bug in the sweep's caller; surface
+            // it on the calling thread instead of swallowing results.
+            match h.join() {
+                Ok(results) => {
+                    for (i, r) in results {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Some(r) => r,
+            // Every index is pushed exactly once and popped exactly once;
+            // a missing slot is unreachable once all workers joined.
+            None => unreachable!("sweep slot left unfilled"),
+        })
+        .collect()
+}
+
+/// [`parallel_map`] with per-item panic isolation: a closure that panics
+/// yields `Err(message)` for that item instead of tearing down the whole
+/// sweep. Built for sweeps over hostile inputs (e.g. fuzz-derived
+/// scenarios) where one bad item must not cost the other results.
+pub fn parallel_map_isolated<T, R, F>(inputs: Vec<T>, f: F) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map(inputs, |item| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        })
     })
-    .expect("sweep scope panicked");
-    slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 
 /// A minimal multi-consumer work queue on top of crossbeam's SegQueue.
@@ -127,5 +167,19 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_per_item() {
+        let out = parallel_map_isolated(vec![1, 2, 3, 4], |x| {
+            if x == 3 {
+                panic!("boom on {x}");
+            }
+            x * 10
+        });
+        assert_eq!(out[0], Ok(10));
+        assert_eq!(out[1], Ok(20));
+        assert!(out[2].as_ref().is_err_and(|m| m.contains("boom on 3")));
+        assert_eq!(out[3], Ok(40));
     }
 }

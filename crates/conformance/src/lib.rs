@@ -29,6 +29,9 @@
 //! dependency bump.
 
 #![warn(missing_docs)]
+// Harness code feeds batch runs: recoverable failures must surface as
+// Result, never unwind (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod fuzz;
 pub mod json;

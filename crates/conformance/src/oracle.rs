@@ -105,8 +105,22 @@ impl ErrorDigest {
             SimError::DeadlockDetected { .. } => "DeadlockDetected",
             SimError::WatchdogStall { .. } => "WatchdogStall",
             SimError::CycleCapExceeded { .. } => "CycleCapExceeded",
+            SimError::Cancelled { .. } => "Cancelled",
+            SimError::DeadlineExceeded { .. } => "DeadlineExceeded",
             _ => "Unknown",
         };
+        // The interruption variants carry no stall snapshot but do know the
+        // cycle they fired on; surface it so digests of two interrupted
+        // modes can be compared cycle-exactly.
+        if let SimError::Cancelled { cycle, .. } | SimError::DeadlineExceeded { cycle, .. } = e {
+            return ErrorDigest {
+                variant,
+                cycle: *cycle,
+                stalled_for: 0,
+                phase: String::new(),
+                suspect: String::new(),
+            };
+        }
         match e.snapshot() {
             Some(s) => ErrorDigest {
                 variant,
@@ -230,6 +244,13 @@ impl Report {
 /// configuration cannot be built, algorithm root out of range). Engine
 /// failures are *observations*, not errors.
 pub fn run_scenario(s: &Scenario) -> Result<Report, String> {
+    if s.modes.is_empty() {
+        return Err(format!(
+            "scenario `{}` enables no comparison engines: the mode matrix is empty \
+             (set at least one of fast_forward/recording/graphdyns/gunrock)",
+            s.name
+        ));
+    }
     let graph = s.graph.build()?;
     let n = graph.num_vertices() as u32;
     let root_ok = |root: u32| {
@@ -867,5 +888,25 @@ mod tests {
         let mut s = converge_scenario("bad-pes");
         s.config.pes = 33;
         assert!(run_scenario(&s).is_err());
+    }
+
+    #[test]
+    fn empty_mode_matrix_is_a_typed_usage_error() {
+        let mut s = converge_scenario("all-modes-off");
+        s.modes = ModeMatrix {
+            fast_forward: false,
+            recording: false,
+            graphdyns: false,
+            gunrock: false,
+        };
+        let err = run_scenario(&s).unwrap_err();
+        assert!(
+            err.contains("mode matrix is empty"),
+            "unexpected message: {err}"
+        );
+        assert!(err.contains("all-modes-off"), "names the scenario: {err}");
+        // Any single engine makes the scenario runnable again.
+        s.modes.fast_forward = true;
+        assert!(run_scenario(&s).is_ok());
     }
 }

@@ -697,6 +697,14 @@ impl ModeMatrix {
         }
     }
 
+    /// Whether no comparison engine is enabled at all. The oracle rejects
+    /// such scenarios up front: a run that compares nothing can only
+    /// vacuously "pass", which silently hides the regression it was meant
+    /// to pin.
+    pub fn is_empty(self) -> bool {
+        !(self.fast_forward || self.recording || self.graphdyns || self.gunrock)
+    }
+
     fn to_json(self) -> Json {
         obj(vec![
             ("fast_forward", Json::Bool(self.fast_forward)),
@@ -799,6 +807,22 @@ impl Scenario {
     /// Serializes to the canonical pretty-printed corpus form.
     pub fn to_json_string(&self) -> String {
         self.to_json().pretty()
+    }
+
+    /// A stable 64-bit signature of the scenario's *behavior*: FNV-1a over
+    /// the canonical JSON with the (purely cosmetic) name cleared. Two
+    /// scenarios with the same fingerprint run the same graph, algorithm,
+    /// configuration, and fault schedule, so a batch runtime can use it to
+    /// quarantine repeat offenders even when job names differ.
+    pub fn fingerprint(&self) -> u64 {
+        let mut anonymous = self.clone();
+        anonymous.name.clear();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in anonymous.to_json_string().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
     }
 
     /// The JSON document for this scenario.
@@ -989,5 +1013,43 @@ mod tests {
         assert!(!s.synthetic_bug);
         let round = Scenario::from_json_str(&s.to_json_string()).unwrap();
         assert_eq!(round, s);
+    }
+
+    #[test]
+    fn mode_matrix_emptiness() {
+        assert!(!ModeMatrix::full().is_empty());
+        assert!(!ModeMatrix::sim_only().is_empty());
+        let empty = ModeMatrix {
+            fast_forward: false,
+            recording: false,
+            graphdyns: false,
+            gunrock: false,
+        };
+        assert!(empty.is_empty());
+        let recording_only = ModeMatrix {
+            recording: true,
+            ..empty
+        };
+        assert!(!recording_only.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_but_nothing_else() {
+        let a = sample();
+        let mut renamed = a.clone();
+        renamed.name = "a-different-label".into();
+        assert_eq!(a.fingerprint(), renamed.fingerprint());
+
+        let mut reseeded = a.clone();
+        reseeded.fault_seed += 1;
+        assert_ne!(a.fingerprint(), reseeded.fingerprint());
+
+        let mut regraphed = a.clone();
+        regraphed.graph.symmetrize = !regraphed.graph.symmetrize;
+        assert_ne!(a.fingerprint(), regraphed.fingerprint());
+
+        // Stable across serialization round trips.
+        let back = Scenario::from_json_str(&a.to_json_string()).unwrap();
+        assert_eq!(back.fingerprint(), a.fingerprint());
     }
 }

@@ -1,0 +1,141 @@
+//! Cooperative cancellation for in-flight simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a running
+//! [`Simulator`](crate::Simulator) and whoever supervises it (a batch
+//! runtime's deadline watcher, a Ctrl-C handler, a test). The engine polls
+//! the token on every *stepped* cycle — fast-forwarded spans wake at their
+//! next event cycle, so a signal is always observed within one stepped
+//! cycle of simulated time — and unwinds cooperatively through the normal
+//! error path: telemetry is flushed, partial counters are attached to the
+//! error, and no state is torn down mid-cycle.
+//!
+//! Signalling is one-shot and racy-by-design: the *first* signal wins, so
+//! a supervisor expiring a deadline and an operator cancelling the same
+//! job cannot produce two different outcomes for one run.
+//!
+//! Wall-clock cancellation is inherently asynchronous — *when* the signal
+//! lands in simulated time depends on host scheduling. For a deterministic
+//! cutoff use [`ScalaGraphConfig::cycle_limit`](crate::ScalaGraphConfig::cycle_limit)
+//! instead, which is measured in simulated cycles and bit-identical
+//! between stepped and fast-forward execution.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+const RUNNING: u8 = 0;
+const CANCELLED: u8 = 1;
+const EXPIRED: u8 = 2;
+
+/// Why a [`CancelToken`] was signalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelSignal {
+    /// Explicit cancellation ([`CancelToken::cancel`]): the run ends with
+    /// [`SimError::Cancelled`](crate::SimError::Cancelled).
+    Cancelled,
+    /// A wall-clock deadline expired ([`CancelToken::expire`]): the run
+    /// ends with [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded).
+    DeadlineExpired,
+}
+
+/// A shared one-shot cancellation flag, polled by the engine hot loop.
+///
+/// Cloning shares the underlying flag; signalling any clone signals the
+/// run. The fresh (`Default`) state is "running".
+///
+/// # Example
+///
+/// ```
+/// use scalagraph::{CancelSignal, CancelToken};
+///
+/// let token = CancelToken::new();
+/// assert!(token.signal().is_none());
+/// token.cancel();
+/// assert_eq!(token.signal(), Some(CancelSignal::Cancelled));
+/// // First signal wins: a later deadline expiry cannot override it.
+/// token.expire();
+/// assert_eq!(token.signal(), Some(CancelSignal::Cancelled));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh, unsignalled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cooperative cancellation. No-op if the token was already
+    /// signalled (first signal wins).
+    pub fn cancel(&self) {
+        let _ =
+            self.state
+                .compare_exchange(RUNNING, CANCELLED, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// Marks the token's wall-clock deadline as expired. No-op if the
+    /// token was already signalled (first signal wins).
+    pub fn expire(&self) {
+        let _ = self
+            .state
+            .compare_exchange(RUNNING, EXPIRED, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// The pending signal, if any. This is the poll the engine performs
+    /// once per stepped cycle: one relaxed atomic load.
+    #[inline]
+    pub fn signal(&self) -> Option<CancelSignal> {
+        match self.state.load(Ordering::Relaxed) {
+            CANCELLED => Some(CancelSignal::Cancelled),
+            EXPIRED => Some(CancelSignal::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// Whether the token has been signalled (by either path).
+    pub fn is_signalled(&self) -> bool {
+        self.signal().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_unsignalled() {
+        let t = CancelToken::new();
+        assert!(t.signal().is_none());
+        assert!(!t.is_signalled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.expire();
+        assert_eq!(t.signal(), Some(CancelSignal::DeadlineExpired));
+        assert!(t.is_signalled());
+    }
+
+    #[test]
+    fn first_signal_wins() {
+        let t = CancelToken::new();
+        t.expire();
+        t.cancel();
+        assert_eq!(t.signal(), Some(CancelSignal::DeadlineExpired));
+        let u = CancelToken::new();
+        u.cancel();
+        u.expire();
+        assert_eq!(u.signal(), Some(CancelSignal::Cancelled));
+    }
+
+    #[test]
+    fn signalling_is_idempotent() {
+        let t = CancelToken::new();
+        t.cancel();
+        t.cancel();
+        assert_eq!(t.signal(), Some(CancelSignal::Cancelled));
+    }
+}

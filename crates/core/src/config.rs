@@ -4,6 +4,7 @@ use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::mapping::Mapping;
 use crate::placement::Placement;
+use crate::sim::CYCLE_SAFETY_CAP;
 use scalagraph_hwmodel::{max_frequency_mhz, InterconnectKind, OPERATING_CLOCK_MHZ};
 use scalagraph_mem::HbmConfig;
 
@@ -91,6 +92,15 @@ pub struct ScalaGraphConfig {
     /// bit-identical either way — the flag trades nothing but wall-clock
     /// (pinned by the bit-identity test suite).
     pub fast_forward: bool,
+    /// Hard per-run cycle budget: the run ends with
+    /// [`SimError::DeadlineExceeded`] once the clock reaches this cycle
+    /// without converging. Unlike a wall-clock deadline this is measured
+    /// in *simulated* time, so it is deterministic and lands on exactly
+    /// the same cycle — with the same partial counters and telemetry
+    /// windows — whether or not fast-forward is engaged. `None` leaves
+    /// only the global cycle safety cap. Must be positive and at most
+    /// [`CYCLE_SAFETY_CAP`](crate::CYCLE_SAFETY_CAP).
+    pub cycle_limit: Option<u64>,
 }
 
 impl ScalaGraphConfig {
@@ -136,6 +146,7 @@ impl ScalaGraphConfig {
             watchdog_stall_cycles: DEFAULT_WATCHDOG_STALL_CYCLES,
             fault_plan: None,
             fast_forward: false,
+            cycle_limit: None,
         }
     }
 
@@ -218,6 +229,30 @@ impl ScalaGraphConfig {
             }
             if hbm.queue_depth == 0 {
                 return Err(SimError::config("memory queue depth must be positive"));
+            }
+        }
+        // Deadline-path knobs. The fast-forward watchdog emulation computes
+        // `now + wait + (threshold - 1)` in u64; bounding both the watchdog
+        // window and the cycle limit by the safety cap keeps every such
+        // fire-cycle computation overflow-free and keeps the knobs
+        // meaningful (beyond the cap the run ends as CycleCapExceeded
+        // before either could fire).
+        if self.watchdog_stall_cycles > CYCLE_SAFETY_CAP {
+            return Err(SimError::config(format!(
+                "watchdog window {} exceeds the cycle safety cap {CYCLE_SAFETY_CAP}",
+                self.watchdog_stall_cycles
+            )));
+        }
+        if let Some(limit) = self.cycle_limit {
+            if limit == 0 {
+                return Err(SimError::config(
+                    "cycle limit must be positive (None disables it)",
+                ));
+            }
+            if limit > CYCLE_SAFETY_CAP {
+                return Err(SimError::config(format!(
+                    "cycle limit {limit} exceeds the cycle safety cap {CYCLE_SAFETY_CAP}"
+                )));
             }
         }
         if let Some(plan) = &self.fault_plan {
@@ -318,6 +353,41 @@ mod tests {
                 "case {i} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_watchdog_window() {
+        let mut c = ScalaGraphConfig::with_pes(32);
+        c.watchdog_stall_cycles = CYCLE_SAFETY_CAP + 1;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("watchdog window"), "{err}");
+        // The cap itself is the largest accepted window.
+        c.watchdog_stall_cycles = CYCLE_SAFETY_CAP;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_cycle_limit() {
+        let mut c = ScalaGraphConfig::with_pes(32);
+        c.cycle_limit = Some(0);
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("cycle limit"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_cycle_limit() {
+        let mut c = ScalaGraphConfig::with_pes(32);
+        c.cycle_limit = Some(CYCLE_SAFETY_CAP + 1);
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("cycle limit"), "{err}");
+        c.cycle_limit = Some(CYCLE_SAFETY_CAP);
+        assert!(c.validate().is_ok());
+        // The deadline path composes with fast-forward: the same bounds
+        // hold with the skip optimisation engaged.
+        c.fast_forward = true;
+        assert!(c.validate().is_ok());
+        c.cycle_limit = Some(0);
+        assert!(c.validate().is_err());
     }
 
     #[test]

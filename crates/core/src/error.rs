@@ -9,6 +9,7 @@
 //! the moment progress stopped, so a failed configuration in a sweep leaves
 //! an actionable record rather than a dead batch.
 
+use crate::stats::SimStats;
 use std::fmt;
 
 /// Why a simulation could not complete.
@@ -55,6 +56,26 @@ pub enum SimError {
         /// Machine state when the cap was hit.
         snapshot: Box<StallSnapshot>,
     },
+    /// The run was cancelled cooperatively via a
+    /// [`CancelToken`](crate::CancelToken). The machine unwound cleanly at
+    /// a cycle boundary; `partial` holds the counters accumulated so far.
+    Cancelled {
+        /// Cycle at which the cancellation was observed.
+        cycle: u64,
+        /// Counters accumulated up to (and including) `cycle`.
+        partial: Box<SimStats>,
+    },
+    /// The run hit a deadline before converging: either the deterministic
+    /// [`cycle_limit`](crate::ScalaGraphConfig::cycle_limit) (always
+    /// observed on exactly that cycle, bit-identically between stepped and
+    /// fast-forward execution) or a wall-clock deadline expiring the run's
+    /// [`CancelToken`](crate::CancelToken).
+    DeadlineExceeded {
+        /// Cycle at which the deadline was observed.
+        cycle: u64,
+        /// Counters accumulated up to (and including) `cycle`.
+        partial: Box<SimStats>,
+    },
 }
 
 impl SimError {
@@ -64,6 +85,17 @@ impl SimError {
             SimError::DeadlockDetected { snapshot }
             | SimError::WatchdogStall { snapshot }
             | SimError::CycleCapExceeded { snapshot } => Some(snapshot),
+            _ => None,
+        }
+    }
+
+    /// The counters an interrupted run accumulated before it was cancelled
+    /// or hit its deadline; `None` for every other variant.
+    pub fn partial_stats(&self) -> Option<&SimStats> {
+        match self {
+            SimError::Cancelled { partial, .. } | SimError::DeadlineExceeded { partial, .. } => {
+                Some(partial)
+            }
             _ => None,
         }
     }
@@ -114,6 +146,12 @@ impl fmt::Display for SimError {
                     "simulation exceeded the cycle safety cap at cycle {}",
                     snapshot.cycle
                 )
+            }
+            SimError::Cancelled { cycle, .. } => {
+                write!(f, "simulation cancelled at cycle {cycle}")
+            }
+            SimError::DeadlineExceeded { cycle, .. } => {
+                write!(f, "simulation deadline exceeded at cycle {cycle}")
             }
         }
     }
@@ -411,6 +449,25 @@ mod tests {
             "invalid configuration: GU queue must be non-empty"
         );
         assert!(err.snapshot().is_none());
+    }
+
+    #[test]
+    fn interrupted_variants_carry_partial_counters() {
+        let mut stats = SimStats::default();
+        stats.cycles = 123;
+        let err = SimError::DeadlineExceeded {
+            cycle: 123,
+            partial: Box::new(stats),
+        };
+        assert_eq!(err.to_string(), "simulation deadline exceeded at cycle 123");
+        assert_eq!(err.partial_stats().map(|s| s.cycles), Some(123));
+        assert!(err.snapshot().is_none());
+        let cancelled = SimError::Cancelled {
+            cycle: 7,
+            partial: Box::new(SimStats::default()),
+        };
+        assert!(cancelled.to_string().contains("cancelled at cycle 7"));
+        assert!(cancelled.partial_stats().is_some());
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
+pub mod cancel;
 pub mod config;
 pub mod device;
 pub mod error;
@@ -52,6 +53,7 @@ pub mod sim;
 pub mod slab;
 pub mod stats;
 
+pub use cancel::{CancelSignal, CancelToken};
 pub use config::{MemoryPreset, ScalaGraphConfig};
 pub use device::DeviceGraph;
 pub use error::{
@@ -60,7 +62,7 @@ pub use error::{
 pub use fault::{Fault, FaultKind, FaultPlan, LinkDir};
 pub use mapping::{CommunicationEstimate, Mapping};
 pub use placement::Placement;
-pub use sim::{run_on, try_run_on, Simulator};
+pub use sim::{run_on, try_run_on, Simulator, CYCLE_SAFETY_CAP};
 pub use stats::{SimResult, SimStats};
 
 /// Time-resolved telemetry: the [`telemetry::Collector`] hook trait the

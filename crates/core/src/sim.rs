@@ -23,6 +23,7 @@
 //! freshly applied vertices.
 
 use crate::aggregate::{AggregationBuffer, PendingUpdate};
+use crate::cancel::{CancelSignal, CancelToken};
 use crate::config::ScalaGraphConfig;
 use crate::device::DeviceGraph;
 use crate::error::{
@@ -43,8 +44,11 @@ use std::ops::Range;
 
 /// Safety cap on simulated cycles; reaching it means the workload diverged
 /// (the progress watchdog catches deadlocks much earlier), so the run ends
-/// with [`SimError::CycleCapExceeded`] instead of spinning forever.
-const CYCLE_SAFETY_CAP: u64 = 2_000_000_000;
+/// with [`SimError::CycleCapExceeded`] instead of spinning forever. Public
+/// because it bounds the deadline knobs: `ScalaGraphConfig::validate`
+/// rejects watchdog windows and [`cycle_limit`](ScalaGraphConfig::cycle_limit)
+/// values beyond it.
+pub const CYCLE_SAFETY_CAP: u64 = 2_000_000_000;
 
 /// An edge workload travelling from dispatcher to GU.
 #[derive(Debug, Clone, Copy)]
@@ -309,7 +313,60 @@ impl<'a, A: Algorithm> Simulator<'a, A> {
         &mut self,
         collector: &mut C,
     ) -> Result<SimResult<A::Prop>, SimError> {
-        Engine::new(self.algo, self.graph, &self.config, &self.device, collector).try_run()
+        Engine::new(
+            self.algo,
+            self.graph,
+            &self.config,
+            &self.device,
+            collector,
+            None,
+        )
+        .try_run()
+    }
+
+    /// [`Simulator::try_run`] under a cooperative [`CancelToken`].
+    ///
+    /// The engine polls the token once per stepped cycle (one relaxed
+    /// atomic load; fast-forwarded spans wake at their next event cycle)
+    /// and unwinds through the normal error path when it is signalled:
+    /// [`CancelToken::cancel`] yields [`SimError::Cancelled`],
+    /// [`CancelToken::expire`] yields [`SimError::DeadlineExceeded`], both
+    /// carrying the cycle and the partial [`SimStats`]. An unsignalled
+    /// token leaves the run bit-identical to [`Simulator::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] describing why the machine could not
+    /// complete the run.
+    pub fn try_run_cancellable(
+        &mut self,
+        token: &CancelToken,
+    ) -> Result<SimResult<A::Prop>, SimError> {
+        self.try_run_controlled(&mut NullCollector, token)
+    }
+
+    /// [`Simulator::try_run_cancellable`] with a telemetry [`Collector`]
+    /// attached: the full-control entry point the batch runtime uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] describing why the machine could not
+    /// complete the run. The collector still receives its final flush and
+    /// `on_run_end` on cancellation, so partial traces export cleanly.
+    pub fn try_run_controlled<C: Collector>(
+        &mut self,
+        collector: &mut C,
+        token: &CancelToken,
+    ) -> Result<SimResult<A::Prop>, SimError> {
+        Engine::new(
+            self.algo,
+            self.graph,
+            &self.config,
+            &self.device,
+            collector,
+            Some(token),
+        )
+        .try_run()
     }
 }
 
@@ -482,6 +539,9 @@ struct Engine<'a, A: Algorithm, C: Collector> {
     injector: Option<FaultInjector>,
     /// Flits parked between routers by delay/corruption faults.
     delayed: Vec<DelayedFlit<A::Prop>>,
+    /// Cooperative cancellation flag, polled once per stepped cycle.
+    /// `None` (the plain `try_run` paths) costs one branch per cycle.
+    ctl: Option<&'a CancelToken>,
 }
 
 impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
@@ -491,6 +551,7 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
         cfg: &'a ScalaGraphConfig,
         dev: &'a DeviceGraph,
         col: &'a mut C,
+        ctl: Option<&'a CancelToken>,
     ) -> Self {
         let n = graph.num_vertices();
         let placement = cfg.placement;
@@ -547,6 +608,7 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             dispatched_per_row: vec![0; placement.tiles * placement.rows_per_tile],
             injector: cfg.fault_plan.clone().and_then(FaultInjector::new),
             delayed: Vec::new(),
+            ctl,
         }
     }
 
@@ -603,6 +665,38 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             }
             if C::ENABLED {
                 self.tel_cycle();
+            }
+            // Deterministic cycle budget: observed on exactly `limit`, with
+            // identical counters and telemetry, in stepped and fast-forward
+            // execution alike (`try_fast_forward` never jumps past it).
+            if let Some(limit) = self.cfg.cycle_limit {
+                if self.now >= limit {
+                    let err = SimError::DeadlineExceeded {
+                        cycle: self.now,
+                        partial: Box::new(self.partial_stats()),
+                    };
+                    self.tel_finish();
+                    return Err(err);
+                }
+            }
+            // Cooperative cancellation: one relaxed load per stepped cycle.
+            // Wall-clock signals are asynchronous by nature, so *which*
+            // cycle observes one depends on host timing — but the unwind
+            // itself is clean (cycle boundary, flushed telemetry, partial
+            // counters attached).
+            if let Some(ctl) = self.ctl {
+                if let Some(signal) = ctl.signal() {
+                    let cycle = self.now;
+                    let partial = Box::new(self.partial_stats());
+                    let err = match signal {
+                        CancelSignal::Cancelled => SimError::Cancelled { cycle, partial },
+                        CancelSignal::DeadlineExpired => {
+                            SimError::DeadlineExceeded { cycle, partial }
+                        }
+                    };
+                    self.tel_finish();
+                    return Err(err);
+                }
             }
             if self.now >= CYCLE_SAFETY_CAP {
                 let snapshot = Box::new(self.snapshot(stalled_for));
@@ -868,6 +962,12 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
 
         // --- Earliest cycle that must execute normally.
         let mut event = CYCLE_SAFETY_CAP;
+        if let Some(limit) = self.cfg.cycle_limit {
+            // The limit cycle itself must be stepped so DeadlineExceeded
+            // fires on exactly that cycle with the same partial counters
+            // and telemetry as a stepped run.
+            event = event.min(limit);
+        }
         if self.fetch_stall > 0 {
             // First cycle on which step_prefetch runs again.
             event = event.min(self.now + self.fetch_stall + 1);
@@ -1101,6 +1201,28 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
         }
     }
 
+    /// The counters as they stand mid-run: the same aggregation
+    /// [`finish`](Self::finish) performs, without consuming the engine.
+    /// Attached to [`SimError::Cancelled`]/[`SimError::DeadlineExceeded`]
+    /// so an interrupted job still leaves an accountable record.
+    fn partial_stats(&self) -> SimStats {
+        let mut stats = self.stats;
+        for t in &self.tiles {
+            let m = t.hbm.stats();
+            stats.offchip_bytes_read += m.bytes_read;
+            stats.offchip_bytes_written += m.bytes_written;
+            stats.offchip_reads += m.reads;
+        }
+        for node in &self.nodes {
+            for buf in &node.out {
+                stats.agg_merges += buf.merges();
+            }
+        }
+        stats.cycles = self.now;
+        stats.pe_cycle_budget = self.now * self.cfg.placement.num_pes() as u64;
+        stats
+    }
+
     fn finish(mut self) -> SimResult<A::Prop> {
         self.tel_finish();
         if std::env::var_os("SCALAGRAPH_TRACE").is_some() {
@@ -1120,22 +1242,10 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                 self.dispatched_per_row.iter().max(),
             );
         }
-        for t in &self.tiles {
-            let m = t.hbm.stats();
-            self.stats.offchip_bytes_read += m.bytes_read;
-            self.stats.offchip_bytes_written += m.bytes_written;
-            self.stats.offchip_reads += m.reads;
-        }
-        for node in &self.nodes {
-            for buf in &node.out {
-                self.stats.agg_merges += buf.merges();
-            }
-        }
-        self.stats.cycles = self.now;
-        self.stats.pe_cycle_budget = self.now * self.cfg.placement.num_pes() as u64;
+        let stats = self.partial_stats();
         SimResult {
             properties: self.props,
-            stats: self.stats,
+            stats,
             frontier_sizes: self.frontier_sizes,
         }
     }
@@ -2346,5 +2456,77 @@ mod tests {
             }
             (a, b) => panic!("expected identical stalls, got {a:?} vs {b:?}"),
         }
+    }
+
+    #[test]
+    fn cycle_limit_fires_identically_with_fast_forward() {
+        let g = Csr::from_edges(200, &generators::uniform(200, 1500, 3));
+        let algo = Bfs::from_root(0);
+        let full = try_run_on(&algo, &g, cfg32()).expect("full run converges");
+        assert!(full.stats.cycles > 16, "graph too small to interrupt");
+        let limit = full.stats.cycles / 2;
+        let run = |ff: bool| {
+            let mut c = cfg32();
+            c.cycle_limit = Some(limit);
+            c.fast_forward = ff;
+            try_run_on(&algo, &g, c)
+        };
+        match (run(false), run(true)) {
+            (
+                Err(SimError::DeadlineExceeded {
+                    cycle: ca,
+                    partial: pa,
+                }),
+                Err(SimError::DeadlineExceeded {
+                    cycle: cb,
+                    partial: pb,
+                }),
+            ) => {
+                assert_eq!(ca, limit, "deadline lands on exactly the limit cycle");
+                assert_eq!(cb, limit);
+                assert_eq!(pa, pb, "partial counters diverge between modes");
+                assert_eq!(pa.cycles, limit);
+            }
+            (a, b) => panic!("expected identical deadlines, got {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_signals_map_to_typed_errors() {
+        let g = Csr::from_edges(100, &generators::uniform(100, 600, 9));
+        let algo = Bfs::from_root(0);
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        match Simulator::try_new(&algo, &g, cfg32())
+            .and_then(|mut s| s.try_run_cancellable(&cancelled))
+        {
+            Err(SimError::Cancelled { cycle, partial }) => {
+                assert!(cycle >= 1);
+                assert_eq!(partial.cycles, cycle);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let expired = CancelToken::new();
+        expired.expire();
+        match Simulator::try_new(&algo, &g, cfg32())
+            .and_then(|mut s| s.try_run_cancellable(&expired))
+        {
+            Err(SimError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsignalled_token_leaves_the_run_bit_identical() {
+        let g = Csr::from_edges(150, &generators::uniform(150, 900, 5));
+        let algo = Bfs::from_root(0);
+        let plain = try_run_on(&algo, &g, cfg32()).expect("plain run converges");
+        let token = CancelToken::new();
+        let controlled = Simulator::try_new(&algo, &g, cfg32())
+            .and_then(|mut s| s.try_run_cancellable(&token))
+            .expect("controlled run converges");
+        assert_eq!(plain.stats, controlled.stats);
+        assert_eq!(plain.properties, controlled.properties);
+        assert_eq!(plain.frontier_sizes, controlled.frontier_sizes);
     }
 }

@@ -1,0 +1,126 @@
+//! Per-scenario circuit breaker.
+//!
+//! A corpus often contains many jobs that are the *same scenario* under
+//! different names (re-submissions, sweep duplicates, fuzz re-runs). When
+//! one of them wedges or dies deterministically, burning a full deadline +
+//! retry budget on every clone wastes most of the batch's wall clock. The
+//! breaker counts consecutive failures per behavioral
+//! [fingerprint](scalagraph_conformance::Scenario::fingerprint) and, once a
+//! threshold is hit, quarantines further clones instantly.
+//!
+//! One success closes the breaker for that fingerprint (the classic
+//! consecutive-failure breaker, without a half-open timer: batch runs are
+//! finite, so probing is pointless).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Breaker verdict for a fingerprint about to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Run it.
+    Closed,
+    /// Quarantine it: `failures` consecutive failures already observed.
+    Open {
+        /// Consecutive failures recorded when the breaker opened.
+        failures: u32,
+    },
+}
+
+/// Counts consecutive failures per scenario fingerprint.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    consecutive: Mutex<HashMap<u64, u32>>,
+}
+
+impl CircuitBreaker {
+    /// Opens after `threshold` consecutive failures of one fingerprint.
+    /// `threshold == 0` disables the breaker entirely.
+    pub fn new(threshold: u32) -> Self {
+        CircuitBreaker {
+            threshold,
+            consecutive: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, u32>> {
+        self.consecutive
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Verdict for a job with this fingerprint.
+    pub fn check(&self, fingerprint: u64) -> BreakerState {
+        if self.threshold == 0 {
+            return BreakerState::Closed;
+        }
+        match self.lock().get(&fingerprint) {
+            Some(&failures) if failures >= self.threshold => BreakerState::Open { failures },
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Records a success, closing the breaker for this fingerprint.
+    pub fn record_success(&self, fingerprint: u64) {
+        self.lock().remove(&fingerprint);
+    }
+
+    /// Records a failure. Returns `true` when this failure is the one that
+    /// opened the breaker (for the `breaker_opened` counter).
+    pub fn record_failure(&self, fingerprint: u64) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let mut map = self.lock();
+        let failures = map.entry(fingerprint).or_insert(0);
+        *failures += 1;
+        *failures == self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3);
+        assert_eq!(b.check(7), BreakerState::Closed);
+        assert!(!b.record_failure(7));
+        assert!(!b.record_failure(7));
+        assert_eq!(b.check(7), BreakerState::Closed, "threshold not yet hit");
+        assert!(b.record_failure(7), "third failure opens the breaker");
+        assert_eq!(b.check(7), BreakerState::Open { failures: 3 });
+        // Other fingerprints are unaffected.
+        assert_eq!(b.check(8), BreakerState::Closed);
+    }
+
+    #[test]
+    fn a_success_resets_the_streak() {
+        let b = CircuitBreaker::new(2);
+        b.record_failure(1);
+        b.record_success(1);
+        assert!(!b.record_failure(1), "streak restarted");
+        assert_eq!(b.check(1), BreakerState::Closed);
+        assert!(b.record_failure(1));
+        assert_eq!(b.check(1), BreakerState::Open { failures: 2 });
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let b = CircuitBreaker::new(0);
+        for _ in 0..100 {
+            assert!(!b.record_failure(9));
+        }
+        assert_eq!(b.check(9), BreakerState::Closed);
+    }
+
+    #[test]
+    fn opened_is_reported_exactly_once() {
+        let b = CircuitBreaker::new(2);
+        assert!(!b.record_failure(5));
+        assert!(b.record_failure(5));
+        assert!(!b.record_failure(5), "already open: not a new transition");
+    }
+}

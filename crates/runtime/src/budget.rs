@@ -1,0 +1,289 @@
+//! Resource budgets with graceful degradation.
+//!
+//! A batch endpoint cannot let one 10-billion-edge scenario monopolize the
+//! host. Budgets put ceilings on the two resources a scenario can demand —
+//! estimated graph memory and simulated cycles — *before* anything is
+//! built. Instead of flatly refusing over-budget work, the planner degrades
+//! it: the graph family is halved until its estimate fits (the job is
+//! tagged `degraded` so the caller knows the result is for a scaled-down
+//! input), and the cycle ceiling becomes a deterministic
+//! [`cycle_limit`](scalagraph::ScalaGraphConfig::cycle_limit). Only a
+//! budget no minimal scenario can fit yields a hard
+//! [`FailureReason::OverBudget`].
+
+use scalagraph_conformance::scenario::{AlgoSpec, Family};
+use scalagraph_conformance::{GraphSpec, Scenario};
+
+use crate::job::FailureReason;
+
+/// Ceilings one job may not exceed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceBudgets {
+    /// Simulated-cycle ceiling, enforced as a deterministic
+    /// `cycle_limit` (the job ends `DeadlineExceeded` on exactly that
+    /// cycle in any execution mode).
+    pub max_cycles: Option<u64>,
+    /// Ceiling on [`estimated_graph_bytes`].
+    pub max_graph_bytes: Option<u64>,
+}
+
+/// Estimated resident bytes of the CSR a [`GraphSpec`] builds, derived
+/// from the generator parameters alone (nothing is built): ~16 bytes of
+/// per-vertex bookkeeping (offsets, in-degrees, property slots) plus 8
+/// bytes per directed edge (destination + weight), doubled when the spec
+/// symmetrizes.
+pub fn estimated_graph_bytes(spec: &GraphSpec) -> u64 {
+    let vertices = spec.family.vertices() as u64;
+    let directed = spec.family.edges() as u64 * if spec.symmetrize { 2 } else { 1 };
+    vertices * 16 + directed * 8
+}
+
+/// What the planner decided for one job.
+#[derive(Debug, Clone)]
+pub struct BudgetPlan {
+    /// The scenario to actually run (possibly scaled down).
+    pub scenario: Scenario,
+    /// Whether the scenario was scaled down to fit its budget.
+    pub degraded: bool,
+    /// Deterministic cycle ceiling to apply, if any.
+    pub cycle_limit: Option<u64>,
+}
+
+/// Halves a family's size, preserving its shape and seeds. Returns `None`
+/// once the family is already minimal.
+fn halve(family: Family) -> Option<Family> {
+    match family {
+        Family::Rmat {
+            vertices,
+            edges,
+            seed,
+        } => (vertices > 2).then(|| Family::Rmat {
+            vertices: (vertices / 2).max(2),
+            edges: (edges / 2).max(1),
+            seed,
+        }),
+        Family::Uniform {
+            vertices,
+            edges,
+            seed,
+        } => (vertices > 2).then(|| Family::Uniform {
+            vertices: (vertices / 2).max(2),
+            edges: (edges / 2).max(1),
+            seed,
+        }),
+        Family::Path { vertices } => (vertices > 2).then(|| Family::Path {
+            vertices: (vertices / 2).max(2),
+        }),
+        Family::Star { vertices } => (vertices > 2).then(|| Family::Star {
+            vertices: (vertices / 2).max(2),
+        }),
+        Family::BinaryTree { vertices } => (vertices > 2).then(|| Family::BinaryTree {
+            vertices: (vertices / 2).max(2),
+        }),
+        Family::Grid { rows, cols } => {
+            if rows > 1 {
+                Some(Family::Grid {
+                    rows: (rows / 2).max(1),
+                    cols,
+                })
+            } else if cols > 2 {
+                Some(Family::Grid {
+                    rows,
+                    cols: (cols / 2).max(2),
+                })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Keeps a rooted algorithm's root inside a (possibly shrunken) vertex
+/// range.
+fn clamp_root(algo: AlgoSpec, vertices: usize) -> AlgoSpec {
+    let clamp = |root: u32| root.min(vertices.saturating_sub(1) as u32);
+    match algo {
+        AlgoSpec::Bfs { root } => AlgoSpec::Bfs { root: clamp(root) },
+        AlgoSpec::Sssp { root } => AlgoSpec::Sssp { root: clamp(root) },
+        AlgoSpec::WidestPath { root } => AlgoSpec::WidestPath { root: clamp(root) },
+        other => other,
+    }
+}
+
+impl ResourceBudgets {
+    /// No ceilings.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Plans a job: degrades the scenario until it fits the graph-byte
+    /// budget and translates the cycle budget into a `cycle_limit`.
+    ///
+    /// # Errors
+    ///
+    /// [`FailureReason::OverBudget`] when even the minimal degradation of
+    /// the scenario exceeds `max_graph_bytes`.
+    pub fn plan(&self, scenario: &Scenario) -> Result<BudgetPlan, FailureReason> {
+        let mut planned = scenario.clone();
+        let mut degraded = false;
+        if let Some(budget) = self.max_graph_bytes {
+            while estimated_graph_bytes(&planned.graph) > budget {
+                match halve(planned.graph.family) {
+                    Some(smaller) => {
+                        planned.graph.family = smaller;
+                        degraded = true;
+                    }
+                    None => {
+                        return Err(FailureReason::OverBudget {
+                            estimated: estimated_graph_bytes(&planned.graph),
+                            budget,
+                        });
+                    }
+                }
+            }
+            if degraded {
+                planned.algo = clamp_root(planned.algo, planned.graph.family.vertices());
+            }
+        }
+        Ok(BudgetPlan {
+            scenario: planned,
+            degraded,
+            cycle_limit: self.max_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalagraph_conformance::scenario::{ConfigSpec, Expectation, ModeMatrix};
+
+    fn scenario(family: Family) -> Scenario {
+        Scenario {
+            name: "budget-test".into(),
+            graph: GraphSpec {
+                family,
+                symmetrize: false,
+                max_weight: 0,
+                weight_seed: 0,
+            },
+            algo: AlgoSpec::Bfs { root: 40 },
+            config: ConfigSpec::small(),
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::sim_only(),
+            expect: Expectation::Converge,
+            strict_frontier: None,
+            synthetic_bug: false,
+        }
+    }
+
+    #[test]
+    fn estimate_scales_with_symmetrization() {
+        let mut spec = scenario(Family::Uniform {
+            vertices: 100,
+            edges: 500,
+            seed: 1,
+        })
+        .graph;
+        let directed = estimated_graph_bytes(&spec);
+        spec.symmetrize = true;
+        let sym = estimated_graph_bytes(&spec);
+        assert_eq!(directed, 100 * 16 + 500 * 8);
+        assert_eq!(sym, 100 * 16 + 1000 * 8);
+    }
+
+    #[test]
+    fn within_budget_passes_through_untouched() {
+        let s = scenario(Family::Uniform {
+            vertices: 64,
+            edges: 256,
+            seed: 3,
+        });
+        let plan = ResourceBudgets {
+            max_cycles: Some(10_000),
+            max_graph_bytes: Some(1 << 20),
+        }
+        .plan(&s)
+        .unwrap();
+        assert!(!plan.degraded);
+        assert_eq!(plan.scenario, s);
+        assert_eq!(plan.cycle_limit, Some(10_000));
+    }
+
+    #[test]
+    fn oversized_scenarios_are_halved_until_they_fit() {
+        let s = scenario(Family::Uniform {
+            vertices: 4096,
+            edges: 65_536,
+            seed: 3,
+        });
+        let budget = 20_000u64;
+        let plan = ResourceBudgets {
+            max_cycles: None,
+            max_graph_bytes: Some(budget),
+        }
+        .plan(&s)
+        .unwrap();
+        assert!(plan.degraded);
+        assert!(estimated_graph_bytes(&plan.scenario.graph) <= budget);
+        // Shape and seed survive; only the size shrinks.
+        match plan.scenario.graph.family {
+            Family::Uniform { seed, vertices, .. } => {
+                assert_eq!(seed, 3);
+                assert!(vertices < 4096);
+                // The root was clamped into the shrunken range.
+                match plan.scenario.algo {
+                    AlgoSpec::Bfs { root } => assert!((root as usize) < vertices),
+                    ref other => panic!("algo changed: {other:?}"),
+                }
+            }
+            ref other => panic!("family changed shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_budgets_fail_with_over_budget() {
+        let s = scenario(Family::Path { vertices: 64 });
+        let err = ResourceBudgets {
+            max_cycles: None,
+            max_graph_bytes: Some(10),
+        }
+        .plan(&s)
+        .unwrap_err();
+        match err {
+            FailureReason::OverBudget { estimated, budget } => {
+                assert_eq!(budget, 10);
+                assert!(estimated > 10);
+            }
+            other => panic!("wrong reason: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grids_shrink_rows_then_columns() {
+        let mut family = Family::Grid { rows: 4, cols: 4 };
+        family = halve(family).unwrap();
+        assert_eq!(family, Family::Grid { rows: 2, cols: 4 });
+        family = halve(halve(family).unwrap()).unwrap();
+        assert_eq!(family, Family::Grid { rows: 1, cols: 2 });
+        assert!(halve(family).is_none(), "minimal grid cannot shrink");
+    }
+
+    #[test]
+    fn degraded_scenarios_still_build() {
+        let s = scenario(Family::Rmat {
+            vertices: 1 << 14,
+            edges: 1 << 17,
+            seed: 9,
+        });
+        let plan = ResourceBudgets {
+            max_cycles: None,
+            max_graph_bytes: Some(4096),
+        }
+        .plan(&s)
+        .unwrap();
+        assert!(plan.degraded);
+        plan.scenario.graph.build().expect("degraded graph builds");
+    }
+}

@@ -1,0 +1,70 @@
+//! Resilient batch-execution runtime for simulation-as-a-service.
+//!
+//! This crate is the single entry point for running conformance
+//! [`Scenario`](scalagraph_conformance::Scenario)s *at scale*: hundreds of
+//! jobs, bounded resources, and hostile inputs (wedges, panics, fault
+//! storms) that must never take the service down with them. The design is
+//! a classic supervised worker pool, specialized for a cycle-accurate
+//! simulator whose jobs can only be stopped *cooperatively*:
+//!
+//! | layer | module | guarantee |
+//! |-------|--------|-----------|
+//! | admission control | [`queue`] | bounded, two-lane, typed [`Rejection`](job::Rejection) instead of unbounded growth |
+//! | deadlines & cancellation | [`batch`] + [`runner`] | wall-clock deadlines expire a [`CancelToken`](scalagraph::CancelToken) polled in the simulator hot loop |
+//! | retries | [`retry`] | transient fault casualties retry with seeded deterministic backoff |
+//! | circuit breaker | [`breaker`] | repeat offenders (same scenario fingerprint) are quarantined |
+//! | resource budgets | [`budget`] | oversized jobs degrade gracefully, tagged `degraded` |
+//! | panic isolation | [`batch`] | `catch_unwind` per attempt; a panicking job is one failed outcome |
+//!
+//! The load-bearing invariant is the **ledger**: every submitted job lands
+//! in exactly one terminal bucket, so
+//! `submitted == completed + failed + cancelled + rejected` after every
+//! batch ([`BatchReport::balanced`]).
+//!
+//! ```
+//! use scalagraph_runtime::{BatchRuntime, JobSpec, RuntimeConfig};
+//! # use scalagraph_conformance::scenario::{AlgoSpec, ConfigSpec, Expectation, Family, ModeMatrix};
+//! # use scalagraph_conformance::{GraphSpec, Scenario};
+//! # let scenario = Scenario {
+//! #     name: "doc".into(),
+//! #     graph: GraphSpec {
+//! #         family: Family::Uniform { vertices: 64, edges: 256, seed: 7 },
+//! #         symmetrize: false,
+//! #         max_weight: 0,
+//! #         weight_seed: 0,
+//! #     },
+//! #     algo: AlgoSpec::Bfs { root: 0 },
+//! #     config: ConfigSpec::small(),
+//! #     fault_seed: 0,
+//! #     faults: Vec::new(),
+//! #     modes: ModeMatrix::sim_only(),
+//! #     expect: Expectation::Converge,
+//! #     strict_frontier: None,
+//! #     synthetic_bug: false,
+//! # };
+//! let runtime = BatchRuntime::new(RuntimeConfig::default());
+//! let report = runtime.run(vec![JobSpec::new(scenario)]);
+//! assert!(report.balanced());
+//! assert_eq!(report.counters.completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod batch;
+pub mod breaker;
+pub mod budget;
+pub mod job;
+pub mod queue;
+pub mod retry;
+pub mod runner;
+
+pub use batch::{BatchReport, BatchRuntime, RuntimeConfig};
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use budget::{estimated_graph_bytes, BudgetPlan, ResourceBudgets};
+pub use job::{
+    FailureReason, JobId, JobMetrics, JobOutcome, JobSpec, JobStatus, Priority, Rejection,
+};
+pub use queue::AdmissionQueue;
+pub use retry::RetryPolicy;
+pub use runner::{run_attempt, AttemptError, AttemptOverrides};

@@ -1,0 +1,161 @@
+//! Deterministic retry policy with seeded exponential backoff.
+//!
+//! Only *transient* errors are retried: fault-injection casualties
+//! ([`SimError::FaultUnrecoverable`]) whose probabilistic fault stream can
+//! resolve differently under a reseeded attempt. Deterministic failures —
+//! wedges, config errors, protocol violations — retry into the exact same
+//! wall, so they fail fast instead.
+//!
+//! Backoff is a pure function of `(policy seed, scenario fingerprint,
+//! attempt)`: replaying a batch replays its backoff schedule, which keeps
+//! soak runs reproducible down to the sleep pattern.
+
+use std::time::Duration;
+
+use scalagraph::SimError;
+use scalagraph_conformance::SplitMix64;
+
+/// Retry budget and backoff shape for transient failures.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per job (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Whether `error` is worth another attempt.
+    pub fn is_transient(error: &SimError) -> bool {
+        matches!(error, SimError::FaultUnrecoverable { .. })
+    }
+
+    /// The backoff to sleep before retry number `attempt` (the first retry
+    /// is attempt 2). Exponential with deterministic +/-25% jitter derived
+    /// from `(seed, fingerprint, attempt)`.
+    pub fn backoff(&self, fingerprint: u64, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(2).min(32);
+        let nominal = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings.min(31))
+            .min(self.max_backoff);
+        let mut rng = SplitMix64::new(
+            self.seed ^ fingerprint ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // Map one draw onto [-25%, +25%] of the nominal backoff.
+        let nanos = nominal.as_nanos() as u64;
+        let jitter_span = nanos / 2;
+        let jittered = if jitter_span == 0 {
+            nanos
+        } else {
+            nanos - jitter_span / 2 + rng.next_u64() % jitter_span
+        };
+        Duration::from_nanos(jittered)
+    }
+
+    /// The fault seed attempt number `attempt` should run with, derived
+    /// deterministically from the scenario's own seed. Attempt 1 preserves
+    /// the scenario verbatim; retries perturb the probabilistic fault
+    /// stream (drop/corrupt chances) while keeping scheduled fault windows
+    /// intact.
+    pub fn reseed(original: u64, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            original
+        } else {
+            original ^ (attempt as u64).wrapping_mul(0xD134_2543_DE82_EF95)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            seed: 42,
+        };
+        for attempt in 2..=5 {
+            let a = p.backoff(0xABCD, attempt);
+            let b = p.backoff(0xABCD, attempt);
+            assert_eq!(a, b, "same inputs, same backoff");
+            assert!(
+                a <= p.max_backoff + p.max_backoff / 4,
+                "attempt {attempt}: {a:?} beyond jittered ceiling"
+            );
+            assert!(
+                a >= p.base_backoff / 2,
+                "attempt {attempt}: {a:?} too small"
+            );
+        }
+        assert_ne!(
+            p.backoff(0xABCD, 2),
+            p.backoff(0xABCE, 2),
+            "fingerprint feeds the jitter stream"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_geometrically_before_the_ceiling() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(8),
+            max_backoff: Duration::from_secs(60),
+            seed: 0,
+        };
+        // Nominal values double; jitter is within +/-25%, so attempt n+1
+        // must exceed attempt n whenever the nominal doubles.
+        let early = p.backoff(7, 2);
+        let late = p.backoff(7, 5);
+        assert!(late > early, "{late:?} vs {early:?}");
+    }
+
+    #[test]
+    fn reseed_preserves_attempt_one() {
+        assert_eq!(RetryPolicy::reseed(99, 1), 99);
+        assert_ne!(RetryPolicy::reseed(99, 2), 99);
+        assert_ne!(RetryPolicy::reseed(99, 2), RetryPolicy::reseed(99, 3));
+        // Deterministic.
+        assert_eq!(RetryPolicy::reseed(99, 2), RetryPolicy::reseed(99, 2));
+    }
+
+    #[test]
+    fn only_fault_casualties_are_transient() {
+        let transient = SimError::FaultUnrecoverable {
+            detail: "link down".into(),
+            cycle: 10,
+        };
+        assert!(RetryPolicy::is_transient(&transient));
+        let config = SimError::ConfigInvalid {
+            detail: "bad".into(),
+        };
+        assert!(!RetryPolicy::is_transient(&config));
+    }
+}

@@ -1,0 +1,240 @@
+//! One attempt of one scenario under runtime control.
+//!
+//! The runner is the bridge between the batch layer and the simulator: it
+//! builds the scenario exactly the way the conformance oracle does (same
+//! graph construction, same config assembly, same root checks), then runs
+//! the ScalaGraph engine *cancellably* — threading the worker's
+//! [`CancelToken`] and any budget-derived cycle ceiling into the hot loop.
+//! Retries enter here too: an attempt can override the scenario's fault
+//! seed so a probabilistic fault stream rolls differently.
+
+use scalagraph::{CancelToken, SimError, Simulator};
+use scalagraph_algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp, WidestPath};
+use scalagraph_algo::Algorithm;
+use scalagraph_conformance::scenario::AlgoSpec;
+use scalagraph_conformance::Scenario;
+use scalagraph_graph::Csr;
+
+use crate::job::JobMetrics;
+
+/// Per-attempt knobs layered on top of the scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttemptOverrides {
+    /// Deterministic simulated-cycle ceiling (from resource budgets); the
+    /// engine ends the run with `SimError::DeadlineExceeded` on exactly
+    /// this cycle. Merged (min) with any ceiling the config already has.
+    pub cycle_limit: Option<u64>,
+    /// Replacement fault seed (retry reseeding). `None` keeps the
+    /// scenario's own seed.
+    pub fault_seed: Option<u64>,
+}
+
+/// Why an attempt did not complete.
+#[derive(Debug)]
+pub enum AttemptError {
+    /// The scenario itself is unusable (bad graph spec, out-of-range
+    /// root, invalid config). Never retried.
+    Malformed(String),
+    /// The simulation surfaced a typed error — including cooperative
+    /// `Cancelled` / `DeadlineExceeded` terminations.
+    Sim(SimError),
+}
+
+/// Runs one attempt of `scenario`, polling `token` every simulated cycle.
+///
+/// # Errors
+///
+/// [`AttemptError::Malformed`] for unusable scenarios,
+/// [`AttemptError::Sim`] for every in-simulation termination (faults,
+/// wedges, cancellation, deadlines).
+pub fn run_attempt(
+    scenario: &Scenario,
+    overrides: AttemptOverrides,
+    token: &CancelToken,
+) -> Result<JobMetrics, AttemptError> {
+    let graph = scenario.graph.build().map_err(AttemptError::Malformed)?;
+    let n = graph.num_vertices() as u32;
+    let root_ok = |root: u32| {
+        if root < n {
+            Ok(())
+        } else {
+            Err(AttemptError::Malformed(format!(
+                "root {root} out of range for {n} vertices"
+            )))
+        }
+    };
+    match scenario.algo {
+        AlgoSpec::Bfs { root } => {
+            root_ok(root)?;
+            run_typed(scenario, &graph, &Bfs::from_root(root), overrides, token)
+        }
+        AlgoSpec::Sssp { root } => {
+            root_ok(root)?;
+            run_typed(scenario, &graph, &Sssp::from_root(root), overrides, token)
+        }
+        AlgoSpec::Cc => run_typed(
+            scenario,
+            &graph,
+            &ConnectedComponents::new(),
+            overrides,
+            token,
+        ),
+        AlgoSpec::PageRank { iters } => {
+            if iters == 0 {
+                return Err(AttemptError::Malformed(
+                    "pagerank needs at least 1 iteration".into(),
+                ));
+            }
+            run_typed(scenario, &graph, &PageRank::new(iters), overrides, token)
+        }
+        AlgoSpec::WidestPath { root } => {
+            root_ok(root)?;
+            run_typed(
+                scenario,
+                &graph,
+                &WidestPath::from_root(root),
+                overrides,
+                token,
+            )
+        }
+    }
+}
+
+fn run_typed<A: Algorithm>(
+    scenario: &Scenario,
+    graph: &Csr,
+    algo: &A,
+    overrides: AttemptOverrides,
+    token: &CancelToken,
+) -> Result<JobMetrics, AttemptError> {
+    let mut cfg = scenario.config.build().map_err(AttemptError::Malformed)?;
+    cfg.fault_plan = match overrides.fault_seed {
+        Some(seed) => {
+            let mut reseeded = scenario.clone();
+            reseeded.fault_seed = seed;
+            reseeded.fault_plan()
+        }
+        None => scenario.fault_plan(),
+    };
+    cfg.fast_forward = scenario.modes.fast_forward;
+    if let Some(limit) = overrides.cycle_limit {
+        cfg.cycle_limit = Some(cfg.cycle_limit.map_or(limit, |own| own.min(limit)));
+    }
+    let result = Simulator::try_new(algo, graph, cfg)
+        .and_then(|mut sim| sim.try_run_cancellable(token))
+        .map_err(AttemptError::Sim)?;
+    Ok(JobMetrics {
+        iterations: result.stats.iterations,
+        cycles: result.stats.cycles,
+        traversed_edges: result.stats.traversed_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalagraph_conformance::scenario::{ConfigSpec, Expectation, Family, ModeMatrix};
+    use scalagraph_conformance::GraphSpec;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            name: "runner-test".into(),
+            graph: GraphSpec {
+                family: Family::Uniform {
+                    vertices: 64,
+                    edges: 256,
+                    seed: 7,
+                },
+                symmetrize: false,
+                max_weight: 0,
+                weight_seed: 0,
+            },
+            algo: AlgoSpec::Bfs { root: 0 },
+            config: ConfigSpec::small(),
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::sim_only(),
+            expect: Expectation::Converge,
+            strict_frontier: None,
+            synthetic_bug: false,
+        }
+    }
+
+    #[test]
+    fn a_healthy_scenario_completes_with_metrics() {
+        let token = CancelToken::new();
+        let metrics = run_attempt(&scenario(), AttemptOverrides::default(), &token)
+            .expect("scenario converges");
+        assert!(metrics.iterations > 0);
+        assert!(metrics.cycles > 0);
+        assert!(metrics.traversed_edges > 0);
+    }
+
+    #[test]
+    fn out_of_range_roots_are_malformed_not_sim_errors() {
+        let mut s = scenario();
+        s.algo = AlgoSpec::Bfs { root: 10_000 };
+        let token = CancelToken::new();
+        match run_attempt(&s, AttemptOverrides::default(), &token) {
+            Err(AttemptError::Malformed(msg)) => assert!(msg.contains("out of range"), "{msg}"),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_iteration_pagerank_is_malformed() {
+        let mut s = scenario();
+        s.algo = AlgoSpec::PageRank { iters: 0 };
+        let token = CancelToken::new();
+        assert!(matches!(
+            run_attempt(&s, AttemptOverrides::default(), &token),
+            Err(AttemptError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn cycle_limit_override_surfaces_deadline_exceeded() {
+        let token = CancelToken::new();
+        let overrides = AttemptOverrides {
+            cycle_limit: Some(5),
+            fault_seed: None,
+        };
+        match run_attempt(&scenario(), overrides, &token) {
+            Err(AttemptError::Sim(SimError::DeadlineExceeded { cycle, partial })) => {
+                assert_eq!(cycle, 5);
+                assert_eq!(partial.cycles, 5);
+            }
+            other => panic!("expected deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_pre_cancelled_token_stops_the_attempt_immediately() {
+        let token = CancelToken::new();
+        token.cancel();
+        match run_attempt(&scenario(), AttemptOverrides::default(), &token) {
+            Err(AttemptError::Sim(SimError::Cancelled { cycle, .. })) => {
+                assert!(cycle >= 1, "token polled on the first stepped cycle");
+            }
+            other => panic!("expected cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_seed_override_changes_the_plan_seed_only() {
+        // Reseeding without faults is a no-op plan either way.
+        let s = scenario();
+        let token = CancelToken::new();
+        let base = run_attempt(&s, AttemptOverrides::default(), &token).expect("base run");
+        let reseeded = run_attempt(
+            &s,
+            AttemptOverrides {
+                cycle_limit: None,
+                fault_seed: Some(99),
+            },
+            &token,
+        )
+        .expect("reseeded run");
+        assert_eq!(base, reseeded, "no faults: seed override must not matter");
+    }
+}

@@ -45,8 +45,10 @@
 
 pub mod export;
 pub mod recorder;
+pub mod service;
 
 pub use recorder::{PeakLink, Recorder, TelemetrySummary};
+pub use service::{ServiceCounters, ServiceMetrics};
 
 /// Router output-port direction indices, matching the engine's encoding:
 /// 0 = eject (local scratchpad), 1..=4 the four mesh directions.

@@ -14,6 +14,23 @@
 //!   replay checked-in conformance scenarios through the differential
 //!   oracle and print each report. Exits non-zero on any mismatch.
 //!
+//! scalagraph-sim batch [options] <scenario.json | dir> [...]
+//!   run conformance scenarios through the resilient batch runtime
+//!   (directories expand to their *.json files, sorted). Prints one
+//!   outcome record per job plus the runtime ledger. Exits 0 when the
+//!   ledger balances, 1 on an unbalanced ledger or --strict violation,
+//!   2 on usage errors.
+//!   --workers <n>             worker threads                    [4]
+//!   --queue-cap <n>           admission queue capacity          [256]
+//!   --deadline-ms <ms>        per-job wall-clock deadline       [none]
+//!   --global-deadline-ms <ms> whole-batch wall-clock ceiling    [none]
+//!   --retries <n>             max attempts per job              [3]
+//!   --breaker <n>             breaker threshold, 0 disables     [3]
+//!   --max-cycles <n>          per-job simulated-cycle budget    [none]
+//!   --max-graph-bytes <n>     per-job graph-memory budget       [none]
+//!   --inject-panic <name>     panic the worker on this scenario (test hook)
+//!   --strict                  exit 1 unless every job completed
+//!
 //! scalagraph-sim [options]
 //!   --algo <bfs|sssp|cc|pagerank>   algorithm            [bfs]
 //!   --graph <PK|LJ|OR|RM|TW|FL>     dataset stand-in     [PK]
@@ -52,6 +69,7 @@ use scalagraph_suite::algo::Algorithm;
 use scalagraph_suite::baselines::{GraphDyns, GraphDynsConfig};
 use scalagraph_suite::conformance::{self, Scenario};
 use scalagraph_suite::graph::{io, Csr, Dataset, EdgeList};
+use scalagraph_suite::runtime::{BatchRuntime, JobSpec, JobStatus, RuntimeConfig};
 use scalagraph_suite::scalagraph::{Mapping, ScalaGraphConfig, SimResult, Simulator};
 use scalagraph_suite::telemetry::Recorder;
 use std::collections::HashMap;
@@ -370,11 +388,159 @@ fn cmd_replay(paths: &[String]) -> ! {
     exit(if failed { 1 } else { 0 })
 }
 
+/// `scalagraph-sim batch`: run scenarios through the resilient batch
+/// runtime.
+fn cmd_batch(rest: &[String]) -> ! {
+    let mut config = RuntimeConfig::default();
+    let mut strict = false;
+    let mut inject_panic: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| usage_and_exit(&format!("{flag} needs a value")))
+        };
+        let parse_u64 = |flag: &str, v: String| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| usage_and_exit(&format!("{flag} needs a non-negative integer")))
+        };
+        match a.as_str() {
+            "--workers" => {
+                config.workers = parse_u64("--workers", value("--workers")).max(1) as usize
+            }
+            "--queue-cap" => {
+                config.queue_capacity =
+                    parse_u64("--queue-cap", value("--queue-cap")).max(1) as usize
+            }
+            "--deadline-ms" => {
+                config.default_deadline = Some(std::time::Duration::from_millis(parse_u64(
+                    "--deadline-ms",
+                    value("--deadline-ms"),
+                )))
+            }
+            "--global-deadline-ms" => {
+                config.global_deadline = Some(std::time::Duration::from_millis(parse_u64(
+                    "--global-deadline-ms",
+                    value("--global-deadline-ms"),
+                )))
+            }
+            "--retries" => {
+                config.retry.max_attempts = parse_u64("--retries", value("--retries")).max(1) as u32
+            }
+            "--breaker" => {
+                config.breaker_threshold = parse_u64("--breaker", value("--breaker")) as u32
+            }
+            "--max-cycles" => {
+                config.budgets.max_cycles = Some(parse_u64("--max-cycles", value("--max-cycles")))
+            }
+            "--max-graph-bytes" => {
+                config.budgets.max_graph_bytes =
+                    Some(parse_u64("--max-graph-bytes", value("--max-graph-bytes")))
+            }
+            "--inject-panic" => inject_panic = Some(value("--inject-panic")),
+            "--strict" => strict = true,
+            other if other.starts_with("--") => {
+                usage_and_exit(&format!("unknown batch flag `{other}`"))
+            }
+            path => inputs.push(path.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        usage_and_exit("batch needs at least one scenario file or directory");
+    }
+
+    // Expand directories to their sorted *.json files.
+    let mut paths: Vec<String> = Vec::new();
+    for input in &inputs {
+        if std::fs::metadata(input)
+            .map(|m| m.is_dir())
+            .unwrap_or(false)
+        {
+            let mut found: Vec<String> = std::fs::read_dir(input)
+                .map(|entries| {
+                    entries
+                        .filter_map(Result::ok)
+                        .map(|e| e.path().to_string_lossy().into_owned())
+                        .filter(|p| p.ends_with(".json"))
+                        .collect()
+                })
+                .unwrap_or_else(|e| {
+                    eprintln!("error: could not read directory {input}: {e}");
+                    exit(2)
+                });
+            found.sort();
+            if found.is_empty() {
+                eprintln!("error: directory {input} contains no .json scenarios");
+                exit(2);
+            }
+            paths.extend(found);
+        } else {
+            paths.push(input.clone());
+        }
+    }
+
+    let specs: Vec<JobSpec> = paths
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: could not read {path}: {e}");
+                exit(2)
+            });
+            let scenario = Scenario::from_json_str(&text).unwrap_or_else(|e| {
+                eprintln!("error: {path} is not a valid scenario: {e}");
+                exit(2)
+            });
+            let mut spec = JobSpec::new(scenario);
+            if inject_panic.as_deref() == Some(spec.scenario.name.as_str()) {
+                spec.inject_panic = true;
+            }
+            spec
+        })
+        .collect();
+
+    println!(
+        "batch: {} jobs, {} workers, queue capacity {}",
+        specs.len(),
+        config.workers,
+        config.queue_capacity
+    );
+    let report = BatchRuntime::new(config).run(specs);
+    for outcome in &report.outcomes {
+        println!("{outcome}");
+    }
+    println!("\n{}", report.render());
+
+    let balanced = report.balanced();
+    let leak_free = report.workers_joined == report.workers_spawned;
+    if !balanced {
+        eprintln!("error: ledger is unbalanced");
+    }
+    if !leak_free {
+        eprintln!("error: worker threads leaked");
+    }
+    let strict_ok = !strict
+        || report
+            .outcomes
+            .iter()
+            .all(|o| matches!(o.status, JobStatus::Completed { .. }));
+    if strict && !strict_ok {
+        eprintln!("error: --strict set and not every job completed");
+    }
+    exit(if balanced && leak_free && strict_ok {
+        0
+    } else {
+        1
+    })
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match raw.first().map(String::as_str) {
         Some("fuzz") => cmd_fuzz(&raw[1..]),
         Some("replay") => cmd_replay(&raw[1..]),
+        Some("batch") => cmd_batch(&raw[1..]),
         _ => {}
     }
     let args = parse_args();
