@@ -1,21 +1,29 @@
 //! `bench_hotloop` — end-to-end timing of the hot-loop optimisations.
 //!
 //! Runs a fixed R-MAT workload through an HBM-latency sensitivity sweep
-//! twice: once sequentially with fast-forward off (the pre-optimisation
-//! baseline) and once on the default thread pool with fast-forward on.
-//! Asserts the two sweeps produce bit-identical metrics, then writes
-//! `BENCH_hotloop.json` reporting simulated-cycles/sec, sweep wall-clock,
-//! and the end-to-end speedup.
+//! three times: sequentially with fast-forward off (the pre-optimisation
+//! baseline), on the thread pool with idle-cycle fast-forward, and on the
+//! thread pool with the event-driven stepping core. Asserts all three
+//! sweeps produce bit-identical metrics, then writes `BENCH_hotloop.json`
+//! reporting simulated-cycles/sec, sweep wall-clock, the end-to-end
+//! speedups, and — per configuration — the busy-cycle fraction (the share
+//! of unit-visits the event core actually executed) plus single-threaded
+//! fast-forward vs event-driven cycles/sec. Busy-dominated configurations
+//! are exactly where whole-device fast-forward stops helping and per-unit
+//! skipping has to carry the win.
 //!
 //! ```text
 //! bench_hotloop [--out <path>] [--check <path>] [--threads <n>]
 //!   --out <path>     where to write the JSON        [BENCH_hotloop.json]
 //!   --check <path>   compare against a previously written JSON and exit
-//!                    nonzero if optimized cycles/sec regressed >20%
-//!   --threads <n>    worker threads for the optimized sweep [all cores]
+//!                    nonzero if optimized or event-driven cycles/sec
+//!                    regressed >20%
+//!   --threads <n>    worker threads for the parallel sweeps [all cores]
 //! ```
 
-use scalagraph::{MemoryPreset, ScalaGraphConfig};
+use scalagraph::telemetry::Recorder;
+use scalagraph::{MemoryPreset, ScalaGraphConfig, Simulator};
+use scalagraph_algo::algorithms::Bfs;
 use scalagraph_bench::runners::{sweep_scalagraph_with, SweepRecord};
 use scalagraph_bench::sweep::default_threads;
 use scalagraph_bench::workloads::{PreparedGraph, Workload};
@@ -33,6 +41,9 @@ const RMAT_SEED: u64 = 42;
 /// matters, because deeper memory pipelines mean longer quiescent waits.
 const LATENCIES: &[u32] = &[64, 128, 256, 384, 512];
 
+/// Repetitions for the single-threaded per-config timings.
+const PER_CONFIG_REPS: u32 = 8;
+
 fn workload() -> PreparedGraph {
     let graph = Csr::from_edges(
         RMAT_VERTICES,
@@ -42,7 +53,22 @@ fn workload() -> PreparedGraph {
     PreparedGraph { graph, root }
 }
 
-fn configs(fast_forward: bool) -> Vec<(String, ScalaGraphConfig)> {
+/// The three execution modes under comparison.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Sequential stepping, no skipping: the pre-optimisation baseline.
+    Stepped,
+    /// Whole-device idle-cycle fast-forward.
+    FastForward,
+    /// Per-unit activity calendar: step only units with scheduled work.
+    EventDriven,
+}
+
+fn configs(mode: Mode) -> Vec<(String, ScalaGraphConfig)> {
+    let apply = |cfg: &mut ScalaGraphConfig| {
+        cfg.fast_forward = mode != Mode::Stepped;
+        cfg.event_driven = mode == Mode::EventDriven;
+    };
     let mut out = Vec::new();
     for &lat in LATENCIES {
         let mut cfg = ScalaGraphConfig::with_pes(512);
@@ -50,13 +76,14 @@ fn configs(fast_forward: bool) -> Vec<(String, ScalaGraphConfig)> {
         let mut hbm = HbmConfig::u280(cfg.effective_clock_mhz() * 1e6);
         hbm.latency_cycles = lat;
         cfg.memory = MemoryPreset::Custom(hbm);
-        cfg.fast_forward = fast_forward;
+        apply(&mut cfg);
         out.push((format!("lat{lat}"), cfg));
     }
     // One busy, pipelined configuration so the sweep also covers the case
-    // fast-forward cannot help (the activity gate keeps it near-free).
+    // whole-device fast-forward cannot help; the event core still skips
+    // individual idle units there.
     let mut cfg = ScalaGraphConfig::with_pes(512);
-    cfg.fast_forward = fast_forward;
+    apply(&mut cfg);
     out.push(("u280-pipelined".to_string(), cfg));
     out
 }
@@ -67,9 +94,9 @@ struct SweepTiming {
     records: Vec<SweepRecord>,
 }
 
-fn timed_sweep(threads: usize, prep: &PreparedGraph, fast_forward: bool) -> SweepTiming {
+fn timed_sweep(threads: usize, prep: &PreparedGraph, mode: Mode) -> SweepTiming {
     let start = Instant::now();
-    let records = sweep_scalagraph_with(threads, prep, Workload::Bfs, configs(fast_forward));
+    let records = sweep_scalagraph_with(threads, prep, Workload::Bfs, configs(mode));
     let wall_seconds = start.elapsed().as_secs_f64();
     let total_cycles = records
         .iter()
@@ -87,12 +114,42 @@ fn cycles_per_sec(t: &SweepTiming) -> f64 {
     t.total_cycles as f64 / t.wall_seconds.max(1e-9)
 }
 
-/// Extracts `"key": <number>` from the `"optimized"` object of a previous
-/// report. Hand-rolled because the JSON is ours and flat.
-fn read_baseline_cps(path: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let opt = text.split("\"optimized\"").nth(1)?;
-    let num = opt.split("\"cycles_per_sec\":").nth(1)?;
+/// Single-threaded cycles/sec of one configuration, best practice warm:
+/// one untimed run, then `PER_CONFIG_REPS` timed ones.
+fn config_cycles_per_sec(prep: &PreparedGraph, cfg: &ScalaGraphConfig) -> f64 {
+    let algo = Bfs::from_root(prep.root);
+    let run = || {
+        Simulator::try_new(&algo, &prep.graph, cfg.clone())
+            .and_then(|mut s| s.try_run())
+            .expect("bench config must converge")
+    };
+    let cycles = run().stats.cycles;
+    let start = Instant::now();
+    for _ in 0..PER_CONFIG_REPS {
+        let _ = run();
+    }
+    let per_run = start.elapsed().as_secs_f64() / f64::from(PER_CONFIG_REPS);
+    cycles as f64 / per_run.max(1e-9)
+}
+
+/// Busy-cycle fraction of one configuration: the share of unit-visits the
+/// event-driven core executed rather than proved idle, from an untimed
+/// recorded run.
+fn config_busy_fraction(prep: &PreparedGraph, cfg: &ScalaGraphConfig) -> f64 {
+    let algo = Bfs::from_root(prep.root);
+    let mut rec = Recorder::new(1000);
+    Simulator::try_new(&algo, &prep.graph, cfg.clone())
+        .and_then(|mut s| s.try_run_with(&mut rec))
+        .expect("bench config must converge");
+    rec.event_busy_fraction()
+        .expect("event-driven run records busy windows")
+}
+
+/// Extracts `"cycles_per_sec": <number>` from the `section` object of a
+/// previous report. Hand-rolled because the JSON is ours and flat.
+fn read_section_cps(text: &str, section: &str) -> Option<f64> {
+    let obj = text.split(&format!("\"{section}\"")).nth(1)?;
+    let num = obj.split("\"cycles_per_sec\":").nth(1)?;
     num.trim_start()
         .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
         .next()?
@@ -129,45 +186,80 @@ fn main() {
         prep.graph.num_vertices(),
         prep.graph.num_edges(),
         RMAT_SEED,
-        configs(true).len()
+        configs(Mode::FastForward).len()
     );
 
-    // Warm-up pass so neither timed sweep pays first-touch costs.
-    let _ = timed_sweep(1, &prep, true);
+    // Warm-up pass so no timed sweep pays first-touch costs.
+    let _ = timed_sweep(1, &prep, Mode::EventDriven);
 
-    let baseline = timed_sweep(1, &prep, false);
-    let optimized = timed_sweep(threads, &prep, true);
+    let baseline = timed_sweep(1, &prep, Mode::Stepped);
+    let optimized = timed_sweep(threads, &prep, Mode::FastForward);
+    let event = timed_sweep(threads, &prep, Mode::EventDriven);
 
     // The whole point: the optimisations must not change a single result.
     assert_eq!(baseline.records.len(), optimized.records.len());
-    for (b, o) in baseline.records.iter().zip(&optimized.records) {
+    assert_eq!(baseline.records.len(), event.records.len());
+    for ((b, o), ev) in baseline
+        .records
+        .iter()
+        .zip(&optimized.records)
+        .zip(&event.records)
+    {
         assert_eq!(b.label, o.label);
-        let (bm, om) = (
-            b.outcome.as_ref().expect("baseline config failed"),
-            o.outcome.as_ref().expect("optimized config failed"),
+        assert_eq!(b.label, ev.label);
+        let bm = b.outcome.as_ref().expect("baseline config failed");
+        let om = o.outcome.as_ref().expect("optimized config failed");
+        let em = ev.outcome.as_ref().expect("event-driven config failed");
+        assert_eq!(bm, om, "fast-forward metrics diverged for {}", b.label);
+        assert_eq!(bm, em, "event-driven metrics diverged for {}", b.label);
+    }
+
+    // Per-config single-threaded comparison: where does per-unit skipping
+    // pay beyond the whole-device jump?
+    let mut per_config = Vec::new();
+    for ((label, ff_cfg), (_, ev_cfg)) in configs(Mode::FastForward)
+        .into_iter()
+        .zip(configs(Mode::EventDriven))
+    {
+        let busy = config_busy_fraction(&prep, &ev_cfg);
+        let ff_cps = config_cycles_per_sec(&prep, &ff_cfg);
+        let ev_cps = config_cycles_per_sec(&prep, &ev_cfg);
+        println!(
+            "  {label:>14}: busy {:5.1}%  ff {ff_cps:>12.0} c/s  event {ev_cps:>12.0} c/s  ({:.2}x)",
+            busy * 100.0,
+            ev_cps / ff_cps.max(1e-9),
         );
-        assert_eq!(bm, om, "metrics diverged for {}", b.label);
+        per_config.push((label, busy, ff_cps, ev_cps));
     }
 
     let speedup = baseline.wall_seconds / optimized.wall_seconds.max(1e-9);
+    let event_speedup = optimized.wall_seconds / event.wall_seconds.max(1e-9);
     println!(
-        "baseline (seq, no-ff) : {:8.1} ms  {:>12.0} cycles/s",
+        "baseline (seq, stepped)  : {:8.1} ms  {:>12.0} cycles/s",
         baseline.wall_seconds * 1e3,
         cycles_per_sec(&baseline)
     );
     println!(
-        "optimized (par, ff)   : {:8.1} ms  {:>12.0} cycles/s  ({threads} threads)",
+        "optimized (par, ff)      : {:8.1} ms  {:>12.0} cycles/s  ({threads} threads)",
         optimized.wall_seconds * 1e3,
         cycles_per_sec(&optimized)
     );
-    println!("end-to-end sweep speedup: {speedup:.2}x (bit-identical results)");
+    println!(
+        "event-driven (par, cal)  : {:8.1} ms  {:>12.0} cycles/s  ({threads} threads)",
+        event.wall_seconds * 1e3,
+        cycles_per_sec(&event)
+    );
+    println!("end-to-end sweep speedup: {speedup:.2}x over stepped, {event_speedup:.2}x over fast-forward (bit-identical results)");
 
     let mut config_lines = Vec::new();
-    for r in &optimized.records {
-        let m = r.outcome.as_ref().expect("optimized config failed");
+    for (r, (label, busy, ff_cps, ev_cps)) in event.records.iter().zip(&per_config) {
+        assert_eq!(&r.label, label);
+        let m = r.outcome.as_ref().expect("event-driven config failed");
         config_lines.push(format!(
-            "    {{ \"label\": \"{}\", \"cycles\": {}, \"traversed_edges\": {} }}",
-            r.label, m.cycles, m.traversed_edges
+            "    {{ \"label\": \"{}\", \"cycles\": {}, \"traversed_edges\": {}, \
+             \"busy_fraction\": {:.4}, \"ff_cycles_per_sec\": {:.0}, \
+             \"event_cycles_per_sec\": {:.0} }}",
+            r.label, m.cycles, m.traversed_edges, busy, ff_cps, ev_cps
         ));
     }
     let json = format!(
@@ -177,7 +269,10 @@ fn main() {
          \"wall_ms\": {bw:.2}, \"cycles_per_sec\": {bc:.0} }},\n  \
          \"optimized\": {{ \"fast_forward\": true, \"threads\": {t}, \
          \"wall_ms\": {ow:.2}, \"cycles_per_sec\": {oc:.0} }},\n  \
-         \"speedup\": {sp:.3},\n  \"bit_identical\": true\n}}\n",
+         \"event_driven\": {{ \"event_driven\": true, \"threads\": {t}, \
+         \"wall_ms\": {ew:.2}, \"cycles_per_sec\": {ec:.0} }},\n  \
+         \"speedup\": {sp:.3},\n  \"event_speedup\": {esp:.3},\n  \
+         \"bit_identical\": true\n}}\n",
         v = RMAT_VERTICES,
         e = RMAT_EDGES,
         s = RMAT_SEED,
@@ -187,19 +282,46 @@ fn main() {
         t = threads,
         ow = optimized.wall_seconds * 1e3,
         oc = cycles_per_sec(&optimized),
+        ew = event.wall_seconds * 1e3,
+        ec = cycles_per_sec(&event),
         sp = speedup,
+        esp = event_speedup,
     );
     std::fs::write(&out_path, json).expect("could not write report");
     println!("wrote {out_path}");
 
     if let Some(path) = check_path {
-        let old = read_baseline_cps(&path)
-            .unwrap_or_else(|| panic!("no optimized cycles_per_sec in {path}"));
-        let new = cycles_per_sec(&optimized);
-        let ratio = new / old;
-        println!("regression check vs {path}: {old:.0} -> {new:.0} cycles/s ({ratio:.2}x)");
-        if ratio < 0.8 {
-            eprintln!("error: cycles/sec regressed more than 20% vs {path}");
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let mut failed = false;
+        // The event-driven gate falls back to the optimized figure for
+        // reports written before the mode existed: the new engine must
+        // clear the bar the old one set, never a lowered one.
+        let checks = [
+            (
+                "optimized",
+                read_section_cps(&text, "optimized"),
+                cycles_per_sec(&optimized),
+            ),
+            (
+                "event_driven",
+                read_section_cps(&text, "event_driven")
+                    .or_else(|| read_section_cps(&text, "optimized")),
+                cycles_per_sec(&event),
+            ),
+        ];
+        for (section, old, new) in checks {
+            let old = old.unwrap_or_else(|| panic!("no {section} cycles_per_sec in {path}"));
+            let ratio = new / old;
+            println!(
+                "regression check [{section}] vs {path}: {old:.0} -> {new:.0} cycles/s ({ratio:.2}x)"
+            );
+            if ratio < 0.8 {
+                eprintln!("error: {section} cycles/sec regressed more than 20% vs {path}");
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

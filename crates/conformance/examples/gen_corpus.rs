@@ -93,6 +93,7 @@ fn corpus() -> Vec<Scenario> {
             }],
             modes: ModeMatrix {
                 fast_forward: true,
+                event_driven: true,
                 recording: true,
                 graphdyns: false,
                 gunrock: false,
@@ -173,6 +174,71 @@ fn corpus() -> Vec<Scenario> {
             faults: Vec::new(),
             modes: ModeMatrix::full(),
             expect: Expectation::Converge,
+            strict_frontier: None,
+            synthetic_bug: false,
+        },
+        // Busy-dominated pipelined BFS: a dense heavy-tailed graph keeps
+        // the scatter machine saturated, so the event-driven core spends
+        // the run in sparse stepping rather than whole-device jumps — the
+        // regime where per-unit skip bookkeeping could plausibly drift.
+        // All ScalaGraph modes must stay bit-identical.
+        Scenario {
+            name: "converge-event-driven-busy-bfs".into(),
+            graph: unit_graph(Family::Rmat {
+                vertices: 600,
+                edges: 8_000,
+                seed: 41,
+            }),
+            algo: AlgoSpec::Bfs { root: 1 },
+            config: ConfigSpec {
+                pes: 64,
+                aggregation_registers: 8,
+                ..ConfigSpec::small()
+            },
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::sim_only(),
+            expect: Expectation::Converge,
+            strict_frontier: None,
+            synthetic_bug: false,
+        },
+        // An HBM pseudo-channel pinned forever mid-run: stepped,
+        // fast-forward and event-driven execution must all trip the
+        // watchdog with the identical cycle, stall count and suspect. The
+        // event-driven core replays the skip/step decision stream, so any
+        // divergence in its wakeup accounting moves the firing cycle.
+        Scenario {
+            name: "wedge-event-driven-hbm-stall".into(),
+            graph: unit_graph(Family::Uniform {
+                vertices: 300,
+                edges: 2_400,
+                seed: 29,
+            }),
+            algo: AlgoSpec::Bfs { root: 2 },
+            config: ConfigSpec {
+                watchdog_stall_cycles: 1_500,
+                ..ConfigSpec::small()
+            },
+            fault_seed: 3,
+            faults: vec![FaultSpec {
+                kind: FaultKindSpec::HbmStall {
+                    tile: 0,
+                    channel: 1,
+                    cycles: 0, // forever
+                },
+                from: 40,
+                until: 41,
+            }],
+            modes: ModeMatrix {
+                fast_forward: true,
+                event_driven: true,
+                recording: true,
+                graphdyns: false,
+                gunrock: false,
+            },
+            expect: Expectation::Wedge {
+                suspect_contains: "tile 0".into(),
+            },
             strict_frontier: None,
             synthetic_bug: false,
         },

@@ -181,11 +181,14 @@ pub fn sample_scenario(rng: &mut SplitMix64, index: usize) -> Scenario {
         config,
         fault_seed: rng.next_u64(),
         faults,
+        // `event_driven` is drawn last so the older mode draws keep their
+        // position in the seeded stream.
         modes: ModeMatrix {
             fast_forward: true,
             recording: rng.chance(50),
             graphdyns: rng.chance(50),
             gunrock: rng.chance(50),
+            event_driven: rng.chance(50),
         },
         expect: Expectation::Converge,
         strict_frontier: None,

@@ -667,6 +667,9 @@ pub struct ModeMatrix {
     /// Re-run ScalaGraph with idle-cycle fast-forward (must be
     /// bit-identical to stepped).
     pub fast_forward: bool,
+    /// Re-run ScalaGraph with the event-driven stepping core (must be
+    /// bit-identical to stepped).
+    pub event_driven: bool,
     /// Re-run ScalaGraph with a telemetry recorder attached (must be
     /// bit-identical to stepped, and the summary must be consistent).
     pub recording: bool,
@@ -681,16 +684,18 @@ impl ModeMatrix {
     pub fn full() -> Self {
         ModeMatrix {
             fast_forward: true,
+            event_driven: true,
             recording: true,
             graphdyns: true,
             gunrock: true,
         }
     }
 
-    /// Only the two ScalaGraph execution modes.
+    /// Only the ScalaGraph execution modes.
     pub fn sim_only() -> Self {
         ModeMatrix {
             fast_forward: true,
+            event_driven: true,
             recording: false,
             graphdyns: false,
             gunrock: false,
@@ -702,12 +707,17 @@ impl ModeMatrix {
     /// vacuously "pass", which silently hides the regression it was meant
     /// to pin.
     pub fn is_empty(self) -> bool {
-        !(self.fast_forward || self.recording || self.graphdyns || self.gunrock)
+        !(self.fast_forward
+            || self.event_driven
+            || self.recording
+            || self.graphdyns
+            || self.gunrock)
     }
 
     fn to_json(self) -> Json {
         obj(vec![
             ("fast_forward", Json::Bool(self.fast_forward)),
+            ("event_driven", Json::Bool(self.event_driven)),
             ("recording", Json::Bool(self.recording)),
             ("graphdyns", Json::Bool(self.graphdyns)),
             ("gunrock", Json::Bool(self.gunrock)),
@@ -717,6 +727,7 @@ impl ModeMatrix {
     fn from_json(v: &Json) -> Result<Self, String> {
         Ok(ModeMatrix {
             fast_forward: v.opt_bool("fast_forward", true)?,
+            event_driven: v.opt_bool("event_driven", false)?,
             recording: v.opt_bool("recording", false)?,
             graphdyns: v.opt_bool("graphdyns", false)?,
             gunrock: v.opt_bool("gunrock", false)?,
@@ -1021,6 +1032,7 @@ mod tests {
         assert!(!ModeMatrix::sim_only().is_empty());
         let empty = ModeMatrix {
             fast_forward: false,
+            event_driven: false,
             recording: false,
             graphdyns: false,
             gunrock: false,

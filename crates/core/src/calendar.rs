@@ -1,0 +1,329 @@
+//! Calendar queue for the event-driven stepping core.
+//!
+//! A [`Calendar`] is a bucketed timer wheel keyed by absolute cycle: each
+//! unit posts the cycle of its next possible activity and the engine pops
+//! exactly the work due at the current cycle, advancing time
+//! event-to-event instead of cycle-by-cycle. The whole-device idle-cycle
+//! fast-forward of PR 3 is the degenerate case — "no unit has anything to
+//! do until cycle K, and the earliest posted event *is* K".
+//!
+//! Units announce their wakeup cycles through [`NextActivity`]. Two kinds
+//! of unit exist in the machine:
+//!
+//! * **Pipeline units** (GUs, routers, scratchpads, apply units, EDU
+//!   rows): whenever they hold work, their next activity is always the
+//!   very next cycle, so the wheel degenerates to a two-slot "active now /
+//!   active next cycle" set — the engine keeps those in dense bitmaps (see
+//!   `EventCore` in [`crate::sim`]) and reserves the calendar for timers.
+//! * **Timer units** (HBM latency queues, delayed/corrupted flits, fetch
+//!   stalls, broadcast drains, watchdog and telemetry-window deadlines):
+//!   their wakeups land arbitrarily far in the future and go through the
+//!   wheel proper.
+//!
+//! Determinism contract: [`Calendar::pop_due`] yields events in ascending
+//! cycle order and FIFO within a cycle, so replaying the same schedule
+//! always produces the same visit order — a precondition for the
+//! bit-identity gate ("identical `SimStats`, telemetry, and error cycles
+//! across stepped / fast-forward / event-driven execution, or it doesn't
+//! ship").
+
+use scalagraph_mem::Hbm;
+use scalagraph_noc::Mesh;
+
+/// A unit that can announce the next cycle it may do work.
+///
+/// `now` is the caller's current cycle; implementations return the
+/// earliest cycle **strictly after** `now` at which stepping the unit
+/// could have any observable effect, or `None` if the unit is fully
+/// drained and will never act again without new input. Returning a cycle
+/// that is *earlier* than the unit's true next action is allowed (the
+/// engine just visits it idly); returning one that is *later* is a
+/// correctness bug — the bit-identity suite exists to catch exactly that.
+pub trait NextActivity {
+    /// Earliest cycle `> now` with possible activity, or `None` if idle
+    /// forever.
+    fn next_activity(&self, now: u64) -> Option<u64>;
+}
+
+/// The HBM model wakes when a queued request can be serviced, an
+/// in-flight one retires, a pinned channel unpins, or an unconsumed
+/// response is waiting for the frontend.
+impl NextActivity for Hbm {
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        self.next_activity_cycle(now)
+    }
+}
+
+/// A mesh router network wakes on the next cycle whenever any router
+/// pipeline holds a packet; routers have no internal timers.
+impl NextActivity for Mesh {
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        self.next_activity_cycle().map(|c| c.max(now + 1))
+    }
+}
+
+/// A bucketed timer wheel keyed by absolute cycle.
+///
+/// Events within `capacity` cycles of the wheel's anchor live in their
+/// `cycle % capacity` slot; farther events wait in an overflow list and
+/// migrate into the wheel as the anchor advances. All operations are
+/// deterministic; nothing in the structure depends on hashing or
+/// allocation addresses.
+#[derive(Debug, Clone)]
+pub struct Calendar<T> {
+    /// `wheel[cycle % capacity]` holds the events scheduled within the
+    /// horizon, each tagged with its absolute cycle.
+    wheel: Vec<Vec<(u64, T)>>,
+    /// Events at or beyond `anchor + capacity`.
+    overflow: Vec<(u64, T)>,
+    /// Every event not yet popped is at a cycle `>= anchor`.
+    anchor: u64,
+    len: usize,
+}
+
+impl<T> Calendar<T> {
+    /// A wheel spanning `capacity` cycles ahead of its anchor (clamped to
+    /// at least 1). Events beyond the horizon overflow gracefully; the
+    /// capacity only tunes how much does.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Calendar {
+            wheel: (0..capacity).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            anchor: 0,
+            len: 0,
+        }
+    }
+
+    /// Events currently scheduled.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `item` for `cycle`. A cycle in the wheel's past is
+    /// clamped to the anchor, i.e. "due at the next pop".
+    pub fn schedule(&mut self, cycle: u64, item: T) {
+        let cycle = cycle.max(self.anchor);
+        let capacity = self.wheel.len() as u64;
+        if cycle < self.anchor + capacity {
+            self.wheel[(cycle % capacity) as usize].push((cycle, item));
+        } else {
+            self.overflow.push((cycle, item));
+        }
+        self.len += 1;
+    }
+
+    /// The earliest scheduled cycle, or `None` when empty. The engine
+    /// uses this as the skip-ahead target once every pipeline unit is
+    /// quiescent.
+    pub fn next_due(&self) -> Option<u64> {
+        let wheel_min = self
+            .wheel
+            .iter()
+            .flat_map(|slot| slot.iter().map(|&(c, _)| c))
+            .min();
+        let overflow_min = self.overflow.iter().map(|&(c, _)| c).min();
+        match (wheel_min, overflow_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pops every event due at or before `now` into `out`, in ascending
+    /// cycle order and FIFO within a cycle, and advances the anchor to
+    /// `now + 1`.
+    pub fn pop_due(&mut self, now: u64, out: &mut Vec<T>) {
+        if now < self.anchor || self.len == 0 {
+            self.anchor = self.anchor.max(now + 1);
+            self.migrate(now);
+            return;
+        }
+        let capacity = self.wheel.len() as u64;
+        let span = now - self.anchor + 1;
+        if span < capacity {
+            // Walk only the slots the window touches.
+            for cycle in self.anchor..=now {
+                let slot = &mut self.wheel[(cycle % capacity) as usize];
+                let mut i = 0;
+                while i < slot.len() {
+                    if slot[i].0 == cycle {
+                        let (_, item) = slot.remove(i);
+                        out.push(item);
+                        self.len -= 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        } else {
+            // A jump past the whole horizon: drain globally. Same-cycle
+            // events share a slot, so a stable sort by cycle preserves
+            // their FIFO order.
+            let mut due: Vec<(u64, T)> = Vec::new();
+            for slot in &mut self.wheel {
+                let mut i = 0;
+                while i < slot.len() {
+                    if slot[i].0 <= now {
+                        due.push(slot.remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            due.sort_by_key(|&(c, _)| c);
+            self.len -= due.len();
+            out.extend(due.into_iter().map(|(_, item)| item));
+        }
+        self.anchor = now + 1;
+        self.migrate(now);
+        // Overflow events can themselves be due after a huge jump.
+        let mut i = 0;
+        let mut late: Vec<(u64, T)> = Vec::new();
+        while i < self.overflow.len() {
+            if self.overflow[i].0 <= now {
+                late.push(self.overflow.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if !late.is_empty() {
+            late.sort_by_key(|&(c, _)| c);
+            self.len -= late.len();
+            out.extend(late.into_iter().map(|(_, item)| item));
+        }
+    }
+
+    /// Moves overflow events that the advanced anchor brought within the
+    /// horizon into their wheel slots.
+    fn migrate(&mut self, now: u64) {
+        let capacity = self.wheel.len() as u64;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let (cycle, _) = self.overflow[i];
+            if cycle > now && cycle < self.anchor + capacity {
+                let (cycle, item) = self.overflow.remove(i);
+                self.wheel[(cycle % capacity) as usize].push((cycle, item));
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalagraph_mem::{HbmConfig, MemRequest};
+    use scalagraph_noc::{MeshConfig, Packet};
+
+    #[test]
+    fn pops_in_cycle_order_fifo_within_a_cycle() {
+        let mut cal = Calendar::new(8);
+        cal.schedule(5, "b1");
+        cal.schedule(3, "a");
+        cal.schedule(5, "b2");
+        cal.schedule(9, "c");
+        assert_eq!(cal.len(), 4);
+        assert_eq!(cal.next_due(), Some(3));
+        let mut out = Vec::new();
+        cal.pop_due(5, &mut out);
+        assert_eq!(out, ["a", "b1", "b2"]);
+        assert_eq!(cal.next_due(), Some(9));
+        out.clear();
+        cal.pop_due(8, &mut out);
+        assert!(out.is_empty());
+        cal.pop_due(9, &mut out);
+        assert_eq!(out, ["c"]);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_the_anchor() {
+        let mut cal = Calendar::new(4);
+        let mut out = Vec::new();
+        cal.pop_due(10, &mut out);
+        cal.schedule(2, "late");
+        assert_eq!(cal.next_due(), Some(11), "past event is due at the anchor");
+        cal.pop_due(11, &mut out);
+        assert_eq!(out, ["late"]);
+    }
+
+    #[test]
+    fn overflow_migrates_and_survives_giant_jumps() {
+        let mut cal = Calendar::new(4);
+        cal.schedule(2, 'n');
+        cal.schedule(100, 'f');
+        cal.schedule(1_000_000, 'g');
+        assert_eq!(cal.next_due(), Some(2));
+        let mut out = Vec::new();
+        // Jump far past the horizon: near and far events drain in order.
+        cal.pop_due(500, &mut out);
+        assert_eq!(out, ['n', 'f']);
+        assert_eq!(cal.next_due(), Some(1_000_000));
+        out.clear();
+        cal.pop_due(2_000_000, &mut out);
+        assert_eq!(out, ['g']);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn wheel_slots_separate_same_slot_different_lap() {
+        // Cycle 1 and cycle 5 share slot 1 in a 4-wide wheel; popping
+        // cycle 1 must not release the cycle-5 event.
+        let mut cal = Calendar::new(4);
+        cal.schedule(1, "lap0");
+        cal.schedule(5, "lap1");
+        let mut out = Vec::new();
+        cal.pop_due(1, &mut out);
+        assert_eq!(out, ["lap0"]);
+        assert_eq!(cal.next_due(), Some(5));
+    }
+
+    #[test]
+    fn hbm_posts_its_retirement_cycle() {
+        let mut hbm = Hbm::new(HbmConfig {
+            channels: 1,
+            bytes_per_cycle_per_channel: 64.0,
+            latency_cycles: 4,
+            queue_depth: 4,
+            latency_jitter: 0,
+        });
+        assert!(hbm.try_request(0, MemRequest::read(1, 64)));
+        hbm.step(); // serviced at cycle 1, retires at 5
+        let mut cal: Calendar<&str> = Calendar::new(16);
+        if let Some(cycle) = hbm.next_activity(hbm.now()) {
+            cal.schedule(cycle, "hbm");
+        }
+        assert_eq!(cal.next_due(), Some(5));
+        let mut out = Vec::new();
+        cal.pop_due(4, &mut out);
+        assert!(out.is_empty(), "nothing due before the retirement");
+        cal.pop_due(5, &mut out);
+        assert_eq!(out, ["hbm"]);
+    }
+
+    #[test]
+    fn mesh_posts_next_cycle_while_loaded_and_nothing_when_drained() {
+        let mut mesh = Mesh::new(MeshConfig::new(2, 2));
+        assert_eq!(mesh.next_activity(7), None);
+        mesh.try_inject(
+            0,
+            Packet {
+                dst: 3,
+                payload: 1,
+                inject_cycle: 0,
+            },
+        );
+        assert_eq!(mesh.next_activity(mesh.now()), Some(mesh.now() + 1));
+        while mesh.next_activity(mesh.now()).is_some() {
+            mesh.step();
+            assert!(mesh.now() < 20, "packet must drain");
+        }
+        assert!(mesh.pop_delivered(3).is_some());
+    }
+}

@@ -23,6 +23,7 @@
 //! freshly applied vertices.
 
 use crate::aggregate::{AggregationBuffer, PendingUpdate};
+use crate::calendar::Calendar;
 use crate::cancel::{CancelSignal, CancelToken};
 use crate::config::ScalaGraphConfig;
 use crate::device::DeviceGraph;
@@ -407,6 +408,160 @@ struct Scratch {
     route_moves: Vec<(usize, usize)>,
 }
 
+/// A dense activity bitmap over one unit class; a set bit means the unit
+/// may hold work. The single invariant the event core rests on: every
+/// push into a unit's queue sets that unit's bit, and a bit is only
+/// cleared when a visit finds the unit's queues empty — so a clear bit
+/// *proves* the unit has nothing to do and stepping it would be a no-op.
+#[derive(Default)]
+struct UnitMask {
+    bits: Vec<u64>,
+}
+
+impl UnitMask {
+    fn sized(units: usize) -> Self {
+        UnitMask {
+            bits: vec![0; units.div_ceil(64)],
+        }
+    }
+
+    fn set(&mut self, unit: usize) {
+        self.bits[unit >> 6] |= 1 << (unit & 63);
+    }
+
+    fn clear(&mut self, unit: usize) {
+        self.bits[unit >> 6] &= !(1 << (unit & 63));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Visits every set bit in ascending order — the same order the
+    /// stepped loops walk units, so side effects land identically —
+    /// clearing the bits for which `keep` returns `false`. Returns the
+    /// number of bits visited. Bits set in *other* masks during the walk
+    /// are untouched; callers never mutate the mask they are walking.
+    fn retain(&mut self, mut keep: impl FnMut(usize) -> bool) -> usize {
+        let mut visited = 0;
+        for (wi, word) in self.bits.iter_mut().enumerate() {
+            let mut scan = *word;
+            while scan != 0 {
+                let bit = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                visited += 1;
+                if !keep((wi << 6) | bit) {
+                    *word &= !(1u64 << bit);
+                }
+            }
+        }
+        visited
+    }
+
+    /// Appends every set bit in ascending order.
+    fn collect_into(&self, out: &mut Vec<usize>) {
+        for (wi, &word) in self.bits.iter().enumerate() {
+            let mut scan = word;
+            while scan != 0 {
+                let bit = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                out.push((wi << 6) | bit);
+            }
+        }
+    }
+}
+
+/// State of the event-driven stepping core
+/// ([`ScalaGraphConfig::event_driven`]): per-unit-class activity bitmaps
+/// for the pipeline units, a [`Calendar`] posting wakeups for
+/// fault-delayed flits, and the unit-visit counters behind the
+/// events-dispatched / units-skipped diagnostics. Frontend timers (HBM
+/// latency, fetch stalls, broadcast drains) keep their closed-form
+/// whole-device skip: once every mask is empty the calendar's job
+/// degenerates to exactly what [`Engine::try_fast_forward`] already does.
+/// When `on` is false every field stays empty and stepped execution pays
+/// one predictable branch per push site.
+struct EventCore {
+    on: bool,
+    /// Dispatch rows plus four unit classes per PE — the denominator of
+    /// the busy fraction.
+    units_total: u64,
+    /// Per-(tile × row) EDU dispatch activity.
+    rows: UnitMask,
+    /// Per-PE GU activity.
+    gu: UnitMask,
+    /// Per-PE router activity (any of the four mesh output buffers).
+    route: UnitMask,
+    /// Per-PE scratchpad activity (the eject buffer).
+    spd: UnitMask,
+    /// Per-PE apply-queue activity.
+    apply: UnitMask,
+    /// Release wakeups for flits parked between routers by delay or
+    /// corruption faults.
+    cal: Calendar<()>,
+    /// Scratch for calendar pops.
+    cal_out: Vec<()>,
+    /// A released flit refused by a full downstream buffer accrues a NoC
+    /// conflict every cycle, so it retries every cycle until accepted.
+    delayed_retry: bool,
+    /// Scratch: the routing pass's active-node snapshot.
+    active_nodes: Vec<usize>,
+    /// Scratch: sparse pre-mutation free-space fill for the routing pass,
+    /// valid where `route_epoch` matches the current `epoch`.
+    route_free: Vec<[usize; NUM_DIRS]>,
+    route_epoch: Vec<u64>,
+    epoch: u64,
+    /// Cumulative unit visits performed on executed cycles.
+    dispatched: u64,
+    /// Cumulative unit visits avoided: masked-off units on executed
+    /// cycles plus all units across whole-device skips.
+    skipped: u64,
+    /// Portion of the counters already reported to the collector.
+    flushed_dispatched: u64,
+    flushed_skipped: u64,
+}
+
+impl EventCore {
+    fn new(cfg: &ScalaGraphConfig) -> Self {
+        let p = cfg.placement;
+        let (rows, pes) = if cfg.event_driven {
+            (p.tiles * p.rows_per_tile, p.num_pes())
+        } else {
+            (0, 0)
+        };
+        EventCore {
+            on: cfg.event_driven,
+            units_total: (rows + 4 * pes) as u64,
+            rows: UnitMask::sized(rows),
+            gu: UnitMask::sized(pes),
+            route: UnitMask::sized(pes),
+            spd: UnitMask::sized(pes),
+            apply: UnitMask::sized(pes),
+            cal: Calendar::new(if cfg.event_driven { 64 } else { 1 }),
+            cal_out: Vec::new(),
+            delayed_retry: false,
+            active_nodes: Vec::new(),
+            route_free: vec![[0; NUM_DIRS]; pes],
+            route_epoch: vec![0; pes],
+            epoch: 0,
+            dispatched: 0,
+            skipped: 0,
+            flushed_dispatched: 0,
+            flushed_skipped: 0,
+        }
+    }
+
+    /// With every pipeline mask empty, only timers can act: the
+    /// whole-device skip-ahead applies.
+    fn masks_empty(&self) -> bool {
+        self.rows.is_empty()
+            && self.gu.is_empty()
+            && self.route.is_empty()
+            && self.spd.is_empty()
+            && self.apply.is_empty()
+    }
+}
+
 /// A flit held between routers by an injected link-delay (or corruption)
 /// fault: it left `node` via `dir` and re-enters the downstream buffer at
 /// `release`.
@@ -539,6 +694,9 @@ struct Engine<'a, A: Algorithm, C: Collector> {
     injector: Option<FaultInjector>,
     /// Flits parked between routers by delay/corruption faults.
     delayed: Vec<DelayedFlit<A::Prop>>,
+    /// Event-driven stepping core; inert unless
+    /// [`ScalaGraphConfig::event_driven`] is set.
+    ev: EventCore,
     /// Cooperative cancellation flag, polled once per stepped cycle.
     /// `None` (the plain `try_run` paths) costs one branch per cycle.
     ctl: Option<&'a CancelToken>,
@@ -608,6 +766,7 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             dispatched_per_row: vec![0; placement.tiles * placement.rows_per_tile],
             injector: cfg.fault_plan.clone().and_then(FaultInjector::new),
             delayed: Vec::new(),
+            ev: EventCore::new(cfg),
             ctl,
         }
     }
@@ -641,27 +800,56 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
 
         let mut last_mark = self.progress_mark();
         let mut stalled_for: u64 = 0;
+        let event_mode = self.cfg.event_driven;
         // Fast-forward gate: attempting a jump costs a full quiescence scan,
         // which would be pure overhead on the ~always-busy cycles of dense
         // workloads. Only attempt one after a cycle whose cheap activity
         // signature did not move — an idle window always starts with one.
+        // (The event core needs no such heuristic: empty masks *are* the
+        // quiescence signal, checked in O(units / 64).)
         let mut quiet_hint = true;
         let mut last_activity = self.activity_signature();
         loop {
             if self.advance_phases() {
                 break;
             }
-            if self.cfg.fast_forward && quiet_hint && self.try_fast_forward(&mut stalled_for) {
-                continue;
-            }
-            if let Err(e) = self.step() {
-                self.tel_finish();
-                return Err(e);
-            }
-            if self.cfg.fast_forward {
-                let activity = self.activity_signature();
-                quiet_hint = activity == last_activity;
-                last_activity = activity;
+            if event_mode {
+                // Whole-device skip is the calendar's degenerate case:
+                // with every pipeline mask empty only timers can act,
+                // which is exactly the window try_fast_forward jumps.
+                if self.ev.masks_empty() {
+                    let before = self.now;
+                    if self.try_fast_forward(&mut stalled_for) {
+                        self.ev.skipped += (self.now - before) * self.ev.units_total;
+                        if C::ENABLED {
+                            self.tel_spans_at(before + 1);
+                        }
+                        continue;
+                    }
+                }
+                if let Err(e) = self.step_event() {
+                    self.tel_finish();
+                    return Err(e);
+                }
+            } else {
+                if self.cfg.fast_forward && quiet_hint {
+                    let before = self.now;
+                    if self.try_fast_forward(&mut stalled_for) {
+                        if C::ENABLED {
+                            self.tel_spans_at(before + 1);
+                        }
+                        continue;
+                    }
+                }
+                if let Err(e) = self.step() {
+                    self.tel_finish();
+                    return Err(e);
+                }
+                if self.cfg.fast_forward {
+                    let activity = self.activity_signature();
+                    quiet_hint = activity == last_activity;
+                    last_activity = activity;
+                }
             }
             if C::ENABLED {
                 self.tel_cycle();
@@ -731,11 +919,27 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
     /// Per-cycle telemetry: span transitions, then window rollover. Only
     /// called when `C::ENABLED`.
     fn tel_cycle(&mut self) {
-        self.tel_spans();
+        self.tel_spans_at(self.now);
         if self.col.window_due(self.now) {
             self.tel_sample_window();
+            self.tel_flush_event_sample();
             self.col.roll_window(self.now);
         }
+    }
+
+    /// Reports the event core's unit-visit counters for the window about
+    /// to roll. A no-op outside event-driven mode, so window summaries
+    /// stay mode-invariant by construction — the rows land *beside* the
+    /// compared state as diagnostics, never inside it.
+    fn tel_flush_event_sample(&mut self) {
+        if !self.ev.on {
+            return;
+        }
+        let dispatched = self.ev.dispatched - self.ev.flushed_dispatched;
+        let skipped = self.ev.skipped - self.ev.flushed_skipped;
+        self.ev.flushed_dispatched = self.ev.dispatched;
+        self.ev.flushed_skipped = self.ev.skipped;
+        self.col.event_core_sample(dispatched, skipped);
     }
 
     /// Emits span begin/end events by diffing the phase machine's state
@@ -744,8 +948,13 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
     /// control flow, and guarantees begin/end events pair up even under
     /// inter-phase pipelining (overlapping Scatter and Apply spans live on
     /// separate tracks).
-    fn tel_spans(&mut self) {
-        let now = self.now;
+    ///
+    /// Called with `self.now` after every executed cycle, and with the
+    /// first cycle of a fast-forward jump after a skip: quiescence freezes
+    /// the phase machine for the whole skipped window, so one diff stamped
+    /// at the window's first cycle reproduces exactly what a stepped run's
+    /// per-cycle diffing records.
+    fn tel_spans_at(&mut self, now: u64) {
         // Computed before borrowing the scratch: these walk &self.
         let scatter_active = self.scatter_input_open || !self.scatter_machine_empty();
         let scatter_key = (self.scatter_iter, self.slice as u64);
@@ -847,6 +1056,7 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             return;
         }
         self.tel_sample_window();
+        self.tel_flush_event_sample();
         self.col.roll_window(self.now);
         self.col.on_run_end(self.now);
     }
@@ -1274,8 +1484,14 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
         }
     }
 
-    /// One clock cycle for every hardware unit.
-    fn step(&mut self) -> Result<(), SimError> {
+    /// Advances the clock and runs the work every executed cycle shares
+    /// between stepped and event-driven execution: phase-cycle
+    /// accounting, tracing, scheduled fault stalls, the HBM pump and the
+    /// (fetch-stall gated) prefetchers. The frontends step in full every
+    /// executed cycle in both modes — the HBM model draws its latency
+    /// jitter once per unstalled channel per cycle, and preserving that
+    /// draw count is part of the bit-identity contract.
+    fn step_front_half(&mut self) -> Result<(), SimError> {
         self.now += 1;
         if !self.scatter_machine_empty() || self.scatter_input_open {
             self.stats.scatter_cycles += 1;
@@ -1308,6 +1524,12 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
         } else {
             self.step_prefetch()?;
         }
+        Ok(())
+    }
+
+    /// One clock cycle for every hardware unit.
+    fn step(&mut self) -> Result<(), SimError> {
+        self.step_front_half()?;
         self.step_dispatch();
         if !self.delayed.is_empty() {
             self.step_delayed();
@@ -1321,6 +1543,46 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
         if self.broadcast_backlog > 0 {
             self.broadcast_backlog -= 1;
         }
+        Ok(())
+    }
+
+    /// One clock cycle visiting only the units whose activity bit is set.
+    /// Stage order, per-unit work, and every counter match
+    /// [`step`](Self::step) exactly: the masks merely skip units whose
+    /// queues the bit invariant proves empty, for which the stepped loops
+    /// would scan-and-continue.
+    fn step_event(&mut self) -> Result<(), SimError> {
+        self.step_front_half()?;
+        let mut visited = self.step_dispatch_event();
+        if self.delayed.is_empty() {
+            debug_assert!(self.ev.cal.is_empty(), "wakeup without a parked flit");
+            self.ev.delayed_retry = false;
+        } else {
+            // Parked flits wake through the calendar; a released flit
+            // that a full buffer refused retries every cycle (it accrues
+            // a NoC conflict each time, like any back-pressured unit).
+            let due = {
+                let ev = &mut self.ev;
+                ev.cal_out.clear();
+                ev.cal.pop_due(self.now, &mut ev.cal_out);
+                !ev.cal_out.is_empty()
+            };
+            if due || self.ev.delayed_retry {
+                self.step_delayed();
+                self.ev.delayed_retry = self.delayed.iter().any(|d| d.release <= self.now);
+            }
+        }
+        visited += self.step_routing_event()?;
+        visited += self.step_gu_event();
+        visited += self.step_spd_event()?;
+        if self.phase == Phase::Apply {
+            visited += self.step_apply_event();
+        }
+        if self.broadcast_backlog > 0 {
+            self.broadcast_backlog -= 1;
+        }
+        self.ev.dispatched += visited as u64;
+        self.ev.skipped += self.ev.units_total - visited as u64;
         Ok(())
     }
 
@@ -1354,6 +1616,8 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
         let graph = self.graph;
         let placement = self.cfg.placement;
         let slice = self.slice;
+        let ev_on = self.ev.on;
+        let mut rows = std::mem::take(&mut self.ev.rows);
         for t in 0..self.tiles.len() {
             let tile = &mut self.tiles[t];
             tile.hbm.step();
@@ -1390,11 +1654,15 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                         for seg in segs {
                             let row = placement.row_of(seg.src);
                             tile.row_queues[row].push_back(seg);
+                            if ev_on {
+                                rows.set(t * placement.rows_per_tile + row);
+                            }
                         }
                     }
                 }
             }
         }
+        self.ev.rows = rows;
     }
 
     fn step_prefetch(&mut self) -> Result<(), SimError> {
@@ -1511,15 +1779,90 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
 
     // ----- dispatch ------------------------------------------------------
 
-    fn step_dispatch(&mut self) {
+    /// One dispatch cycle for one EDU row whose queue is non-empty.
+    /// Returns whether the queue still holds segments afterwards.
+    ///
+    /// The EDU drives each of its row's PE lanes independently: per
+    /// cycle a lane accepts one edge, so a congested lane (for example
+    /// a hub vertex's column) must not stall the other lanes. Segments
+    /// are scanned in order; a segment stopped by a busy or full lane
+    /// rotates to the back so later segments can fill the free lanes.
+    fn dispatch_row(
+        &mut self,
+        t: usize,
+        row: usize,
+        lane_owner: &mut Vec<u16>,
+        srcs_used: &mut Vec<VertexId>,
+    ) -> bool {
         let placement = self.cfg.placement;
         let cols = placement.cols;
-        // The EDU drives each of its row's PE lanes independently: per
-        // cycle a lane accepts one edge, so a congested lane (for example
-        // a hub vertex's column) must not stall the other lanes. Segments
-        // are scanned in order; a segment stopped by a busy or full lane
-        // rotates to the back so later segments can fill the free lanes.
         let scan_window = 2 * cols.max(16);
+        // Lane ownership this cycle: a lane accepts edges of one
+        // segment only (the line occupying that slot); residual
+        // same-lane edges within one line are absorbed by the
+        // dispatch skew buffer (Section IV-C), so they do not
+        // block their own line.
+        lane_owner.clear();
+        lane_owner.resize(cols, u16::MAX);
+        let mut edges_left = cols;
+        // Distinct source vertices scheduled this cycle (Section
+        // IV-C): a vertex may span several line segments; they all
+        // count once.
+        srcs_used.clear();
+        let mut scanned = 0usize;
+        while edges_left > 0 && scanned < scan_window {
+            let Some(mut seg) = self.tiles[t].row_queues[row].pop_front() else {
+                break;
+            };
+            scanned += 1;
+            if !srcs_used.contains(&seg.src) {
+                if srcs_used.len() >= self.cfg.max_scheduled_vertices {
+                    // Vertex budget exhausted: this segment must
+                    // wait for the next cycle.
+                    self.tiles[t].row_queues[row].push_back(seg);
+                    continue;
+                }
+                srcs_used.push(seg.src);
+            }
+            let csr = self.dev.tile_csr(self.slice, t);
+            let seg_id = scanned as u16;
+            while edges_left > 0 && !seg.edges.is_empty() {
+                let idx = seg.edges.start;
+                let dst = csr.neighbor_at(idx);
+                let target = target_node(self.cfg, seg.src, dst);
+                let lane = target % cols;
+                if (lane_owner[lane] != u16::MAX && lane_owner[lane] != seg_id)
+                    || self.nodes[target].gu_queue.len() >= self.cfg.gu_queue_capacity
+                {
+                    break;
+                }
+                self.nodes[target].gu_queue.push_back(EdgeWork {
+                    src: seg.src,
+                    dst,
+                    weight: csr.weight_at(idx),
+                    src_degree: seg.src_degree,
+                    src_prop: seg.prop,
+                });
+                if self.ev.on {
+                    self.ev.gu.set(target);
+                }
+                lane_owner[lane] = seg_id;
+                edges_left -= 1;
+                seg.edges.start += 1;
+                self.dispatched_per_row[t * placement.rows_per_tile + row] += 1;
+                self.stats.traversed_edges += 1;
+            }
+            if !seg.edges.is_empty() {
+                // Rotate so the next scan reaches fresh segments
+                // whose head edges may target free lanes.
+                self.tiles[t].row_queues[row].push_back(seg);
+            }
+        }
+        !self.tiles[t].row_queues[row].is_empty()
+    }
+
+    fn step_dispatch(&mut self) {
+        let placement = self.cfg.placement;
         // Per-row scratch lives in the pooled engine buffers: cleared and
         // refilled each row, never reallocated in steady state.
         let mut lane_owner = std::mem::take(&mut self.scratch.lane_owner);
@@ -1530,109 +1873,103 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                     self.stats.dispatch_starved_row_cycles += 1;
                     continue;
                 }
-                // Lane ownership this cycle: a lane accepts edges of one
-                // segment only (the line occupying that slot); residual
-                // same-lane edges within one line are absorbed by the
-                // dispatch skew buffer (Section IV-C), so they do not
-                // block their own line.
-                lane_owner.clear();
-                lane_owner.resize(cols, u16::MAX);
-                let mut edges_left = cols;
-                // Distinct source vertices scheduled this cycle (Section
-                // IV-C): a vertex may span several line segments; they all
-                // count once.
-                srcs_used.clear();
-                let mut scanned = 0usize;
-                while edges_left > 0 && scanned < scan_window {
-                    let Some(mut seg) = self.tiles[t].row_queues[row].pop_front() else {
-                        break;
-                    };
-                    scanned += 1;
-                    if !srcs_used.contains(&seg.src) {
-                        if srcs_used.len() >= self.cfg.max_scheduled_vertices {
-                            // Vertex budget exhausted: this segment must
-                            // wait for the next cycle.
-                            self.tiles[t].row_queues[row].push_back(seg);
-                            continue;
-                        }
-                        srcs_used.push(seg.src);
-                    }
-                    let csr = self.dev.tile_csr(self.slice, t);
-                    let seg_id = scanned as u16;
-                    while edges_left > 0 && !seg.edges.is_empty() {
-                        let idx = seg.edges.start;
-                        let dst = csr.neighbor_at(idx);
-                        let target = target_node(self.cfg, seg.src, dst);
-                        let lane = target % cols;
-                        if (lane_owner[lane] != u16::MAX && lane_owner[lane] != seg_id)
-                            || self.nodes[target].gu_queue.len() >= self.cfg.gu_queue_capacity
-                        {
-                            break;
-                        }
-                        self.nodes[target].gu_queue.push_back(EdgeWork {
-                            src: seg.src,
-                            dst,
-                            weight: csr.weight_at(idx),
-                            src_degree: seg.src_degree,
-                            src_prop: seg.prop,
-                        });
-                        lane_owner[lane] = seg_id;
-                        edges_left -= 1;
-                        seg.edges.start += 1;
-                        self.dispatched_per_row[t * placement.rows_per_tile + row] += 1;
-                        self.stats.traversed_edges += 1;
-                    }
-                    if !seg.edges.is_empty() {
-                        // Rotate so the next scan reaches fresh segments
-                        // whose head edges may target free lanes.
-                        self.tiles[t].row_queues[row].push_back(seg);
-                    }
-                }
+                self.dispatch_row(t, row, &mut lane_owner, &mut srcs_used);
             }
         }
         self.scratch.lane_owner = lane_owner;
         self.scratch.srcs_used = srcs_used;
     }
 
+    /// Masked dispatch: visits only rows whose activity bit is set. A
+    /// visited row found empty clears its bit; every other row is starved
+    /// this cycle — by the bit invariant an unvisited row's queue is
+    /// empty, so the starved count lands exactly where the stepped scan
+    /// puts it.
+    fn step_dispatch_event(&mut self) -> usize {
+        let placement = self.cfg.placement;
+        let rows_per_tile = placement.rows_per_tile;
+        let total_rows = self.tiles.len() * rows_per_tile;
+        let mut lane_owner = std::mem::take(&mut self.scratch.lane_owner);
+        let mut srcs_used = std::mem::take(&mut self.scratch.srcs_used);
+        let mut rows = std::mem::take(&mut self.ev.rows);
+        let mut fed = 0u64;
+        let visited = rows.retain(|gr| {
+            let (t, row) = (gr / rows_per_tile, gr % rows_per_tile);
+            if self.tiles[t].row_queues[row].is_empty() {
+                return false;
+            }
+            fed += 1;
+            self.dispatch_row(t, row, &mut lane_owner, &mut srcs_used)
+        });
+        self.ev.rows = rows;
+        self.scratch.lane_owner = lane_owner;
+        self.scratch.srcs_used = srcs_used;
+        self.stats.dispatch_starved_row_cycles += total_rows as u64 - fed;
+        visited
+    }
+
     // ----- compute -------------------------------------------------------
 
-    fn step_gu(&mut self) {
+    /// One GU cycle for one node: processes the queue head if any.
+    /// Returns whether the queue still holds work afterwards.
+    fn gu_node(&mut self, node: usize) -> bool {
         let algo = self.algo;
         let cap = self.cfg.router_queue_capacity;
-        for node in 0..self.nodes.len() {
-            let Some(work) = self.nodes[node].gu_queue.front().copied() else {
-                continue;
-            };
-            let ctx = EdgeCtx {
-                weight: work.weight,
-                src: work.src,
-                src_degree: work.src_degree,
-            };
-            let value = algo.process(&ctx, work.src_prop);
-            let home = self.cfg.placement.home_node(work.dst);
-            let dir = route_dir(self.cfg, node, home);
-            let flit = Flit {
-                value,
-                inject: self.now,
-            };
-            let accepted = self.nodes[node].out[dir]
-                .try_push(work.dst, flit, cap, |a, b| Flit {
-                    value: algo.reduce(a.value, b.value),
-                    inject: a.inject.min(b.inject),
-                })
-                .is_some();
-            if accepted {
-                self.nodes[node].gu_queue.pop_front();
-                self.stats.gu_busy_cycles += 1;
-                self.gu_busy_per_node[node] += 1;
-                self.stats.updates_produced += 1;
-                if dir != EJECT {
-                    self.stats.updates_injected += 1;
-                }
-            } else {
-                self.stats.noc_conflicts += 1;
+        let Some(work) = self.nodes[node].gu_queue.front().copied() else {
+            return false;
+        };
+        let ctx = EdgeCtx {
+            weight: work.weight,
+            src: work.src,
+            src_degree: work.src_degree,
+        };
+        let value = algo.process(&ctx, work.src_prop);
+        let home = self.cfg.placement.home_node(work.dst);
+        let dir = route_dir(self.cfg, node, home);
+        let flit = Flit {
+            value,
+            inject: self.now,
+        };
+        let accepted = self.nodes[node].out[dir]
+            .try_push(work.dst, flit, cap, |a, b| Flit {
+                value: algo.reduce(a.value, b.value),
+                inject: a.inject.min(b.inject),
+            })
+            .is_some();
+        if accepted {
+            self.nodes[node].gu_queue.pop_front();
+            self.stats.gu_busy_cycles += 1;
+            self.gu_busy_per_node[node] += 1;
+            self.stats.updates_produced += 1;
+            if dir != EJECT {
+                self.stats.updates_injected += 1;
             }
+            if self.ev.on {
+                if dir == EJECT {
+                    self.ev.spd.set(node);
+                } else {
+                    self.ev.route.set(node);
+                }
+            }
+        } else {
+            // A full output buffer is necessarily non-empty, so its
+            // activity bit is already set; the GU retries next cycle.
+            self.stats.noc_conflicts += 1;
         }
+        !self.nodes[node].gu_queue.is_empty()
+    }
+
+    fn step_gu(&mut self) {
+        for node in 0..self.nodes.len() {
+            self.gu_node(node);
+        }
+    }
+
+    fn step_gu_event(&mut self) -> usize {
+        let mut mask = std::mem::take(&mut self.ev.gu);
+        let visited = mask.retain(|node| self.gu_node(node));
+        self.ev.gu = mask;
+        visited
     }
 
     // ----- routing -------------------------------------------------------
@@ -1667,6 +2004,13 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                 if C::ENABLED {
                     self.col.link_traversal(d_node, d_dir, 1);
                 }
+                if self.ev.on {
+                    if to_dir == EJECT {
+                        self.ev.spd.set(to);
+                    } else {
+                        self.ev.route.set(to);
+                    }
+                }
                 self.delayed.swap_remove(i);
             } else {
                 self.stats.noc_conflicts += 1;
@@ -1687,6 +2031,173 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
         }
     }
 
+    /// Decides this cycle's moves out of one router: up to `link_width`
+    /// updates per link — links are 64-byte buses carrying several 8-byte
+    /// updates. Reservations come out of `free` (the pre-mutation
+    /// free-space snapshot shared by all routers this cycle); drained
+    /// flits stage in `self.staged` keyed by `moves` order.
+    fn route_decide_node(
+        &mut self,
+        node: usize,
+        free: &mut [[usize; NUM_DIRS]],
+        moves: &mut Vec<(usize, usize)>,
+    ) -> Result<(), SimError> {
+        let width = self.cfg.link_width;
+        let faults_armed = self.injector.is_some();
+        for dir in [NORTH, SOUTH, WEST, EAST] {
+            if faults_armed
+                && self
+                    .injector
+                    .as_ref()
+                    .is_some_and(|inj| inj.link_blocked(self.now, node, dir))
+            {
+                // A downed link: zero credit, full back-pressure.
+                if !self.nodes[node].out[dir].is_empty() {
+                    self.stats.noc_conflicts += 1;
+                    if C::ENABLED {
+                        self.col.link_backpressure(node, dir);
+                    }
+                }
+                continue;
+            }
+            let mut granted = 0usize;
+            // All updates sharing this link this cycle head the same
+            // way physically; per-update destination buffers may
+            // differ, so reserve per update.
+            while granted < width {
+                let Some(update) = self.nodes[node].out[dir].peek_next() else {
+                    break;
+                };
+                // peek_next is stable only until we drain, so resolve
+                // the route for the head, reserve, and mark the move;
+                // actual drains happen in order below.
+                let dst = update.dst;
+                if faults_armed {
+                    let action = self
+                        .injector
+                        .as_mut()
+                        .and_then(|inj| inj.flit_action(self.now, node, dir));
+                    if let Some(action) = action {
+                        let Some(mut update) = self.nodes[node].out[dir].drain_one() else {
+                            return Err(SimError::protocol(
+                                "peeked update vanished during faulty-link drain",
+                                self.now,
+                            ));
+                        };
+                        match action {
+                            FlitAction::Drop => {
+                                self.stats.flits_dropped += 1;
+                                if C::ENABLED {
+                                    self.col
+                                        .instant(self.now, InstantKind::FlitDropped { node, dir });
+                                }
+                            }
+                            FlitAction::Delay(cycles) => {
+                                self.stats.flits_delayed += 1;
+                                if C::ENABLED {
+                                    self.col
+                                        .instant(self.now, InstantKind::FlitDelayed { node, dir });
+                                }
+                                self.delayed.push(DelayedFlit {
+                                    release: self.now + cycles.max(1),
+                                    node,
+                                    dir,
+                                    update,
+                                });
+                                if self.ev.on {
+                                    self.ev.cal.schedule(self.now + cycles.max(1), ());
+                                }
+                            }
+                            FlitAction::Corrupt { out_of_range } => {
+                                update.dst = Self::corrupt_dst(
+                                    update.dst,
+                                    self.graph.num_vertices(),
+                                    out_of_range,
+                                );
+                                self.stats.updates_corrupted += 1;
+                                if C::ENABLED {
+                                    self.col.instant(
+                                        self.now,
+                                        InstantKind::FlitCorrupted { node, dir },
+                                    );
+                                }
+                                // The corrupted id needs a fresh route;
+                                // park it for immediate re-injection at
+                                // the neighbor next cycle.
+                                self.delayed.push(DelayedFlit {
+                                    release: self.now,
+                                    node,
+                                    dir,
+                                    update,
+                                });
+                                if self.ev.on {
+                                    // The earliest retry is next cycle:
+                                    // this cycle's re-injection pass has
+                                    // already run.
+                                    self.ev.cal.schedule(self.now + 1, ());
+                                }
+                            }
+                        }
+                        granted += 1;
+                        continue;
+                    }
+                }
+                let to = neighbor(self.cfg, node, dir);
+                let home = self.cfg.placement.home_node(dst);
+                let to_dir = route_dir(self.cfg, to, home);
+                if free[to][to_dir] == 0 {
+                    self.stats.noc_conflicts += 1;
+                    if C::ENABLED {
+                        self.col.link_backpressure(node, dir);
+                    }
+                    break;
+                }
+                free[to][to_dir] -= 1;
+                // Drain immediately into a staging list so the next
+                // peek sees the following update.
+                let Some(update) = self.nodes[node].out[dir].drain_one() else {
+                    return Err(SimError::protocol(
+                        "peeked update vanished during routing drain",
+                        self.now,
+                    ));
+                };
+                self.stats.noc_hops += 1;
+                if C::ENABLED {
+                    self.col.link_traversal(node, dir, 1);
+                }
+                moves.push((to, to_dir));
+                // Stash the flit out-of-band keyed by move order.
+                self.staged.push(update);
+                granted += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Lands the decided moves in their reserved destination slots and,
+    /// in event-driven mode, schedules the receiving units.
+    fn route_apply_moves(&mut self, moves: &[(usize, usize)]) {
+        let algo = self.algo;
+        let cap = self.cfg.router_queue_capacity;
+        for (i, &(to, to_dir)) in moves.iter().enumerate() {
+            let update = self.staged[i];
+            let res =
+                self.nodes[to].out[to_dir].try_push(update.dst, update.value, cap, |a, b| Flit {
+                    value: algo.reduce(a.value, b.value),
+                    inject: a.inject.min(b.inject),
+                });
+            debug_assert!(res.is_some(), "reserved slot must accept");
+            if self.ev.on {
+                if to_dir == EJECT {
+                    self.ev.spd.set(to);
+                } else {
+                    self.ev.route.set(to);
+                }
+            }
+        }
+        self.staged.clear();
+    }
+
     fn step_routing(&mut self) -> Result<(), SimError> {
         let n_nodes = self.nodes.len();
         // Snapshot free space per (node, buffer), reusing pooled scratch.
@@ -1701,225 +2212,194 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
             }
             free.push(f);
         }
-
-        // Decide moves: up to `link_width` updates per (node, link) per
-        // cycle — links are 64-byte buses carrying several 8-byte updates.
-        let algo = self.algo;
-        let cap = self.cfg.router_queue_capacity;
-        let width = self.cfg.link_width;
-        let faults_armed = self.injector.is_some();
         let mut moves = std::mem::take(&mut self.scratch.route_moves);
         moves.clear();
         for node in 0..n_nodes {
-            for dir in [NORTH, SOUTH, WEST, EAST] {
-                if faults_armed
-                    && self
-                        .injector
-                        .as_ref()
-                        .is_some_and(|inj| inj.link_blocked(self.now, node, dir))
-                {
-                    // A downed link: zero credit, full back-pressure.
-                    if !self.nodes[node].out[dir].is_empty() {
-                        self.stats.noc_conflicts += 1;
-                        if C::ENABLED {
-                            self.col.link_backpressure(node, dir);
-                        }
-                    }
-                    continue;
-                }
-                let mut granted = 0usize;
-                // All updates sharing this link this cycle head the same
-                // way physically; per-update destination buffers may
-                // differ, so reserve per update.
-                while granted < width {
-                    let Some(update) = self.nodes[node].out[dir].peek_next() else {
-                        break;
-                    };
-                    // peek_next is stable only until we drain, so resolve
-                    // the route for the head, reserve, and mark the move;
-                    // actual drains happen in order below.
-                    let dst = update.dst;
-                    if faults_armed {
-                        let action = self
-                            .injector
-                            .as_mut()
-                            .and_then(|inj| inj.flit_action(self.now, node, dir));
-                        if let Some(action) = action {
-                            let Some(mut update) = self.nodes[node].out[dir].drain_one() else {
-                                return Err(SimError::protocol(
-                                    "peeked update vanished during faulty-link drain",
-                                    self.now,
-                                ));
-                            };
-                            match action {
-                                FlitAction::Drop => {
-                                    self.stats.flits_dropped += 1;
-                                    if C::ENABLED {
-                                        self.col.instant(
-                                            self.now,
-                                            InstantKind::FlitDropped { node, dir },
-                                        );
-                                    }
-                                }
-                                FlitAction::Delay(cycles) => {
-                                    self.stats.flits_delayed += 1;
-                                    if C::ENABLED {
-                                        self.col.instant(
-                                            self.now,
-                                            InstantKind::FlitDelayed { node, dir },
-                                        );
-                                    }
-                                    self.delayed.push(DelayedFlit {
-                                        release: self.now + cycles.max(1),
-                                        node,
-                                        dir,
-                                        update,
-                                    });
-                                }
-                                FlitAction::Corrupt { out_of_range } => {
-                                    update.dst = Self::corrupt_dst(
-                                        update.dst,
-                                        self.graph.num_vertices(),
-                                        out_of_range,
-                                    );
-                                    self.stats.updates_corrupted += 1;
-                                    if C::ENABLED {
-                                        self.col.instant(
-                                            self.now,
-                                            InstantKind::FlitCorrupted { node, dir },
-                                        );
-                                    }
-                                    // The corrupted id needs a fresh route;
-                                    // park it for immediate re-injection at
-                                    // the neighbor next cycle.
-                                    self.delayed.push(DelayedFlit {
-                                        release: self.now,
-                                        node,
-                                        dir,
-                                        update,
-                                    });
-                                }
-                            }
-                            granted += 1;
-                            continue;
-                        }
-                    }
-                    let to = neighbor(self.cfg, node, dir);
-                    let home = self.cfg.placement.home_node(dst);
-                    let to_dir = route_dir(self.cfg, to, home);
-                    if free[to][to_dir] == 0 {
-                        self.stats.noc_conflicts += 1;
-                        if C::ENABLED {
-                            self.col.link_backpressure(node, dir);
-                        }
-                        break;
-                    }
-                    free[to][to_dir] -= 1;
-                    // Drain immediately into a staging list so the next
-                    // peek sees the following update.
-                    let Some(update) = self.nodes[node].out[dir].drain_one() else {
-                        return Err(SimError::protocol(
-                            "peeked update vanished during routing drain",
-                            self.now,
-                        ));
-                    };
-                    self.stats.noc_hops += 1;
-                    if C::ENABLED {
-                        self.col.link_traversal(node, dir, 1);
-                    }
-                    moves.push((to, to_dir));
-                    // Stash the flit out-of-band keyed by move order.
-                    self.staged.push(update);
-                    granted += 1;
-                }
-            }
+            self.route_decide_node(node, &mut free, &mut moves)?;
         }
-
-        for (i, &(to, to_dir)) in moves.iter().enumerate() {
-            let update = self.staged[i];
-            let res =
-                self.nodes[to].out[to_dir].try_push(update.dst, update.value, cap, |a, b| Flit {
-                    value: algo.reduce(a.value, b.value),
-                    inject: a.inject.min(b.inject),
-                });
-            debug_assert!(res.is_some(), "reserved slot must accept");
-        }
-        self.staged.clear();
+        self.route_apply_moves(&moves);
         self.scratch.route_free = free;
         self.scratch.route_moves = moves;
         Ok(())
     }
 
+    /// Masked routing: only nodes whose activity bit is set may move
+    /// flits. The free-space snapshot must be pre-mutation exactly like
+    /// the stepped all-node pass, so a sparse epoch-stamped fill covers
+    /// every reachable destination *before* any drain; decisions then run
+    /// in ascending node order, matching the stepped loop on the nodes it
+    /// would not skip.
+    fn step_routing_event(&mut self) -> Result<usize, SimError> {
+        let mut active = std::mem::take(&mut self.ev.active_nodes);
+        active.clear();
+        self.ev.route.collect_into(&mut active);
+        if active.is_empty() {
+            self.ev.active_nodes = active;
+            return Ok(0);
+        }
+        let mut free = std::mem::take(&mut self.ev.route_free);
+        self.ev.epoch += 1;
+        let epoch = self.ev.epoch;
+        for &node in &active {
+            for dir in [NORTH, SOUTH, WEST, EAST] {
+                if self.nodes[node].out[dir].is_empty() {
+                    continue;
+                }
+                let to = neighbor(self.cfg, node, dir);
+                if self.ev.route_epoch[to] != epoch {
+                    self.ev.route_epoch[to] = epoch;
+                    let mut f = [0usize; NUM_DIRS];
+                    for (d, slot) in f.iter_mut().enumerate() {
+                        let b = &self.nodes[to].out[d];
+                        let cap = b.capacity() + self.cfg.router_queue_capacity;
+                        *slot = cap.saturating_sub(b.len());
+                    }
+                    free[to] = f;
+                }
+            }
+        }
+        let mut moves = std::mem::take(&mut self.scratch.route_moves);
+        moves.clear();
+        let mut result = Ok(());
+        for &node in &active {
+            if let Err(e) = self.route_decide_node(node, &mut free, &mut moves) {
+                result = Err(e);
+                break;
+            }
+        }
+        if result.is_ok() {
+            self.route_apply_moves(&moves);
+            // Clear bits only after the pushes landed: a drained router
+            // that just received fresh flits must stay scheduled.
+            for &node in &active {
+                let n = &self.nodes[node];
+                if [NORTH, SOUTH, WEST, EAST]
+                    .iter()
+                    .all(|&d| n.out[d].is_empty())
+                {
+                    self.ev.route.clear(node);
+                }
+            }
+        }
+        let visited = active.len();
+        self.ev.route_free = free;
+        self.scratch.route_moves = moves;
+        self.ev.active_nodes = active;
+        result.map(|()| visited)
+    }
+
     // ----- scratchpads ---------------------------------------------------
+
+    /// One scratchpad-reduce cycle for one node: accepts the ejected
+    /// update if any. Returns whether more ejected updates are waiting.
+    fn spd_node(&mut self, node: usize) -> Result<bool, SimError> {
+        let Some(update) = self.nodes[node].out[EJECT].drain_one() else {
+            return Ok(false);
+        };
+        let v = update.dst as usize;
+        if v >= self.temp.len() {
+            // Only an injected corruption can manufacture an id outside
+            // the vertex array; the scratchpad has nowhere to put it.
+            return Err(SimError::FaultUnrecoverable {
+                detail: format!(
+                    "update ejected at PE {node} targets vertex {v} but the graph has {}",
+                    self.temp.len()
+                ),
+                cycle: self.now,
+            });
+        }
+        debug_assert_eq!(self.cfg.placement.home_node(update.dst), node);
+        self.temp[v] = self.algo.reduce(self.temp[v], update.value.value);
+        if !self.touched[v] {
+            self.touched[v] = true;
+            self.touched_list.push(update.dst);
+        }
+        self.stats.updates_delivered += 1;
+        self.stats.routing_latency_sum += self.now.saturating_sub(update.value.inject);
+        self.stats.routing_latency_count += 1;
+        if C::ENABLED {
+            self.col
+                .routing_latency(self.now.saturating_sub(update.value.inject));
+        }
+        Ok(!self.nodes[node].out[EJECT].is_empty())
+    }
 
     fn step_spd(&mut self) -> Result<(), SimError> {
         for node in 0..self.nodes.len() {
-            let Some(update) = self.nodes[node].out[EJECT].drain_one() else {
-                continue;
-            };
-            let v = update.dst as usize;
-            if v >= self.temp.len() {
-                // Only an injected corruption can manufacture an id outside
-                // the vertex array; the scratchpad has nowhere to put it.
-                return Err(SimError::FaultUnrecoverable {
-                    detail: format!(
-                        "update ejected at PE {node} targets vertex {v} but the graph has {}",
-                        self.temp.len()
-                    ),
-                    cycle: self.now,
-                });
-            }
-            debug_assert_eq!(self.cfg.placement.home_node(update.dst), node);
-            self.temp[v] = self.algo.reduce(self.temp[v], update.value.value);
-            if !self.touched[v] {
-                self.touched[v] = true;
-                self.touched_list.push(update.dst);
-            }
-            self.stats.updates_delivered += 1;
-            self.stats.routing_latency_sum += self.now.saturating_sub(update.value.inject);
-            self.stats.routing_latency_count += 1;
-            if C::ENABLED {
-                self.col
-                    .routing_latency(self.now.saturating_sub(update.value.inject));
-            }
+            self.spd_node(node)?;
         }
         Ok(())
     }
 
+    fn step_spd_event(&mut self) -> Result<usize, SimError> {
+        let mut mask = std::mem::take(&mut self.ev.spd);
+        let mut result = Ok(());
+        let visited = mask.retain(|node| {
+            if result.is_err() {
+                // The engine is unwinding; freeze the remaining bits
+                // (stepped execution also stops mid-scan on error).
+                return true;
+            }
+            match self.spd_node(node) {
+                Ok(keep) => keep,
+                Err(e) => {
+                    result = Err(e);
+                    true
+                }
+            }
+        });
+        self.ev.spd = mask;
+        result.map(|()| visited)
+    }
+
     // ----- apply ---------------------------------------------------------
 
-    fn step_apply(&mut self) {
+    /// One apply cycle for one node: pops and applies the queue head if
+    /// any. Returns whether more applies are queued.
+    fn apply_node(&mut self, node: usize) -> bool {
         let k = self.cfg.placement.num_pes() as u64;
-        for node in 0..self.nodes.len() {
-            let Some(v) = self.nodes[node].apply_queue.pop_front() else {
-                continue;
-            };
-            self.apply_inflight -= 1;
-            self.stats.applies += 1;
-            let vi = v as usize;
-            let old = self.props[vi];
-            let new = self.algo.apply(v, old, self.temp[vi], self.graph);
-            self.temp[vi] = self.algo.reduce_identity();
-            self.touched[vi] = false;
-            if new != old {
-                self.props[vi] = new;
-            }
-            if self.algo.activates(old, new) {
-                self.stats.activations += 1;
-                let tile = self.cfg.placement.tile_of(v);
-                self.tiles[tile].write_backlog += 1;
-                if self.cfg.mapping == Mapping::DestinationOriented {
-                    // Replica refresh in every PE (Section IV-A).
-                    self.stats.noc_hops += k - 1;
-                    self.broadcast_backlog += 1;
-                }
-                let av = ActiveVertex { v, prop: new };
-                if self.scatter_input_open {
-                    self.feed_pipelined_activation(av);
-                }
-                self.next_active.push(av);
-            }
+        let Some(v) = self.nodes[node].apply_queue.pop_front() else {
+            return false;
+        };
+        self.apply_inflight -= 1;
+        self.stats.applies += 1;
+        let vi = v as usize;
+        let old = self.props[vi];
+        let new = self.algo.apply(v, old, self.temp[vi], self.graph);
+        self.temp[vi] = self.algo.reduce_identity();
+        self.touched[vi] = false;
+        if new != old {
+            self.props[vi] = new;
         }
+        if self.algo.activates(old, new) {
+            self.stats.activations += 1;
+            let tile = self.cfg.placement.tile_of(v);
+            self.tiles[tile].write_backlog += 1;
+            if self.cfg.mapping == Mapping::DestinationOriented {
+                // Replica refresh in every PE (Section IV-A).
+                self.stats.noc_hops += k - 1;
+                self.broadcast_backlog += 1;
+            }
+            let av = ActiveVertex { v, prop: new };
+            if self.scatter_input_open {
+                self.feed_pipelined_activation(av);
+            }
+            self.next_active.push(av);
+        }
+        !self.nodes[node].apply_queue.is_empty()
+    }
+
+    fn step_apply(&mut self) {
+        for node in 0..self.nodes.len() {
+            self.apply_node(node);
+        }
+    }
+
+    fn step_apply_event(&mut self) -> usize {
+        let mut mask = std::mem::take(&mut self.ev.apply);
+        let visited = mask.retain(|node| self.apply_node(node));
+        self.ev.apply = mask;
+        visited
     }
 
     /// Starts the apply pass for the slice just scattered.
@@ -1940,6 +2420,13 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                 let node = self.cfg.placement.home_node(v);
                 self.nodes[node].apply_queue.push_back(v);
                 self.apply_inflight += 1;
+            }
+        }
+        if self.ev.on {
+            for node in 0..self.nodes.len() {
+                if !self.nodes[node].apply_queue.is_empty() {
+                    self.ev.apply.set(node);
+                }
             }
         }
         if std::env::var_os("SCALAGRAPH_TRACE").is_some() {
@@ -2528,5 +3015,269 @@ mod tests {
         assert_eq!(plain.stats, controlled.stats);
         assert_eq!(plain.properties, controlled.properties);
         assert_eq!(plain.frontier_sizes, controlled.frontier_sizes);
+    }
+
+    // ----- event-driven stepping core -------------------------------------
+
+    /// The event-driven contract extends the fast-forward one: stepped and
+    /// event-driven execution are the same machine, counter for counter.
+    fn assert_ev_identical<A: Algorithm>(algo: &A, graph: &Csr, cfg: &ScalaGraphConfig) {
+        let mut stepped = cfg.clone();
+        stepped.fast_forward = false;
+        stepped.event_driven = false;
+        let mut event = cfg.clone();
+        event.fast_forward = true;
+        event.event_driven = true;
+        let a = run_on(algo, graph, stepped);
+        let b = run_on(algo, graph, event);
+        assert_eq!(a.properties, b.properties, "properties diverge");
+        assert_eq!(a.frontier_sizes, b.frontier_sizes, "frontiers diverge");
+        assert_eq!(a.stats, b.stats, "stats diverge");
+    }
+
+    #[test]
+    fn event_driven_is_bit_identical_for_pipelined_bfs() {
+        let g = Csr::from_edges(600, &generators::power_law(600, 8000, 0.8, 41));
+        let algo = Bfs::from_root(Dataset::pick_root(&g));
+        assert_ev_identical(&algo, &g, &cfg32());
+        // Three-way: the intermediate fast-forward-only mode must also
+        // land on the same machine state.
+        let mut ff = cfg32();
+        ff.fast_forward = true;
+        let mut ev = cfg32();
+        ev.fast_forward = true;
+        ev.event_driven = true;
+        let a = run_on(&algo, &g, ff);
+        let b = run_on(&algo, &g, ev);
+        assert_eq!(a.stats, b.stats, "fast-forward vs event-driven diverge");
+    }
+
+    #[test]
+    fn event_driven_is_bit_identical_without_pipelining() {
+        // Non-pipelined runs alternate busy bursts with long fetch stalls:
+        // both the sparse stepping and the whole-device skip paths fire.
+        let g = Csr::from_edges(500, &generators::uniform(500, 4000, 7));
+        let mut cfg = cfg32();
+        cfg.inter_phase_pipelining = false;
+        assert_ev_identical(&Bfs::from_root(3), &g, &cfg);
+    }
+
+    #[test]
+    fn event_driven_is_bit_identical_for_sssp_and_cc() {
+        let mut list = EdgeList::new(200);
+        for e in generators::uniform(200, 1500, 13) {
+            list.push(e);
+        }
+        list.randomize_weights(255, 5);
+        let g = Csr::from_edge_list(&list);
+        assert_ev_identical(&Sssp::from_root(0), &g, &cfg32());
+
+        let mut list = EdgeList::new(150);
+        for e in generators::uniform(150, 600, 17) {
+            list.push(e);
+        }
+        list.symmetrize();
+        let g = Csr::from_edge_list(&list);
+        assert_ev_identical(&ConnectedComponents::new(), &g, &cfg32());
+    }
+
+    #[test]
+    fn event_driven_is_bit_identical_for_pagerank_and_dom_broadcasts() {
+        let g = Csr::from_edges(120, &generators::power_law(120, 1200, 0.8, 21));
+        assert_ev_identical(&PageRank::new(5), &g, &cfg32());
+
+        // DOM exercises the apply-mask seeding and broadcast drain timer.
+        let g = Csr::from_edges(128, &generators::uniform(128, 1000, 59));
+        let mut cfg = cfg32();
+        cfg.mapping = Mapping::DestinationOriented;
+        assert_ev_identical(&Bfs::from_root(0), &g, &cfg);
+    }
+
+    #[test]
+    fn event_driven_is_bit_identical_across_slices() {
+        let g = Csr::from_edges(300, &generators::uniform(300, 3000, 37));
+        let mut cfg = cfg32();
+        cfg.spd_capacity_vertices = 64; // forces ~5 slices
+        assert_ev_identical(&Bfs::from_root(0), &g, &cfg);
+    }
+
+    #[test]
+    fn event_driven_is_bit_identical_under_link_faults() {
+        use crate::fault::{Fault, FaultKind, FaultPlan, LinkDir};
+        // Delayed and corrupted flits park in the side pool and wake via
+        // the calendar; drops perturb the fault RNG stream. All of it must
+        // replay identically when only active units are stepped.
+        let g = Csr::from_edges(400, &generators::power_law(400, 4000, 0.8, 23));
+        let algo = Bfs::from_root(Dataset::pick_root(&g));
+        let mut cfg = cfg32();
+        cfg.fault_plan = Some(
+            FaultPlan::seeded(29)
+                .with(
+                    Fault::new(FaultKind::LinkDelay {
+                        node: 5,
+                        dir: LinkDir::South,
+                        cycles: 7,
+                    })
+                    .window(0, 400),
+                )
+                .with(
+                    Fault::new(FaultKind::LinkDrop {
+                        node: 3,
+                        dir: LinkDir::South,
+                        one_in: 5,
+                    })
+                    .window(0, 300),
+                )
+                .with(
+                    Fault::new(FaultKind::CorruptPayload {
+                        node: 7,
+                        dir: LinkDir::South,
+                        one_in: 9,
+                        out_of_range: false,
+                    })
+                    .window(50, 500),
+                )
+                .with(
+                    Fault::new(FaultKind::HbmStall {
+                        tile: 0,
+                        channel: 1,
+                        cycles: 40,
+                    })
+                    .window(30, 31),
+                ),
+        );
+        assert_ev_identical(&algo, &g, &cfg);
+    }
+
+    #[test]
+    fn event_driven_trips_the_watchdog_on_the_same_cycle() {
+        use crate::fault::{Fault, FaultKind, FaultPlan};
+        let g = Csr::from_edges(400, &generators::uniform(400, 3000, 11));
+        let algo = Bfs::from_root(0);
+        let mut cfg = cfg32();
+        cfg.watchdog_stall_cycles = 2_000;
+        cfg.fault_plan = Some(
+            FaultPlan::seeded(11).with(
+                Fault::new(FaultKind::HbmStall {
+                    tile: 0,
+                    channel: 0,
+                    cycles: u64::MAX,
+                })
+                .window(20, 21),
+            ),
+        );
+        let run = |ff: bool, ev: bool| {
+            let mut c = cfg.clone();
+            c.fast_forward = ff;
+            c.event_driven = ev;
+            try_run_on(&algo, &g, c)
+        };
+        match (run(false, false), run(true, false), run(true, true)) {
+            (Err(ea), Err(eb), Err(ec)) => {
+                let sa = ea.snapshot().expect("stall errors carry a snapshot");
+                let sb = eb.snapshot().expect("stall errors carry a snapshot");
+                let sc = ec.snapshot().expect("stall errors carry a snapshot");
+                assert_eq!(sa.cycle, sc.cycle, "watchdog cycle diverges");
+                assert_eq!(sb.cycle, sc.cycle);
+                assert_eq!(sa.stalled_for, sc.stalled_for);
+                assert!(sc.stalled_for >= 2_000);
+            }
+            (a, b, c) => panic!("expected identical stalls, got {a:?} / {b:?} / {c:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_limit_fires_identically_with_event_driven() {
+        let g = Csr::from_edges(200, &generators::uniform(200, 1500, 3));
+        let algo = Bfs::from_root(0);
+        let full = try_run_on(&algo, &g, cfg32()).expect("full run converges");
+        let limit = full.stats.cycles / 2;
+        let run = |ev: bool| {
+            let mut c = cfg32();
+            c.cycle_limit = Some(limit);
+            c.fast_forward = ev;
+            c.event_driven = ev;
+            try_run_on(&algo, &g, c)
+        };
+        match (run(false), run(true)) {
+            (
+                Err(SimError::DeadlineExceeded {
+                    cycle: ca,
+                    partial: pa,
+                }),
+                Err(SimError::DeadlineExceeded {
+                    cycle: cb,
+                    partial: pb,
+                }),
+            ) => {
+                assert_eq!(ca, limit);
+                assert_eq!(cb, limit, "deadline lands on exactly the limit cycle");
+                assert_eq!(pa, pb, "partial counters diverge between modes");
+            }
+            (a, b) => panic!("expected identical deadlines, got {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn event_driven_telemetry_matches_stepped_and_adds_diagnostics() {
+        use crate::telemetry::Recorder;
+        let g = Csr::from_edges(500, &generators::power_law(500, 5000, 0.8, 19));
+        let algo = Bfs::from_root(Dataset::pick_root(&g));
+        let run = |ev: bool| {
+            let mut c = cfg32();
+            c.fast_forward = ev;
+            c.event_driven = ev;
+            let mut rec = Recorder::new(64);
+            let r = Simulator::try_new(&algo, &g, c)
+                .and_then(|mut s| s.try_run_with(&mut rec))
+                .expect("run converges");
+            (r, rec)
+        };
+        let (ra, rec_a) = run(false);
+        let (rb, rec_b) = run(true);
+        assert_eq!(ra.stats, rb.stats, "stats diverge under recording");
+        assert_eq!(
+            rec_a.summary(),
+            rec_b.summary(),
+            "telemetry summary must be mode-invariant"
+        );
+        // Per-cycle runs emit no event-core rows at all.
+        assert!(rec_a.event_windows().is_empty());
+        assert_eq!(rec_a.event_core_totals(), (0, 0));
+        assert_eq!(rec_a.event_busy_fraction(), None);
+        // Event-driven runs account for every unit on every cycle: a unit
+        // is either dispatched or skipped, and skipped whole-device jumps
+        // charge all units for all jumped cycles.
+        assert!(!rec_b.event_windows().is_empty());
+        let (dispatched, skipped) = rec_b.event_core_totals();
+        let p = &cfg32().placement;
+        let units_total = (p.tiles * p.rows_per_tile + 4 * p.num_pes()) as u64;
+        assert_eq!(dispatched + skipped, units_total * rb.stats.cycles);
+        let busy = rec_b.event_busy_fraction().expect("rows were recorded");
+        assert!(
+            busy > 0.0 && busy < 1.0,
+            "busy fraction {busy} out of range"
+        );
+    }
+
+    #[test]
+    fn unit_mask_visits_ascending_and_tracks_emptiness() {
+        let mut m = UnitMask::sized(130);
+        assert!(m.is_empty());
+        for u in [129, 64, 0, 63, 65] {
+            m.set(u);
+        }
+        let mut seen = Vec::new();
+        let visited = m.retain(|u| {
+            seen.push(u);
+            u == 64 // keep only unit 64
+        });
+        assert_eq!(visited, 5);
+        assert_eq!(seen, [0, 63, 64, 65, 129], "visit order is ascending");
+        let mut left = Vec::new();
+        m.collect_into(&mut left);
+        assert_eq!(left, [64]);
+        m.clear(64);
+        assert!(m.is_empty());
     }
 }

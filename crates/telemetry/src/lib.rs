@@ -47,7 +47,10 @@ pub mod export;
 pub mod recorder;
 pub mod service;
 
-pub use recorder::{PeakLink, Recorder, TelemetrySummary};
+pub use recorder::{
+    EventWindowRow, HbmWindowRow, LinkWindowRow, PeakLink, Recorder, TelemetrySummary,
+    TileWindowRow,
+};
 pub use service::{ServiceCounters, ServiceMetrics};
 
 /// Router output-port direction indices, matching the engine's encoding:
@@ -328,6 +331,19 @@ pub trait Collector {
     /// A point event occurred at cycle `now`.
     fn instant(&mut self, now: u64, event: InstantKind) {
         let _ = (now, event);
+    }
+
+    /// Event-core activity of the metrics window that just closed:
+    /// `dispatched` unit-visits actually executed and `skipped` unit-visits
+    /// the calendar proved idle and never touched. Emitted only by the
+    /// event-driven engine (per-cycle engines visit everything and report
+    /// nothing here), right before each [`roll_window`](Self::roll_window)
+    /// and once more at run end for the final partial window. These are
+    /// mode *diagnostics*: they live beside the compared telemetry, so
+    /// summaries stay bit-identical across stepped / fast-forward /
+    /// event-driven execution.
+    fn event_core_sample(&mut self, dispatched: u64, skipped: u64) {
+        let _ = (dispatched, skipped);
     }
 }
 

@@ -50,6 +50,23 @@ pub struct LinkWindowRow {
     pub blocked: u64,
 }
 
+/// Event-core activity over one metrics window: unit-visits the
+/// event-driven engine executed vs. proved idle and skipped. Only the
+/// event-driven engine produces rows (per-cycle engines visit every unit
+/// and report nothing), so these are mode *diagnostics* — deliberately
+/// kept out of [`TelemetrySummary`], which stays bit-identical across
+/// stepped / fast-forward / event-driven execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventWindowRow {
+    /// Window index (0-based).
+    pub window: u64,
+    /// Unit-visits executed this window.
+    pub dispatched: u64,
+    /// Unit-visits skipped this window (idle units plus whole-device
+    /// skipped cycles).
+    pub skipped: u64,
+}
+
 /// A recorded span (begin/end pair on the timeline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -176,6 +193,7 @@ pub struct Recorder {
     pub(crate) spans: Vec<SpanRecord>,
     open_spans: Vec<(SpanName, u64)>,
     pub(crate) instants: Vec<(u64, InstantKind)>,
+    event_rows: Vec<EventWindowRow>,
     latency_hist: Vec<u64>,
     latency_count: u64,
     latency_max: u64,
@@ -198,6 +216,7 @@ impl Recorder {
             spans: Vec::new(),
             open_spans: Vec::new(),
             instants: Vec::new(),
+            event_rows: Vec::new(),
             latency_hist: vec![0; LATENCY_BUCKETS],
             latency_count: 0,
             latency_max: 0,
@@ -243,6 +262,33 @@ impl Recorder {
     /// The cycle the run ended at.
     pub fn run_cycles(&self) -> u64 {
         self.end_cycle
+    }
+
+    /// Event-core diagnostics per window (event-driven runs only; empty
+    /// otherwise). Windows where nothing was dispatched *or* skipped
+    /// produce no row.
+    pub fn event_windows(&self) -> &[EventWindowRow] {
+        &self.event_rows
+    }
+
+    /// Total event-core unit-visits over the whole run, as
+    /// `(dispatched, skipped)`. `(0, 0)` for per-cycle runs.
+    pub fn event_core_totals(&self) -> (u64, u64) {
+        self.event_rows
+            .iter()
+            .fold((0, 0), |(d, s), r| (d + r.dispatched, s + r.skipped))
+    }
+
+    /// Fraction of unit-visits the event-driven run actually executed:
+    /// `dispatched / (dispatched + skipped)`. `None` when no event-core
+    /// rows were recorded (per-cycle runs).
+    pub fn event_busy_fraction(&self) -> Option<f64> {
+        let (d, s) = self.event_core_totals();
+        if d + s == 0 {
+            None
+        } else {
+            Some(d as f64 / (d + s) as f64)
+        }
     }
 
     fn flush_links(&mut self, window: u64) {
@@ -463,6 +509,17 @@ impl Collector for Recorder {
     fn instant(&mut self, now: u64, event: InstantKind) {
         self.instants.push((now, event));
     }
+
+    fn event_core_sample(&mut self, dispatched: u64, skipped: u64) {
+        if dispatched == 0 && skipped == 0 {
+            return;
+        }
+        self.event_rows.push(EventWindowRow {
+            window: self.window_index,
+            dispatched,
+            skipped,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -556,6 +613,30 @@ mod tests {
         assert_eq!(s.scatter_only_cycles, 60);
         assert_eq!(s.overlap_cycles, 40);
         assert_eq!(s.apply_only_cycles, 50);
+    }
+
+    #[test]
+    fn event_core_rows_stay_out_of_the_summary() {
+        let mut r = Recorder::new(100);
+        r.on_run_start(topo22());
+        let mut quiet = r.clone();
+        r.event_core_sample(40, 360);
+        r.roll_window(100);
+        r.event_core_sample(0, 0); // empty window: no row
+        r.roll_window(200);
+        r.event_core_sample(10, 90);
+        r.on_run_end(250);
+        quiet.roll_window(100);
+        quiet.roll_window(200);
+        quiet.on_run_end(250);
+        assert_eq!(r.event_windows().len(), 2);
+        assert_eq!(r.event_windows()[0].window, 0);
+        assert_eq!(r.event_windows()[1].window, 2);
+        assert_eq!(r.event_core_totals(), (50, 450));
+        assert!((r.event_busy_fraction().unwrap() - 0.1).abs() < 1e-12);
+        assert_eq!(quiet.event_busy_fraction(), None);
+        // The diagnostics must not leak into the compared summary.
+        assert_eq!(r.summary(), quiet.summary());
     }
 
     #[test]

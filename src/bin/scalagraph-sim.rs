@@ -49,6 +49,8 @@
 //!                                   (sets SCALAGRAPH_THREADS) [all cores]
 //!   --fast-forward                  skip quiescent cycles in bulk [on]
 //!   --no-fast-forward               step every cycle individually
+//!   --event-driven                  step only units with scheduled work
+//!                                   (implies --fast-forward)
 //!   --baseline                      also run the GraphDynS-128 baseline
 //!   --metrics-window <cycles>       telemetry sampling window [1000]
 //!   --trace-out <path>              write a Chrome trace-event JSON
@@ -76,7 +78,13 @@ use std::collections::HashMap;
 use std::process::exit;
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["no-pipeline", "baseline", "fast-forward", "no-fast-forward"];
+const SWITCHES: &[&str] = &[
+    "no-pipeline",
+    "baseline",
+    "fast-forward",
+    "no-fast-forward",
+    "event-driven",
+];
 /// Flags that take a value.
 const OPTIONS: &[&str] = &[
     "algo",
@@ -198,6 +206,9 @@ fn build_config(args: &HashMap<String, String>) -> ScalaGraphConfig {
     // Fast-forward is on by default; results are bit-identical either way,
     // so --no-fast-forward exists for A/B timing, not correctness.
     cfg.fast_forward = !args.contains_key("no-fast-forward");
+    // Event-driven stepping subsumes the whole-device jump, so it needs
+    // fast-forward enabled — validate() rejects the combination otherwise.
+    cfg.event_driven = args.contains_key("event-driven");
     cfg
 }
 
@@ -546,6 +557,9 @@ fn main() {
     let args = parse_args();
     if args.contains_key("fast-forward") && args.contains_key("no-fast-forward") {
         usage_and_exit("--fast-forward and --no-fast-forward are mutually exclusive");
+    }
+    if args.contains_key("event-driven") && args.contains_key("no-fast-forward") {
+        usage_and_exit("--event-driven requires fast-forward; drop --no-fast-forward");
     }
     if let Some(t) = args.get("threads") {
         match t.parse::<usize>() {

@@ -77,21 +77,23 @@ fn healthy(name: &str, seed: u64) -> Scenario {
 #[test]
 fn batch_over_corpus_deadline_kills_the_wedge_and_balances() {
     let mut specs = Vec::new();
-    let mut wedge_name = String::new();
+    let mut wedge_names = Vec::new();
     for mut scenario in corpus_scenarios() {
         if matches!(scenario.expect, Expectation::Wedge { .. }) {
             // Pin the wedge open: disable the watchdog (which would
             // otherwise diagnose the stall as a structured failure) and
-            // force stepped execution, so only the runtime's wall-clock
-            // deadline can end the job.
+            // force plain stepped execution — the event-driven core
+            // requires a live watchdog, so it is switched off too — so
+            // only the runtime's wall-clock deadline can end the job.
             scenario.config.watchdog_stall_cycles = 0;
             scenario.modes.fast_forward = false;
-            wedge_name = scenario.name.clone();
+            scenario.modes.event_driven = false;
+            wedge_names.push(scenario.name.clone());
         }
         specs.push(JobSpec::new(scenario));
     }
     assert!(
-        !wedge_name.is_empty(),
+        !wedge_names.is_empty(),
         "corpus must contain a wedge scenario"
     );
 
@@ -113,7 +115,7 @@ fn batch_over_corpus_deadline_kills_the_wedge_and_balances() {
     assert_eq!(report.outcomes.len(), submitted);
 
     for outcome in &report.outcomes {
-        if outcome.name == wedge_name {
+        if wedge_names.contains(&outcome.name) {
             match &outcome.status {
                 JobStatus::DeadlineExceeded { at_cycle: Some(c) } => {
                     assert!(*c >= 1, "engine observed the expiry mid-run");
@@ -135,11 +137,15 @@ fn batch_over_corpus_deadline_kills_the_wedge_and_balances() {
         }
     }
 
+    let wedges = wedge_names.len() as u64;
     let c = &report.counters;
     assert_eq!(c.submitted, submitted as u64);
-    assert_eq!(c.completed, submitted as u64 - 1);
-    assert_eq!(c.cancelled, 1, "the wedge lands in the cancelled bucket");
-    assert_eq!(c.deadline_kills, 1);
+    assert_eq!(c.completed, submitted as u64 - wedges);
+    assert_eq!(
+        c.cancelled, wedges,
+        "every wedge lands in the cancelled bucket"
+    );
+    assert_eq!(c.deadline_kills, wedges);
     assert_eq!(c.failed, 0);
     assert_eq!(c.rejected, 0);
     assert_eq!(c.panics_contained, 0);

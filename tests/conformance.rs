@@ -143,13 +143,56 @@ fn wedge_corpus_snapshot_names_the_faulted_unit() {
             Outcome::Converged(_) => None,
         })
         .collect();
-    assert_eq!(errored.len(), 3, "stepped, fast-forward and recording");
+    assert_eq!(
+        errored.len(),
+        4,
+        "stepped, fast-forward, event-driven and recording"
+    );
     for (engine, digest) in errored {
         assert_eq!(
             digest.suspect, "HBM pseudo-channel 0 of tile 0",
             "{engine} must blame the pinned channel"
         );
         assert!(digest.stalled_for >= 2_000, "{engine}: {digest:?}");
+    }
+}
+
+/// Satellite wedge pin for the event-driven core: a mid-run HBM wedge must
+/// trip the watchdog on the identical cycle with the identical stall count
+/// in stepped, fast-forward, event-driven and recording execution — any
+/// drift in the calendar's skip/step decisions moves the firing cycle.
+#[test]
+fn event_driven_corpus_wedge_fires_identically_across_modes() {
+    let (path, text) = corpus_files()
+        .into_iter()
+        .find(|(p, _)| p.ends_with("wedge-event-driven-hbm-stall.json"))
+        .expect("event-driven wedge scenario must stay in the corpus");
+    let scenario = Scenario::from_json_str(&text).unwrap();
+    assert!(
+        scenario.modes.event_driven,
+        "{path}: must exercise the event-driven mode"
+    );
+    let report = run_scenario(&scenario).unwrap();
+    assert!(report.passed(), "{}", report.render());
+    let errored: Vec<_> = report
+        .observations
+        .iter()
+        .filter_map(|o| match &o.outcome {
+            Outcome::Errored(e) => Some((o.engine, e)),
+            Outcome::Converged(_) => None,
+        })
+        .collect();
+    assert_eq!(
+        errored.len(),
+        4,
+        "stepped, fast-forward, event-driven and recording"
+    );
+    let (_, first) = errored[0];
+    for (engine, digest) in &errored {
+        assert_eq!(digest.cycle, first.cycle, "{engine} fired on another cycle");
+        assert_eq!(digest.stalled_for, first.stalled_for, "{engine}");
+        assert_eq!(digest.suspect, first.suspect, "{engine}");
+        assert!(digest.stalled_for >= 1_500, "{engine}: {digest:?}");
     }
 }
 

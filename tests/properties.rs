@@ -250,6 +250,104 @@ proptest! {
         prop_assert_eq!(&fast.frontier_sizes, &slow.frontier_sizes);
         prop_assert_eq!(fast.stats, slow.stats);
     }
+
+    #[test]
+    fn event_driven_is_bit_identical_including_telemetry(
+        g in arb_graph(60, 400),
+        pes_pow in 0u32..3,
+        mapping_idx in 0usize..3,
+        regs in 0usize..20,
+        width in 1usize..17,
+        pipe in any::<bool>(),
+        window in 16u64..200,
+    ) {
+        use scalagraph_suite::scalagraph::Simulator;
+        use scalagraph_suite::telemetry::Recorder;
+        let algo = Bfs::from_root(0);
+        let mut cfg = ScalaGraphConfig::with_pes(32 << pes_pow);
+        cfg.mapping = Mapping::ALL[mapping_idx];
+        cfg.aggregation_registers = regs;
+        cfg.max_scheduled_vertices = width;
+        cfg.inter_phase_pipelining = pipe;
+        let run = |event: bool| {
+            let mut c = cfg.clone();
+            c.fast_forward = event;
+            c.event_driven = event;
+            let mut rec = Recorder::new(window);
+            let r = Simulator::try_new(&algo, &g, c)
+                .and_then(|mut s| s.try_run_with(&mut rec))
+                .expect("run converges");
+            (r, rec)
+        };
+        let (stepped, rec_s) = run(false);
+        let (event, rec_e) = run(true);
+        prop_assert_eq!(&event.properties, &stepped.properties);
+        prop_assert_eq!(&event.frontier_sizes, &stepped.frontier_sizes);
+        prop_assert_eq!(event.stats, stepped.stats);
+        // The recorded telemetry stream — every window row, every span —
+        // must be bit-identical too; only the event-core diagnostic rows
+        // are mode-specific.
+        prop_assert_eq!(rec_e.tile_windows(), rec_s.tile_windows());
+        prop_assert_eq!(rec_e.hbm_windows(), rec_s.hbm_windows());
+        prop_assert_eq!(rec_e.link_windows(), rec_s.link_windows());
+        prop_assert_eq!(rec_e.spans(), rec_s.spans());
+        prop_assert_eq!(rec_e.summary(), rec_s.summary());
+        prop_assert_eq!(rec_s.event_core_totals(), (0, 0));
+        // Event-core accounting closes: every unit on every cycle is
+        // either dispatched or skipped.
+        let (dispatched, skipped) = rec_e.event_core_totals();
+        let p = &cfg.placement;
+        let units = (p.tiles * p.rows_per_tile + 4 * p.num_pes()) as u64;
+        prop_assert_eq!(dispatched + skipped, units * event.stats.cycles);
+    }
+
+    #[test]
+    fn event_driven_cancellation_yields_a_prefix_telemetry_stream(
+        g in arb_graph(60, 300),
+        window in 16u64..128,
+        frac in 2u64..5,
+    ) {
+        use scalagraph_suite::scalagraph::{SimError, Simulator};
+        use scalagraph_suite::telemetry::Recorder;
+        let algo = Bfs::from_root(0);
+        let mut cfg = ScalaGraphConfig::with_pes(32);
+        cfg.fast_forward = true;
+        cfg.event_driven = true;
+        let mut full_rec = Recorder::new(window);
+        let full = Simulator::try_new(&algo, &g, cfg.clone())
+            .and_then(|mut s| s.try_run_with(&mut full_rec))
+            .expect("full run converges");
+        if full.stats.cycles <= frac {
+            // Degenerate run too short to interrupt mid-flight.
+            return Ok(());
+        }
+        let limit = (full.stats.cycles / frac).max(1);
+        cfg.cycle_limit = Some(limit);
+        let mut part_rec = Recorder::new(window);
+        match Simulator::try_new(&algo, &g, cfg)
+            .and_then(|mut s| s.try_run_with(&mut part_rec))
+        {
+            Err(SimError::DeadlineExceeded { cycle, partial }) => {
+                prop_assert_eq!(cycle, limit);
+                prop_assert_eq!(partial.cycles, limit);
+            }
+            other => prop_assert!(false, "expected DeadlineExceeded, got {:?}", other),
+        }
+        // Up to the interruption the machines are the same machine, so
+        // every fully-completed window of the interrupted run must appear
+        // verbatim in the full run's stream: a strict prefix, with at most
+        // one trailing partial window beyond it.
+        let complete = limit / window;
+        let prefix = |rows: &[scalagraph_suite::telemetry::EventWindowRow]| {
+            rows.iter().take_while(|r| r.window < complete).copied().collect::<Vec<_>>()
+        };
+        prop_assert_eq!(prefix(part_rec.event_windows()), prefix(full_rec.event_windows()));
+        prop_assert!(part_rec.event_windows().iter().all(|r| r.window <= complete));
+        let tile_prefix = |rows: &[scalagraph_suite::telemetry::TileWindowRow]| {
+            rows.iter().take_while(|r| r.window < complete).copied().collect::<Vec<_>>()
+        };
+        prop_assert_eq!(tile_prefix(part_rec.tile_windows()), tile_prefix(full_rec.tile_windows()));
+    }
 }
 
 use scalagraph_suite::noc::{BflyPacket, Butterfly, Crossbar, CrossbarKind};
