@@ -124,6 +124,51 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the wire form used
+    /// by line-delimited protocols, where a document must not contain a
+    /// literal newline. Parses back to the same value as [`Json::pretty`].
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -390,6 +435,27 @@ mod tests {
     fn u64_precision_is_preserved() {
         let v = parse("18446744073709551615").unwrap();
         assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn compact_output_is_single_line_and_round_trips() {
+        let doc = obj(vec![
+            ("name", Json::Str("a \"b\"\n".into())),
+            ("seed", Json::Int(u64::MAX)),
+            (
+                "list",
+                Json::Arr(vec![Json::Int(1), Json::Bool(false), Json::Null]),
+            ),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let text = doc.compact();
+        assert!(!text.contains('\n'), "{text}");
+        assert_eq!(parse(&text).unwrap(), doc);
+        assert_eq!(
+            text,
+            "{\"name\":\"a \\\"b\\\"\\n\",\"seed\":18446744073709551615,\
+             \"list\":[1,false,null],\"empty\":{}}"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use scalagraph_graph::{generators, Csr, EdgeList};
 use scalagraph_mem::HbmConfig;
 
 /// The graph generator family plus its size/seed parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Graph500 R-MAT (heavy-tailed).
     Rmat {
@@ -90,7 +90,11 @@ impl Family {
 }
 
 /// How the scenario builds its graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `GraphSpec` is `Hash + Eq` so it can key an immutable graph cache: two
+/// equal specs build byte-identical CSRs (generation is a pure function of
+/// the spec), so one cached build can serve every scenario that shares it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GraphSpec {
     /// Generator family and parameters.
     pub family: Family,
@@ -803,6 +807,43 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// Checks that the scenario is runnable without building its graph:
+    /// the graph spec is non-degenerate, rooted algorithms stay inside the
+    /// vertex range, PageRank has at least one iteration, and the
+    /// accelerator configuration passes
+    /// [`ScalaGraphConfig::validate`](scalagraph::ScalaGraphConfig::validate).
+    ///
+    /// Admission layers (the serve daemon, batch front ends) call this to
+    /// refuse unusable work with a typed error *before* spending queue
+    /// capacity on it; the runner re-derives the same checks when it
+    /// actually executes.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let vertices = self.graph.family.vertices();
+        if vertices < 2 {
+            return Err(format!(
+                "graph must have at least 2 vertices, got {vertices}"
+            ));
+        }
+        match self.algo {
+            AlgoSpec::Bfs { root } | AlgoSpec::Sssp { root } | AlgoSpec::WidestPath { root } => {
+                if root as usize >= vertices {
+                    return Err(format!("root {root} out of range for {vertices} vertices"));
+                }
+            }
+            AlgoSpec::PageRank { iters } => {
+                if iters == 0 {
+                    return Err("pagerank needs at least 1 iteration".into());
+                }
+            }
+            AlgoSpec::Cc => {}
+        }
+        self.config.build().map(|_| ())
+    }
+
     /// The fault plan this scenario attaches, if any.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
         if self.faults.is_empty() {
@@ -1043,6 +1084,30 @@ mod tests {
             ..empty
         };
         assert!(!recording_only.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_sound_scenarios_and_names_the_defect() {
+        let mut ok = sample();
+        ok.config.watchdog_stall_cycles = 25_000;
+        ok.algo = AlgoSpec::Bfs { root: 63 };
+        ok.validate().expect("sound scenario validates");
+
+        let mut bad_root = ok.clone();
+        bad_root.algo = AlgoSpec::Bfs { root: 64 };
+        assert!(bad_root.validate().unwrap_err().contains("out of range"));
+
+        let mut bad_pr = ok.clone();
+        bad_pr.algo = AlgoSpec::PageRank { iters: 0 };
+        assert!(bad_pr.validate().unwrap_err().contains("iteration"));
+
+        let mut bad_pes = ok.clone();
+        bad_pes.config.pes = 48;
+        assert!(bad_pes.validate().unwrap_err().contains("multiple of 32"));
+
+        let mut tiny = ok.clone();
+        tiny.graph.family = Family::Path { vertices: 1 };
+        assert!(tiny.validate().unwrap_err().contains("at least 2"));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use scalagraph::{CancelToken, SimError};
@@ -30,10 +30,11 @@ use scalagraph_telemetry::{ServiceCounters, ServiceMetrics};
 
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::budget::ResourceBudgets;
+use crate::graphcache::GraphCache;
 use crate::job::{FailureReason, JobId, JobOutcome, JobSpec, JobStatus};
 use crate::queue::AdmissionQueue;
 use crate::retry::RetryPolicy;
-use crate::runner::{run_attempt, AttemptError, AttemptOverrides};
+use crate::runner::{run_attempt_on, AttemptError, AttemptOverrides};
 
 /// Knobs of one batch run.
 #[derive(Debug, Clone, Copy)]
@@ -152,12 +153,27 @@ fn sim_variant(e: &SimError) -> &'static str {
 /// The resilient batch executor. See the module docs for the guarantees.
 pub struct BatchRuntime {
     config: RuntimeConfig,
+    graphs: Arc<GraphCache>,
 }
 
 impl BatchRuntime {
-    /// A runtime with the given knobs.
+    /// A runtime with the given knobs and a private graph cache.
     pub fn new(config: RuntimeConfig) -> Self {
-        BatchRuntime { config }
+        BatchRuntime {
+            config,
+            graphs: Arc::new(GraphCache::with_default_capacity()),
+        }
+    }
+
+    /// A runtime sharing an existing graph cache — how the serve daemon
+    /// keeps one cache alive across many batches.
+    pub fn with_graph_cache(config: RuntimeConfig, graphs: Arc<GraphCache>) -> Self {
+        BatchRuntime { config, graphs }
+    }
+
+    /// The graph cache this runtime resolves scenarios through.
+    pub fn graph_cache(&self) -> &Arc<GraphCache> {
+        &self.graphs
     }
 
     /// Runs a whole batch to completion and reports every outcome.
@@ -378,6 +394,33 @@ impl BatchRuntime {
             metrics.job_degraded();
         }
 
+        // Resolve the graph through the shared cache: one build per distinct
+        // spec no matter how many jobs in the batch reuse it. Build failures
+        // are deterministic, so they fail the job like any malformed input.
+        let graph = match self.graphs.fetch(&plan.scenario.graph) {
+            Ok(fetched) => {
+                if fetched.built {
+                    metrics.graph_cache_miss();
+                } else {
+                    metrics.graph_cache_hit();
+                }
+                fetched.graph
+            }
+            Err(message) => {
+                metrics.job_failed();
+                if breaker.record_failure(fingerprint) {
+                    metrics.breaker_opened();
+                }
+                return finish(
+                    JobStatus::Failed {
+                        reason: FailureReason::Malformed { message },
+                    },
+                    0,
+                    plan.degraded,
+                );
+            }
+        };
+
         let deadline = spec.deadline.or(cfg.default_deadline);
         let token = CancelToken::new();
         recover(active.lock()).insert(
@@ -407,7 +450,7 @@ impl BatchRuntime {
                 if inject_panic {
                     panic!("injected test panic");
                 }
-                run_attempt(scenario, overrides, &token)
+                run_attempt_on(scenario, &graph, overrides, &token)
             }));
             match result {
                 Err(payload) => {
@@ -807,6 +850,55 @@ mod tests {
         );
         assert!(report.balanced(), "{}", report.render());
         assert_eq!(report.counters.completed, 3);
+    }
+
+    #[test]
+    fn a_corpus_over_three_families_builds_exactly_three_graphs() {
+        // Thirty scenarios cycling over three graph families: the shared
+        // cache must build three graphs, not thirty, and the hit/miss
+        // telemetry must account for every fetch.
+        let specs: Vec<JobSpec> = (0..30)
+            .map(|i| {
+                let mut s = healthy(&format!("fam-{i}"));
+                s.graph.family = match i % 3 {
+                    0 => Family::Uniform {
+                        vertices: 64,
+                        edges: 256,
+                        seed: 7,
+                    },
+                    1 => Family::Path { vertices: 64 },
+                    _ => Family::Star { vertices: 64 },
+                };
+                JobSpec::new(s)
+            })
+            .collect();
+        let runtime = BatchRuntime::new(RuntimeConfig {
+            workers: 4,
+            ..RuntimeConfig::default()
+        });
+        let report = runtime.run(specs);
+        assert!(report.balanced(), "{}", report.render());
+        assert_eq!(report.counters.completed, 30);
+        let stats = runtime.graph_cache().stats();
+        assert_eq!(stats.builds, 3, "three families, three builds: {stats:?}");
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 27);
+        assert_eq!(report.counters.graph_cache_misses, 3);
+        assert_eq!(report.counters.graph_cache_hits, 27);
+    }
+
+    #[test]
+    fn a_shared_cache_survives_across_batches() {
+        let cache = Arc::new(GraphCache::with_default_capacity());
+        for _ in 0..2 {
+            let runtime =
+                BatchRuntime::with_graph_cache(RuntimeConfig::default(), Arc::clone(&cache));
+            let report = runtime.run(vec![JobSpec::new(healthy("cross-batch"))]);
+            assert!(report.balanced(), "{}", report.render());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1, "second batch reuses the first's graph");
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Immutable graph cache with single-flight construction.
+//!
+//! Building a CSR is the most expensive prefix of every job: a thousand
+//! queued scenarios on the same three graph families must not build a
+//! thousand graphs. The cache maps a [`GraphSpec`] — a pure description of
+//! the generator, its seeds, and its post-processing — to the `Arc<Csr>` it
+//! builds. Soundness rests on two facts:
+//!
+//! * generation is a **pure function** of the spec (same spec, same bytes),
+//!   so a cached graph is indistinguishable from a fresh build;
+//! * the cached CSR is **immutable** — every consumer holds a shared `Arc`
+//!   and the simulator never mutates its input graph.
+//!
+//! Construction is *single-flight*: the first caller of a spec inserts a
+//! `Building` placeholder and builds outside the lock; concurrent callers
+//! of the same spec block on a condvar and receive the published `Arc`
+//! instead of racing N redundant builds. Deterministic build failures are
+//! cached too (`Failed`), so a storm of identical malformed specs fails
+//! fast instead of re-deriving the same error.
+//!
+//! Eviction is LRU over a bounded entry count. `Building` placeholders are
+//! never evicted — a waiter is parked on them.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use scalagraph_conformance::GraphSpec;
+use scalagraph_graph::Csr;
+
+use crate::budget::estimated_graph_bytes;
+
+/// Counters describing the cache's behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphCacheStats {
+    /// Graphs actually constructed (successful builds).
+    pub builds: u64,
+    /// Requests served from a cached graph (including waiters that joined
+    /// an in-flight build).
+    pub hits: u64,
+    /// Requests that had to trigger a build.
+    pub misses: u64,
+    /// Ready entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Estimated resident bytes of currently cached graphs.
+    pub resident_bytes: u64,
+}
+
+enum Entry {
+    /// A builder is constructing this graph right now; wait, don't build.
+    Building,
+    /// The finished graph, with an LRU stamp.
+    Ready { graph: Arc<Csr>, last_used: u64 },
+    /// The spec deterministically fails to build; cached so repeat
+    /// offenders fail fast.
+    Failed { message: String, last_used: u64 },
+}
+
+struct State {
+    entries: HashMap<GraphSpec, Entry>,
+    tick: u64,
+    stats: GraphCacheStats,
+}
+
+/// A bounded, thread-safe, single-flight cache of immutable CSR graphs.
+pub struct GraphCache {
+    state: Mutex<State>,
+    published: Condvar,
+    capacity: usize,
+}
+
+/// What [`GraphCache::fetch`] resolved.
+#[derive(Debug)]
+pub struct Fetched {
+    /// The (shared, immutable) graph.
+    pub graph: Arc<Csr>,
+    /// Whether *this* call performed the build. `false` for both plain
+    /// cache hits and waiters that joined another caller's in-flight build.
+    pub built: bool,
+}
+
+fn recover<'a>(
+    r: Result<MutexGuard<'a, State>, PoisonError<MutexGuard<'a, State>>>,
+) -> MutexGuard<'a, State> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl GraphCache {
+    /// A cache holding at most `capacity` finished entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        GraphCache {
+            state: Mutex::new(State {
+                entries: HashMap::new(),
+                tick: 0,
+                stats: GraphCacheStats::default(),
+            }),
+            published: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A cache with the default capacity (64 graphs).
+    pub fn with_default_capacity() -> Self {
+        GraphCache::new(64)
+    }
+
+    /// Resolves `spec` to its graph, building it at most once per cached
+    /// lifetime no matter how many threads ask concurrently.
+    ///
+    /// # Errors
+    ///
+    /// The build error of an unusable spec (propagated to every caller,
+    /// including waiters of the failing flight).
+    pub fn fetch(&self, spec: &GraphSpec) -> Result<Fetched, String> {
+        let mut state = recover(self.state.lock());
+        loop {
+            state.tick += 1;
+            let tick = state.tick;
+            match state.entries.get_mut(spec) {
+                Some(Entry::Ready { graph, last_used }) => {
+                    *last_used = tick;
+                    let graph = Arc::clone(graph);
+                    state.stats.hits += 1;
+                    return Ok(Fetched {
+                        graph,
+                        built: false,
+                    });
+                }
+                Some(Entry::Failed { message, last_used }) => {
+                    *last_used = tick;
+                    let message = message.clone();
+                    state.stats.hits += 1;
+                    return Err(message);
+                }
+                Some(Entry::Building) => {
+                    state = recover(self.published.wait(state));
+                }
+                None => {
+                    state.entries.insert(*spec, Entry::Building);
+                    state.stats.misses += 1;
+                    break;
+                }
+            }
+        }
+        drop(state);
+
+        // Build outside the lock: concurrent fetches of *other* specs keep
+        // flowing, and waiters of this spec park on the condvar.
+        let result = spec.build();
+
+        let mut state = recover(self.state.lock());
+        state.tick += 1;
+        let tick = state.tick;
+        let outcome = match result {
+            Ok(csr) => {
+                let graph = Arc::new(csr);
+                state.stats.builds += 1;
+                state.stats.resident_bytes += estimated_graph_bytes(spec);
+                state.entries.insert(
+                    *spec,
+                    Entry::Ready {
+                        graph: Arc::clone(&graph),
+                        last_used: tick,
+                    },
+                );
+                Ok(Fetched { graph, built: true })
+            }
+            Err(message) => {
+                state.entries.insert(
+                    *spec,
+                    Entry::Failed {
+                        message: message.clone(),
+                        last_used: tick,
+                    },
+                );
+                Err(message)
+            }
+        };
+        self.evict_over_capacity(&mut state, spec);
+        drop(state);
+        self.published.notify_all();
+        outcome
+    }
+
+    /// Evicts least-recently-used finished entries until the cache fits its
+    /// capacity. Never evicts `Building` placeholders or `keep` (the entry
+    /// just published, which the caller is about to hand out).
+    fn evict_over_capacity(&self, state: &mut State, keep: &GraphSpec) {
+        while state.entries.len() > self.capacity {
+            let victim = state
+                .entries
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } | Entry::Failed { last_used, .. }
+                        if k != keep =>
+                    {
+                        Some((*last_used, *k))
+                    }
+                    _ => None,
+                })
+                .min_by_key(|(last_used, _)| *last_used);
+            match victim {
+                Some((_, key)) => {
+                    if matches!(state.entries.remove(&key), Some(Entry::Ready { .. })) {
+                        state.stats.evictions += 1;
+                        state.stats.resident_bytes = state
+                            .stats
+                            .resident_bytes
+                            .saturating_sub(estimated_graph_bytes(&key));
+                    }
+                }
+                None => break, // everything left is Building or `keep`
+            }
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> GraphCacheStats {
+        recover(self.state.lock()).stats
+    }
+
+    /// Finished entries currently cached.
+    pub fn len(&self) -> usize {
+        recover(self.state.lock())
+            .entries
+            .values()
+            .filter(|e| !matches!(e, Entry::Building))
+            .count()
+    }
+
+    /// Whether the cache holds no finished entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalagraph_conformance::scenario::Family;
+
+    fn spec(seed: u64) -> GraphSpec {
+        GraphSpec {
+            family: Family::Uniform {
+                vertices: 64,
+                edges: 256,
+                seed,
+            },
+            symmetrize: false,
+            max_weight: 0,
+            weight_seed: 0,
+        }
+    }
+
+    #[test]
+    fn second_fetch_is_a_hit_on_the_same_arc() {
+        let cache = GraphCache::new(8);
+        let first = cache.fetch(&spec(1)).unwrap();
+        assert!(first.built);
+        let second = cache.fetch(&spec(1)).unwrap();
+        assert!(!second.built);
+        assert!(Arc::ptr_eq(&first.graph, &second.graph), "same allocation");
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn distinct_specs_build_distinct_graphs() {
+        let cache = GraphCache::new(8);
+        cache.fetch(&spec(1)).unwrap();
+        cache.fetch(&spec(2)).unwrap();
+        let mut weighted = spec(1);
+        weighted.max_weight = 255;
+        cache.fetch(&weighted).unwrap();
+        assert_eq!(cache.stats().builds, 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_fetches_of_one_spec_build_exactly_once() {
+        let cache = GraphCache::new(8);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| scope.spawn(|| cache.fetch(&spec(7)).unwrap()))
+                .collect();
+            let fetched: Vec<Fetched> = handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect();
+            assert_eq!(
+                fetched.iter().filter(|f| f.built).count(),
+                1,
+                "single-flight: exactly one builder"
+            );
+            for f in &fetched {
+                assert!(Arc::ptr_eq(&f.graph, &fetched[0].graph));
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 15);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_capacity_and_counts() {
+        let cache = GraphCache::new(2);
+        cache.fetch(&spec(1)).unwrap();
+        cache.fetch(&spec(2)).unwrap();
+        cache.fetch(&spec(1)).unwrap(); // touch 1 so 2 is the LRU victim
+        cache.fetch(&spec(3)).unwrap();
+        assert_eq!(cache.len(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        // Spec 1 survived; fetching it again is a hit, spec 2 rebuilds.
+        assert!(!cache.fetch(&spec(1)).unwrap().built);
+        assert!(cache.fetch(&spec(2)).unwrap().built);
+    }
+
+    #[test]
+    fn deterministic_build_failures_are_cached_and_propagate() {
+        let cache = GraphCache::new(8);
+        let bad = GraphSpec {
+            family: Family::Path { vertices: 1 },
+            symmetrize: false,
+            max_weight: 0,
+            weight_seed: 0,
+        };
+        let first = cache.fetch(&bad).unwrap_err();
+        assert!(first.contains("at least 2"), "{first}");
+        let second = cache.fetch(&bad).unwrap_err();
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 0, "failures never count as builds");
+        assert_eq!(stats.misses, 1, "the failure is cached after one try");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn eviction_accounts_resident_bytes() {
+        let cache = GraphCache::new(1);
+        cache.fetch(&spec(1)).unwrap();
+        let full = cache.stats().resident_bytes;
+        cache.fetch(&spec(2)).unwrap();
+        assert_eq!(
+            cache.stats().resident_bytes,
+            full,
+            "one evicted, one inserted, same family size"
+        );
+        assert_eq!(cache.stats().evictions, 1);
+    }
+}

@@ -15,6 +15,7 @@
 //! | circuit breaker | [`breaker`] | repeat offenders (same scenario fingerprint) are quarantined |
 //! | resource budgets | [`budget`] | oversized jobs degrade gracefully, tagged `degraded` |
 //! | panic isolation | [`batch`] | `catch_unwind` per attempt; a panicking job is one failed outcome |
+//! | shared graphs | [`graphcache`] | one [`GraphCache`] build per distinct spec, single-flight, LRU-bounded |
 //!
 //! The load-bearing invariant is the **ledger**: every submitted job lands
 //! in exactly one terminal bucket, so
@@ -54,6 +55,7 @@
 pub mod batch;
 pub mod breaker;
 pub mod budget;
+pub mod graphcache;
 pub mod job;
 pub mod queue;
 pub mod retry;
@@ -62,9 +64,10 @@ pub mod runner;
 pub use batch::{BatchReport, BatchRuntime, RuntimeConfig};
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use budget::{estimated_graph_bytes, BudgetPlan, ResourceBudgets};
+pub use graphcache::{Fetched, GraphCache, GraphCacheStats};
 pub use job::{
     FailureReason, JobId, JobMetrics, JobOutcome, JobSpec, JobStatus, Priority, Rejection,
 };
 pub use queue::AdmissionQueue;
 pub use retry::RetryPolicy;
-pub use runner::{run_attempt, AttemptError, AttemptOverrides};
+pub use runner::{run_attempt, run_attempt_on, AttemptError, AttemptOverrides};

@@ -42,6 +42,10 @@ pub enum AttemptError {
 
 /// Runs one attempt of `scenario`, polling `token` every simulated cycle.
 ///
+/// Builds the scenario's graph itself; batch and serve layers that share
+/// graphs across jobs should resolve the graph through a
+/// [`GraphCache`](crate::GraphCache) and call [`run_attempt_on`] instead.
+///
 /// # Errors
 ///
 /// [`AttemptError::Malformed`] for unusable scenarios,
@@ -53,6 +57,24 @@ pub fn run_attempt(
     token: &CancelToken,
 ) -> Result<JobMetrics, AttemptError> {
     let graph = scenario.graph.build().map_err(AttemptError::Malformed)?;
+    run_attempt_on(scenario, &graph, overrides, token)
+}
+
+/// [`run_attempt`] against a prebuilt (typically cached, shared) graph.
+/// The graph must be the one `scenario.graph` builds — the caller owns that
+/// invariant (a [`GraphCache`](crate::GraphCache) keyed by `GraphSpec`
+/// provides it by construction). The simulator never mutates its input
+/// graph, so one immutable CSR can back any number of concurrent attempts.
+///
+/// # Errors
+///
+/// Same contract as [`run_attempt`].
+pub fn run_attempt_on(
+    scenario: &Scenario,
+    graph: &Csr,
+    overrides: AttemptOverrides,
+    token: &CancelToken,
+) -> Result<JobMetrics, AttemptError> {
     let n = graph.num_vertices() as u32;
     let root_ok = |root: u32| {
         if root < n {
@@ -66,15 +88,15 @@ pub fn run_attempt(
     match scenario.algo {
         AlgoSpec::Bfs { root } => {
             root_ok(root)?;
-            run_typed(scenario, &graph, &Bfs::from_root(root), overrides, token)
+            run_typed(scenario, graph, &Bfs::from_root(root), overrides, token)
         }
         AlgoSpec::Sssp { root } => {
             root_ok(root)?;
-            run_typed(scenario, &graph, &Sssp::from_root(root), overrides, token)
+            run_typed(scenario, graph, &Sssp::from_root(root), overrides, token)
         }
         AlgoSpec::Cc => run_typed(
             scenario,
-            &graph,
+            graph,
             &ConnectedComponents::new(),
             overrides,
             token,
@@ -85,13 +107,13 @@ pub fn run_attempt(
                     "pagerank needs at least 1 iteration".into(),
                 ));
             }
-            run_typed(scenario, &graph, &PageRank::new(iters), overrides, token)
+            run_typed(scenario, graph, &PageRank::new(iters), overrides, token)
         }
         AlgoSpec::WidestPath { root } => {
             root_ok(root)?;
             run_typed(
                 scenario,
-                &graph,
+                graph,
                 &WidestPath::from_root(root),
                 overrides,
                 token,

@@ -1,0 +1,350 @@
+//! `loadgen` — corpus-replaying load generator for `scalagraph-serve`.
+//!
+//! ```text
+//! loadgen [options]
+//!   --addr <host:port>     daemon address                      [127.0.0.1:7451]
+//!   --corpus <dir>         scenario directory (*.json)         [corpus]
+//!   --concurrency <n>      client threads                      [8]
+//!   --passes <n>           full passes over the corpus         [2]
+//!   --repeat <n>           duplicate submissions per scenario  [1]
+//!   --out <path>           benchmark report                    [BENCH_serve.json]
+//!   --expect-all-ok        exit 1 unless every request was ok:true
+//!   --expect-memo-hits     exit 1 unless at least one memo hit was observed
+//! ```
+//!
+//! Each request is an HTTP/1.1 `POST /run` on its own connection (the
+//! daemon is `Connection: close`). Scenarios are expanded to
+//! `passes * repeat` copies, shuffled deterministically, and drained from a
+//! shared work list by `concurrency` threads. The report captures
+//! throughput, latency percentiles, protocol-level success counts, and the
+//! daemon's own cache counters scraped from `GET /metrics`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use scalagraph_conformance::json::{obj, Json};
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    eprintln!(
+        "{}",
+        include_str!("loadgen.rs")
+            .lines()
+            .skip(2)
+            .take_while(|l| l.starts_with("//!"))
+            .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    exit(2)
+}
+
+struct Args {
+    addr: String,
+    corpus: String,
+    concurrency: usize,
+    passes: usize,
+    repeat: usize,
+    out: String,
+    expect_all_ok: bool,
+    expect_memo_hits: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        addr: "127.0.0.1:7451".into(),
+        corpus: "corpus".into(),
+        concurrency: 8,
+        passes: 2,
+        repeat: 1,
+        out: "BENCH_serve.json".into(),
+        expect_all_ok: false,
+        expect_memo_hits: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| usage_and_exit(&format!("{a} needs a value")))
+        };
+        let parse_n = |flag: &str, v: String| -> usize {
+            v.parse()
+                .unwrap_or_else(|_| usage_and_exit(&format!("{flag} needs a positive integer")))
+        };
+        match a.as_str() {
+            "--addr" => parsed.addr = value(),
+            "--corpus" => parsed.corpus = value(),
+            "--concurrency" => parsed.concurrency = parse_n("--concurrency", value()).max(1),
+            "--passes" => parsed.passes = parse_n("--passes", value()).max(1),
+            "--repeat" => parsed.repeat = parse_n("--repeat", value()).max(1),
+            "--out" => parsed.out = value(),
+            "--expect-all-ok" => parsed.expect_all_ok = true,
+            "--expect-memo-hits" => parsed.expect_memo_hits = true,
+            other => usage_and_exit(&format!("unknown flag `{other}`")),
+        }
+    }
+    parsed
+}
+
+/// Load every `*.json` scenario body from the corpus directory, sorted by
+/// file name so runs are reproducible.
+fn load_corpus(dir: &str) -> Vec<(String, String)> {
+    let mut files: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => usage_and_exit(&format!("cannot read corpus dir `{dir}`: {e}")),
+    };
+    files.sort();
+    files
+        .into_iter()
+        .filter_map(|path| {
+            let name = path.file_stem()?.to_string_lossy().into_owned();
+            let body = std::fs::read_to_string(&path).ok()?;
+            Some((name, body))
+        })
+        .collect()
+}
+
+/// One `POST /run` on a fresh connection. Returns the response body.
+fn post_run(addr: &str, body: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let head = format!(
+        "POST /run HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, payload)) => Ok(payload.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no header/body separator in response",
+        )),
+    }
+}
+
+fn get_metrics(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    Ok(raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default())
+}
+
+/// Pull one `scalagraph_serve_<name> <value>` line out of the metrics
+/// text; 0 when the daemon was unreachable or the counter is missing.
+fn scrape(metrics: &str, name: &str) -> u64 {
+    let key = format!("scalagraph_serve_{name} ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&key))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    memo_hits: u64,
+    io_failures: u64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let corpus = load_corpus(&args.corpus);
+    if corpus.is_empty() {
+        usage_and_exit(&format!("no *.json scenarios under `{}`", args.corpus));
+    }
+
+    // Expand to passes * repeat copies and interleave deterministically so
+    // concurrent threads hit a mix of scenarios (and, on pass >= 2 or
+    // repeat >= 2, the daemon's memo cache).
+    let mut work: Vec<usize> = Vec::new();
+    for pass in 0..args.passes {
+        for _ in 0..args.repeat {
+            for i in 0..corpus.len() {
+                work.push((i + pass * 7) % corpus.len());
+            }
+        }
+    }
+    let total = work.len();
+    eprintln!(
+        "loadgen: {} scenarios x {} passes x {} repeat = {} requests, {} threads -> {}",
+        corpus.len(),
+        args.passes,
+        args.repeat,
+        total,
+        args.concurrency,
+        args.addr
+    );
+
+    let corpus = Arc::new(corpus);
+    let work = Arc::new(work);
+    let next = Arc::new(AtomicUsize::new(0));
+    let tally = Arc::new(Mutex::new(Tally::default()));
+    let started = Instant::now();
+
+    let threads: Vec<_> = (0..args.concurrency)
+        .map(|_| {
+            let corpus = Arc::clone(&corpus);
+            let work = Arc::clone(&work);
+            let next = Arc::clone(&next);
+            let tally = Arc::clone(&tally);
+            let addr = args.addr.clone();
+            std::thread::spawn(move || loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= work.len() {
+                    return;
+                }
+                let (_, body) = &corpus[work[slot]];
+                let sent = Instant::now();
+                let outcome = post_run(&addr, body);
+                let elapsed_us = sent.elapsed().as_micros() as u64;
+                let mut t = match tally.lock() {
+                    Ok(t) => t,
+                    Err(_) => return,
+                };
+                t.latencies_us.push(elapsed_us);
+                match outcome {
+                    Ok(response) => {
+                        if response.starts_with("{\"ok\":true") {
+                            t.ok += 1;
+                            if response.contains("\"memo_hit\":true") {
+                                t.memo_hits += 1;
+                            }
+                        } else {
+                            t.errors += 1;
+                        }
+                    }
+                    Err(e) => {
+                        t.io_failures += 1;
+                        t.errors += 1;
+                        eprintln!("loadgen: request failed: {e}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+    let wall = started.elapsed();
+
+    let metrics = get_metrics(&args.addr).unwrap_or_default();
+    let mut tally = match Arc::try_unwrap(tally) {
+        Ok(m) => match m.into_inner() {
+            Ok(t) => t,
+            Err(_) => usage_and_exit("tally poisoned"),
+        },
+        Err(_) => usage_and_exit("worker thread leaked"),
+    };
+    tally.latencies_us.sort_unstable();
+
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    let throughput = total as f64 / wall_s;
+    let report = obj(vec![
+        ("bench", Json::Str("serve".into())),
+        ("addr", Json::Str(args.addr.clone())),
+        ("scenarios", Json::Int(corpus.len() as u64)),
+        ("passes", Json::Int(args.passes as u64)),
+        ("repeat", Json::Int(args.repeat as u64)),
+        ("concurrency", Json::Int(args.concurrency as u64)),
+        ("requests", Json::Int(total as u64)),
+        ("wall_ms", Json::Int(wall.as_millis() as u64)),
+        (
+            "throughput_rps",
+            Json::Float((throughput * 100.0).round() / 100.0),
+        ),
+        ("ok", Json::Int(tally.ok)),
+        ("errors", Json::Int(tally.errors)),
+        ("io_failures", Json::Int(tally.io_failures)),
+        ("client_memo_hits", Json::Int(tally.memo_hits)),
+        (
+            "latency_us",
+            obj(vec![
+                ("p50", Json::Int(percentile(&tally.latencies_us, 0.50))),
+                ("p90", Json::Int(percentile(&tally.latencies_us, 0.90))),
+                ("p99", Json::Int(percentile(&tally.latencies_us, 0.99))),
+                (
+                    "max",
+                    Json::Int(tally.latencies_us.last().copied().unwrap_or(0)),
+                ),
+            ]),
+        ),
+        (
+            "server",
+            obj(vec![
+                (
+                    "graph_cache_hits",
+                    Json::Int(scrape(&metrics, "graph_cache_hits")),
+                ),
+                (
+                    "graph_cache_misses",
+                    Json::Int(scrape(&metrics, "graph_cache_misses")),
+                ),
+                (
+                    "graph_cache_builds",
+                    Json::Int(scrape(&metrics, "graph_cache_builds")),
+                ),
+                ("memo_hits", Json::Int(scrape(&metrics, "memo_hits"))),
+                ("memo_misses", Json::Int(scrape(&metrics, "memo_misses"))),
+                ("requests_ok", Json::Int(scrape(&metrics, "requests_ok"))),
+                (
+                    "requests_error",
+                    Json::Int(scrape(&metrics, "requests_error")),
+                ),
+                (
+                    "ledger_balanced",
+                    Json::Int(scrape(&metrics, "ledger_balanced")),
+                ),
+            ]),
+        ),
+    ]);
+    let rendered = report.pretty();
+    if let Err(e) = std::fs::write(&args.out, format!("{rendered}\n")) {
+        eprintln!("loadgen: cannot write {}: {e}", args.out);
+        exit(2);
+    }
+    println!("{rendered}");
+    eprintln!(
+        "loadgen: {total} requests in {:.2}s ({throughput:.1} rps), {} ok / {} errors, {} memo hits",
+        wall_s, tally.ok, tally.errors, tally.memo_hits
+    );
+
+    let mut failed = false;
+    if args.expect_all_ok && tally.ok != total as u64 {
+        eprintln!("loadgen: FAIL --expect-all-ok: {} of {total} ok", tally.ok);
+        failed = true;
+    }
+    if args.expect_memo_hits && tally.memo_hits == 0 {
+        eprintln!("loadgen: FAIL --expect-memo-hits: no memo hits observed");
+        failed = true;
+    }
+    exit(if failed { 1 } else { 0 })
+}

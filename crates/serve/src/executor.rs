@@ -1,0 +1,705 @@
+//! The serving executor: a persistent worker pool behind admission control.
+//!
+//! Unlike the batch runtime (which runs one finite batch to completion),
+//! the executor lives as long as the daemon: connection handlers submit
+//! jobs through the same bounded two-lane [`AdmissionQueue`] the batch
+//! runtime uses, workers pop until shutdown, and every reply travels back
+//! over the job's own channel. Two caches make it a *service*:
+//!
+//! * the shared [`GraphCache`] resolves each scenario's graph once per
+//!   distinct spec across the daemon's whole lifetime;
+//! * the [`MemoCache`] replays completed results verbatim for repeated
+//!   fingerprints, single-flight, so a thundering herd of identical
+//!   requests costs one simulation.
+//!
+//! The ledger invariant carries over unchanged: every submitted job lands
+//! in exactly one terminal bucket
+//! (`submitted == completed + failed + cancelled + rejected`), which
+//! [`Executor::shutdown`] re-checks after the drain.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use scalagraph::{CancelToken, SimError};
+use scalagraph_conformance::Scenario;
+use scalagraph_runtime::{
+    run_attempt_on, AdmissionQueue, AttemptError, AttemptOverrides, FailureReason, GraphCache,
+    JobStatus, Priority,
+};
+use scalagraph_telemetry::ServiceMetrics;
+
+use crate::memo::{Memo, MemoCache};
+use crate::protocol::{result_json, ErrorReply};
+
+/// Executor knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Admission queue capacity across both lanes.
+    pub queue_capacity: usize,
+    /// Wall-clock deadline for jobs that don't carry their own. `None`
+    /// means unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Supervisor polling cadence for deadline enforcement.
+    pub poll_interval: Duration,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 4,
+            queue_capacity: 256,
+            default_deadline: Some(Duration::from_secs(10)),
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// What the executor sends back for one submitted job.
+#[derive(Debug)]
+pub enum RunReply {
+    /// The job reached a terminal simulation status; `result` is the
+    /// deterministic result object (serialized), `memo_hit` says whether
+    /// it was replayed from the memo.
+    Done {
+        /// Serialized result object (spliced verbatim into the response).
+        result: Arc<String>,
+        /// Replayed from the memo instead of simulated.
+        memo_hit: bool,
+        /// Admission-to-reply wall time.
+        wall_ms: u64,
+    },
+    /// The job could not run at all (drained during shutdown).
+    Refused(ErrorReply),
+}
+
+struct ServeJob {
+    scenario: Scenario,
+    deadline: Option<Duration>,
+    admitted: Instant,
+    reply: Sender<RunReply>,
+}
+
+struct ActiveJob {
+    started: Instant,
+    deadline: Option<Duration>,
+    token: CancelToken,
+}
+
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+fn sim_status(e: SimError, metrics: &ServiceMetrics) -> JobStatus {
+    match e {
+        SimError::Cancelled { cycle, .. } => {
+            metrics.job_cancelled();
+            JobStatus::Cancelled {
+                at_cycle: Some(cycle),
+            }
+        }
+        SimError::DeadlineExceeded { cycle, .. } => {
+            metrics.deadline_kill();
+            metrics.job_cancelled();
+            JobStatus::DeadlineExceeded {
+                at_cycle: Some(cycle),
+            }
+        }
+        other => {
+            metrics.job_failed();
+            JobStatus::Failed {
+                reason: FailureReason::Sim {
+                    variant: variant_name(&other).to_string(),
+                    message: other.to_string(),
+                },
+            }
+        }
+    }
+}
+
+fn variant_name(e: &SimError) -> &'static str {
+    match e {
+        SimError::ConfigInvalid { .. } => "ConfigInvalid",
+        SimError::ProtocolViolation { .. } => "ProtocolViolation",
+        SimError::FaultUnrecoverable { .. } => "FaultUnrecoverable",
+        SimError::DeadlockDetected { .. } => "DeadlockDetected",
+        SimError::WatchdogStall { .. } => "WatchdogStall",
+        SimError::CycleCapExceeded { .. } => "CycleCapExceeded",
+        SimError::Cancelled { .. } => "Cancelled",
+        SimError::DeadlineExceeded { .. } => "DeadlineExceeded",
+        _ => "Unknown",
+    }
+}
+
+/// The long-lived worker pool. Construct with [`Executor::start`], feed it
+/// with [`Executor::submit`], end it with [`Executor::shutdown`].
+pub struct Executor {
+    config: ExecutorConfig,
+    queue: Arc<AdmissionQueue<ServeJob>>,
+    graphs: Arc<GraphCache>,
+    memo: Arc<MemoCache>,
+    metrics: Arc<ServiceMetrics>,
+    active: Arc<Mutex<HashMap<u64, ActiveJob>>>,
+    stop: Arc<AtomicBool>,
+    supervisor_stop: Arc<AtomicBool>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Executor {
+    /// Spawns the worker pool and deadline supervisor.
+    pub fn start(
+        config: ExecutorConfig,
+        metrics: Arc<ServiceMetrics>,
+        graphs: Arc<GraphCache>,
+        memo: Arc<MemoCache>,
+    ) -> Self {
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity.max(1)));
+        let active: Arc<Mutex<HashMap<u64, ActiveJob>>> = Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let supervisor_stop = Arc::new(AtomicBool::new(false));
+
+        let serial = Arc::new(AtomicU64::new(0));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let graphs = Arc::clone(&graphs);
+                let memo = Arc::clone(&memo);
+                let metrics = Arc::clone(&metrics);
+                let active = Arc::clone(&active);
+                let stop = Arc::clone(&stop);
+                let serial = Arc::clone(&serial);
+                std::thread::spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        metrics.queue_left();
+                        let id = serial.fetch_add(1, Ordering::Relaxed);
+                        process(job, id, &graphs, &memo, &metrics, &active, &stop);
+                    }
+                })
+            })
+            .collect();
+
+        // Supervisor: expires per-job deadlines; once `stop` is set it
+        // keeps sweeping cancellation over everything active so even a
+        // memo waiter that inherits an abandoned flight mid-drain is
+        // cancelled on its first stepped cycle.
+        let supervisor = {
+            let active = Arc::clone(&active);
+            let stop = Arc::clone(&stop);
+            let supervisor_stop = Arc::clone(&supervisor_stop);
+            let poll = config.poll_interval;
+            std::thread::spawn(move || loop {
+                if supervisor_stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let draining = stop.load(Ordering::Acquire);
+                for job in recover(active.lock()).values() {
+                    if draining {
+                        job.token.cancel();
+                    } else if let Some(deadline) = job.deadline {
+                        if job.started.elapsed() >= deadline {
+                            job.token.expire();
+                        }
+                    }
+                }
+                std::thread::sleep(poll);
+            })
+        };
+
+        Executor {
+            config,
+            queue,
+            graphs,
+            memo,
+            metrics,
+            active,
+            stop,
+            supervisor_stop,
+            workers: Mutex::new(workers),
+            supervisor: Mutex::new(Some(supervisor)),
+        }
+    }
+
+    /// The shared graph cache.
+    pub fn graph_cache(&self) -> &Arc<GraphCache> {
+        &self.graphs
+    }
+
+    /// The shared memo cache.
+    pub fn memo(&self) -> &Arc<MemoCache> {
+        &self.memo
+    }
+
+    /// Submits one scenario. The terminal [`RunReply`] arrives on `reply`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ErrorReply`] when admission control refuses the job
+    /// (queue full or shutting down); the ledger records it as rejected
+    /// and no reply will arrive on the channel.
+    pub fn submit(
+        &self,
+        scenario: Scenario,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+        reply: Sender<RunReply>,
+    ) -> Result<(), ErrorReply> {
+        self.metrics.job_submitted();
+        if self.stop.load(Ordering::Acquire) {
+            self.metrics.job_rejected();
+            return Err(ErrorReply::shutting_down());
+        }
+        let deadline = match deadline_ms {
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => self.config.default_deadline,
+        };
+        let job = ServeJob {
+            scenario,
+            deadline,
+            admitted: Instant::now(),
+            reply,
+        };
+        // Gauge before visibility, as in the batch runtime: a worker that
+        // pops the job decrements immediately.
+        self.metrics.queue_entered();
+        match self.queue.try_push(job, priority) {
+            Ok(()) => Ok(()),
+            Err(rejection) => {
+                self.metrics.queue_left();
+                self.metrics.job_rejected();
+                Err(match rejection {
+                    scalagraph_runtime::Rejection::QueueFull { capacity } => {
+                        ErrorReply::queue_full(capacity)
+                    }
+                    scalagraph_runtime::Rejection::ShuttingDown => ErrorReply::shutting_down(),
+                })
+            }
+        }
+    }
+
+    /// Graceful drain: refuses new work, turns everything still queued
+    /// into cancelled refusals, cooperatively cancels in-flight jobs, and
+    /// joins every thread. Idempotent — a second call finds nothing left
+    /// to drain or join. The final counters are readable from the shared
+    /// [`ServiceMetrics`] afterwards.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Everything still queued drains into the cancelled bucket with a
+        // typed refusal — never a silently dropped reply channel.
+        for job in self.queue.drain() {
+            self.metrics.queue_left();
+            self.metrics.job_cancelled();
+            let _ = job
+                .reply
+                .send(RunReply::Refused(ErrorReply::shutting_down()));
+        }
+        // The supervisor sweeps cancellation over active jobs until all
+        // workers have exited their pop loop (queue closed by drain).
+        let workers: Vec<JoinHandle<()>> = recover(self.workers.lock()).drain(..).collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        self.supervisor_stop.store(true, Ordering::Release);
+        let supervisor = recover(self.supervisor.lock()).take();
+        if let Some(supervisor) = supervisor {
+            let _ = supervisor.join();
+        }
+        debug_assert!(recover(self.active.lock()).is_empty());
+    }
+}
+
+/// Runs one job to a terminal reply on the calling worker thread.
+fn process(
+    job: ServeJob,
+    id: u64,
+    graphs: &GraphCache,
+    memo: &MemoCache,
+    metrics: &ServiceMetrics,
+    active: &Mutex<HashMap<u64, ActiveJob>>,
+    stop: &AtomicBool,
+) {
+    let fingerprint = job.scenario.fingerprint();
+    let wall_ms = |admitted: Instant| admitted.elapsed().as_millis() as u64;
+
+    // Memo first: identical completed work is replayed verbatim without
+    // touching the graph cache or a simulator. `begin` blocks while an
+    // identical request is in flight and returns its published result.
+    let guard = match memo.begin(fingerprint) {
+        Memo::Hit(result) => {
+            metrics.memo_hit();
+            metrics.job_completed();
+            let _ = job.reply.send(RunReply::Done {
+                result,
+                memo_hit: true,
+                wall_ms: wall_ms(job.admitted),
+            });
+            return;
+        }
+        Memo::Miss(guard) => {
+            metrics.memo_miss();
+            guard
+        }
+    };
+
+    // A drain that started while this job sat in the queue (or while it
+    // waited out another flight) cancels it before any work is spent.
+    if stop.load(Ordering::Acquire) {
+        metrics.job_cancelled();
+        let _ = job.reply.send(RunReply::Done {
+            result: Arc::new(result_json(
+                &job.scenario.name,
+                fingerprint,
+                &JobStatus::Cancelled { at_cycle: None },
+            )),
+            memo_hit: false,
+            wall_ms: wall_ms(job.admitted),
+        });
+        return;
+    }
+
+    // Graph through the shared cache: one build per distinct spec for the
+    // daemon's lifetime.
+    let graph = match graphs.fetch(&job.scenario.graph) {
+        Ok(fetched) => {
+            if fetched.built {
+                metrics.graph_cache_miss();
+            } else {
+                metrics.graph_cache_hit();
+            }
+            fetched.graph
+        }
+        Err(message) => {
+            metrics.job_failed();
+            let status = JobStatus::Failed {
+                reason: FailureReason::Malformed { message },
+            };
+            let _ = job.reply.send(RunReply::Done {
+                result: Arc::new(result_json(&job.scenario.name, fingerprint, &status)),
+                memo_hit: false,
+                wall_ms: wall_ms(job.admitted),
+            });
+            return;
+        }
+    };
+
+    let token = CancelToken::new();
+    recover(active.lock()).insert(
+        id,
+        ActiveJob {
+            started: Instant::now(),
+            deadline: job.deadline,
+            token: token.clone(),
+        },
+    );
+
+    let scenario = &job.scenario;
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        run_attempt_on(scenario, &graph, AttemptOverrides::default(), &token)
+    }));
+
+    recover(active.lock()).remove(&id);
+
+    let (status, publish) = match attempt {
+        Ok(Ok(job_metrics)) => {
+            metrics.job_completed();
+            (
+                JobStatus::Completed {
+                    metrics: job_metrics,
+                },
+                true,
+            )
+        }
+        Ok(Err(AttemptError::Malformed(message))) => {
+            metrics.job_failed();
+            (
+                JobStatus::Failed {
+                    reason: FailureReason::Malformed { message },
+                },
+                false,
+            )
+        }
+        Ok(Err(AttemptError::Sim(e))) => (sim_status(e, metrics), false),
+        Err(payload) => {
+            metrics.panic_contained();
+            metrics.job_failed();
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            (
+                JobStatus::Failed {
+                    reason: FailureReason::Panicked { message },
+                },
+                false,
+            )
+        }
+    };
+
+    let rendered = result_json(&job.scenario.name, fingerprint, &status);
+    let result = if publish {
+        // Only completed outcomes are sound to memoize: they are pure
+        // functions of the scenario. Cancelled / deadline outcomes depend
+        // on wall-clock timing; failures could be memoized but are rare
+        // enough that re-deriving them keeps the policy simple.
+        guard.publish(rendered)
+    } else {
+        drop(guard); // abandon the flight; waiters take over
+        Arc::new(rendered)
+    };
+    let _ = job.reply.send(RunReply::Done {
+        result,
+        memo_hit: false,
+        wall_ms: wall_ms(job.admitted),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::healthy_scenario;
+    use scalagraph_conformance::scenario::{Family, FaultKindSpec, FaultSpec};
+    use std::sync::mpsc::channel;
+
+    fn start(config: ExecutorConfig) -> (Executor, Arc<ServiceMetrics>) {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let executor = Executor::start(
+            config,
+            Arc::clone(&metrics),
+            Arc::new(GraphCache::with_default_capacity()),
+            Arc::new(MemoCache::with_default_capacity()),
+        );
+        (executor, metrics)
+    }
+
+    #[test]
+    fn identical_concurrent_requests_share_one_simulation() {
+        let (executor, metrics) = start(ExecutorConfig::default());
+        let receivers: Vec<_> = (0..8)
+            .map(|_| {
+                let (tx, rx) = channel();
+                executor
+                    .submit(healthy_scenario("same"), Priority::Normal, None, tx)
+                    .unwrap();
+                rx
+            })
+            .collect();
+        let replies: Vec<RunReply> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("reply arrives"))
+            .collect();
+        let mut memo_hits = 0;
+        let mut first: Option<Arc<String>> = None;
+        for reply in &replies {
+            match reply {
+                RunReply::Done {
+                    result, memo_hit, ..
+                } => {
+                    if *memo_hit {
+                        memo_hits += 1;
+                    }
+                    if let Some(prev) = &first {
+                        assert_eq!(**prev, **result, "byte-identical results");
+                    } else {
+                        first = Some(Arc::clone(result));
+                    }
+                }
+                other => panic!("expected done, got {other:?}"),
+            }
+        }
+        assert_eq!(memo_hits, 7, "one flight, seven memo replays");
+        assert_eq!(executor.graph_cache().stats().builds, 1);
+        executor.shutdown();
+        let counters = metrics.snapshot();
+        assert!(counters.balanced(), "{counters}");
+        assert_eq!(counters.completed, 8);
+        assert_eq!(counters.memo_hits, 7);
+        assert_eq!(counters.memo_misses, 1);
+    }
+
+    #[test]
+    fn queue_overflow_is_a_typed_rejection_and_still_balances() {
+        let (executor, metrics) = start(ExecutorConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ExecutorConfig::default()
+        });
+        let mut receivers = Vec::new();
+        let mut rejected = 0u64;
+        for i in 0..12 {
+            let (tx, rx) = channel();
+            // Distinct names keep fingerprints distinct so nothing memoizes.
+            let mut s = healthy_scenario(&format!("burst-{i}"));
+            s.fault_seed = i; // distinct fingerprints
+            match executor.submit(s, Priority::Normal, None, tx) {
+                Ok(()) => receivers.push(rx),
+                Err(err) => {
+                    assert_eq!(err.kind, "queue_full");
+                    rejected += 1;
+                }
+            }
+        }
+        for rx in receivers {
+            assert!(matches!(rx.recv(), Ok(RunReply::Done { .. })));
+        }
+        executor.shutdown();
+        let counters = metrics.snapshot();
+        assert!(counters.balanced(), "{counters}");
+        assert_eq!(counters.rejected, rejected);
+        assert!(rejected > 0, "capacity 1 under a 12-burst must reject");
+    }
+
+    #[test]
+    fn shutdown_mid_drain_closes_the_ledger() {
+        // One worker grinding a wedge; several jobs queued behind it. The
+        // drain must cancel the runner, refuse the queued work, and leave
+        // a balanced ledger.
+        let (executor, metrics) = start(ExecutorConfig {
+            workers: 1,
+            queue_capacity: 64,
+            default_deadline: None,
+            ..ExecutorConfig::default()
+        });
+        let mut wedge = healthy_scenario("wedge");
+        wedge.graph.family = Family::Uniform {
+            vertices: 400,
+            edges: 3000,
+            seed: 4,
+        };
+        wedge.config.watchdog_stall_cycles = 0;
+        wedge.modes.fast_forward = false;
+        wedge.faults = vec![FaultSpec {
+            kind: FaultKindSpec::HbmStall {
+                tile: 0,
+                channel: 0,
+                cycles: 0,
+            },
+            from: 20,
+            until: 21,
+        }];
+        wedge.fault_seed = 1;
+
+        let (wedge_tx, wedge_rx) = channel();
+        executor
+            .submit(wedge, Priority::Normal, Some(0), wedge_tx)
+            .unwrap();
+        let queued: Vec<_> = (0..5)
+            .map(|i| {
+                let (tx, rx) = channel();
+                executor
+                    .submit(
+                        healthy_scenario(&format!("queued-{i}")),
+                        Priority::Normal,
+                        None,
+                        tx,
+                    )
+                    .unwrap();
+                rx
+            })
+            .collect();
+        // Let the wedge actually start spinning before draining.
+        std::thread::sleep(Duration::from_millis(50));
+        executor.shutdown();
+
+        match wedge_rx.recv().expect("wedge reply") {
+            RunReply::Done { result, .. } => {
+                assert!(
+                    result.contains("\"status\":\"cancelled\""),
+                    "wedge cancelled cooperatively: {result}"
+                );
+            }
+            other => panic!("wedge should cancel, got {other:?}"),
+        }
+        let mut refused = 0;
+        for rx in queued {
+            match rx.recv().expect("queued reply") {
+                RunReply::Refused(err) => {
+                    assert_eq!(err.kind, "shutting_down");
+                    refused += 1;
+                }
+                RunReply::Done { result, .. } => {
+                    // A fast worker may legitimately finish (or cancel) a
+                    // queued job before the drain lands.
+                    assert!(result.contains("\"status\":"), "{result}");
+                }
+            }
+        }
+        let counters = metrics.snapshot();
+        assert!(counters.balanced(), "ledger closes mid-drain: {counters}");
+        assert!(refused > 0 || counters.cancelled > 0, "{counters}");
+        assert_eq!(counters.submitted, 6);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_start_are_rejected() {
+        let (executor, metrics) = start(ExecutorConfig::default());
+        executor.stop.store(true, Ordering::Release);
+        let (tx, _rx) = channel();
+        let err = executor
+            .submit(healthy_scenario("late"), Priority::Normal, None, tx)
+            .unwrap_err();
+        assert_eq!(err.kind, "shutting_down");
+        executor.shutdown();
+        assert!(metrics.snapshot().balanced());
+    }
+
+    #[test]
+    fn a_deadline_kill_is_not_memoized_but_a_completion_is() {
+        let (executor, metrics) = start(ExecutorConfig {
+            workers: 2,
+            ..ExecutorConfig::default()
+        });
+        // First: a healthy run with an impossible deadline -> deadline kill.
+        let (tx, rx) = channel();
+        let mut s = healthy_scenario("dl");
+        s.graph.family = Family::Uniform {
+            vertices: 2048,
+            edges: 16_384,
+            seed: 5,
+        };
+        executor
+            .submit(s.clone(), Priority::Normal, Some(1), tx)
+            .unwrap();
+        let first = match rx.recv().unwrap() {
+            RunReply::Done {
+                result, memo_hit, ..
+            } => {
+                assert!(!memo_hit);
+                result
+            }
+            other => panic!("{other:?}"),
+        };
+        // Timing decides whether the tiny deadline actually fired; either
+        // way the second, undeadlined run must simulate (no memo of a
+        // cancelled result) unless the first genuinely completed.
+        let (tx2, rx2) = channel();
+        executor.submit(s, Priority::Normal, Some(0), tx2).unwrap();
+        let second = match rx2.recv().unwrap() {
+            RunReply::Done {
+                result, memo_hit, ..
+            } => {
+                assert!(result.contains("\"status\":\"completed\""), "{result}");
+                (result, memo_hit)
+            }
+            other => panic!("{other:?}"),
+        };
+        if first.contains("\"status\":\"completed\"") {
+            assert!(second.1, "a completed first run memoizes");
+        } else {
+            assert!(!second.1, "a killed first run must not memoize");
+        }
+        executor.shutdown();
+        assert!(metrics.snapshot().balanced());
+    }
+}

@@ -1,0 +1,258 @@
+//! Minimal HTTP/1.1: just enough for `POST /run`, `GET /metrics`, and
+//! `POST /shutdown` over `std::net` — no external dependency, no keep-alive
+//! (every response closes the connection), no chunked encoding.
+//!
+//! Parsing is defensive the same way the jsonl transport is: an oversized
+//! or malformed request becomes a *typed* error the server answers before
+//! closing, never a silent drop or a panic.
+
+use std::io::{Read, Write};
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Request path (`/run`), query string stripped.
+    pub path: String,
+    /// Decoded body (empty for bodyless requests).
+    pub body: String,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The head or body violated the framing rules.
+    Malformed(String),
+    /// Declared or actual body size exceeded the configured ceiling.
+    Oversized {
+        /// Body bytes the peer still has in flight (declared but unread).
+        /// The caller should [`drain`] them after responding: closing a
+        /// socket with unread data pending sends an RST that can destroy
+        /// the error response before the peer reads it.
+        unread: usize,
+    },
+    /// The peer closed or the socket failed mid-request.
+    Io(std::io::Error),
+}
+
+/// Reads one full request from `head_and_rest` (the bytes already buffered
+/// by the protocol sniffer, typically the first line) plus the stream.
+///
+/// # Errors
+///
+/// [`HttpError`] describing the refusal; the caller still owes the peer a
+/// typed HTTP error response for the non-IO variants.
+pub fn read_request(
+    already: &[u8],
+    stream: &mut impl Read,
+    max_body: usize,
+) -> Result<HttpRequest, HttpError> {
+    // Accumulate the head (request line + headers) until CRLFCRLF.
+    let head_cap = 16 * 1024;
+    let mut buf: Vec<u8> = already.to_vec();
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > head_cap {
+            return Err(HttpError::Malformed("request head exceeds 16 KiB".into()));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the end of the request head".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("unparseable Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        let buffered = buf.len().saturating_sub(head_end + 4);
+        return Err(HttpError::Oversized {
+            unread: content_length.saturating_sub(buffered),
+        });
+    }
+
+    // Body: what trailed the head in the buffer, then the stream.
+    let mut body_bytes: Vec<u8> = buf[head_end + 4..].to_vec();
+    if body_bytes.len() > content_length {
+        return Err(HttpError::Malformed(
+            "body longer than Content-Length".into(),
+        ));
+    }
+    while body_bytes.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body_bytes.len()).min(64 * 1024)];
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the end of the body".into(),
+            ));
+        }
+        body_bytes.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8(body_bytes)
+        .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))?;
+
+    Ok(HttpRequest { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads and discards up to `unread` body bytes, bounded by a retry budget
+/// on read timeouts so a stalled peer cannot pin the handler.
+pub fn drain(stream: &mut impl Read, mut unread: usize) {
+    let mut timeouts = 0u32;
+    let mut chunk = [0u8; 64 * 1024];
+    while unread > 0 {
+        let want = unread.min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return,
+            Ok(n) => unread -= n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                timeouts += 1;
+                if timeouts > 100 {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Writes one `Connection: close` response and returns the bytes written
+/// (for the egress counter).
+///
+/// # Errors
+///
+/// The underlying socket write error.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<u64> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok((head.len() + body.len()) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(raw: &str, max_body: usize) -> Result<HttpRequest, HttpError> {
+        let mut rest = raw.as_bytes();
+        read_request(&[], &mut rest, max_body)
+    }
+
+    #[test]
+    fn a_post_with_body_parses() {
+        let raw = "POST /run?trace=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\":123}";
+        let req = request(raw, 1024).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run", "query string stripped");
+        assert_eq!(req.body, "{\"a\":123}");
+    }
+
+    #[test]
+    fn a_bodyless_get_parses() {
+        let req = request("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", 1024).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn an_oversized_declared_body_is_refused_before_reading_it() {
+        let raw = "POST /run HTTP/1.1\r\nContent-Length: 99999\r\n\r\n";
+        assert!(matches!(
+            request(raw, 1024),
+            Err(HttpError::Oversized { unread: 99999 })
+        ));
+    }
+
+    #[test]
+    fn truncated_requests_are_malformed() {
+        assert!(matches!(
+            request(
+                "POST /run HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+                1024
+            ),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            request("POST /run\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn sniffed_prefix_bytes_are_part_of_the_request() {
+        // The server sniffs the transport by reading some bytes first;
+        // they must be prepended, not lost.
+        let raw = "POST /run HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let (first, rest) = raw.as_bytes().split_at(10);
+        let mut rest_reader = rest;
+        let req = read_request(first, &mut rest_reader, 1024).expect("parses");
+        assert_eq!(req.body, "ok");
+    }
+
+    #[test]
+    fn responses_are_framed_with_length_and_close() {
+        let mut out = Vec::new();
+        let n = write_response(&mut out, 200, "OK", "application/json", "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        assert_eq!(n as usize, text.len());
+    }
+}

@@ -1,0 +1,582 @@
+//! The daemon: a TCP listener in front of the [`Executor`].
+//!
+//! One port speaks both transports. The first bytes of a connection are
+//! sniffed: an HTTP method verb (`POST `, `GET `, ...) selects the
+//! one-request HTTP/1.1 handler; anything else (in practice a `{`) selects
+//! the line-delimited JSON session, where each line is one request and each
+//! response is one line. Every connection gets a thread — connection counts
+//! here are bounded by the admission queue behind them, not by the
+//! listener.
+//!
+//! Shutdown is cooperative and total: a `shutdown` control request (either
+//! transport) or [`Server::stop`] flips one flag; the accept loop closes,
+//! the executor drains its queue into typed refusals and cancels in-flight
+//! simulations through their [`CancelToken`](scalagraph::CancelToken)s,
+//! connection threads flush their last responses, and [`Server::join`]
+//! returns the final counters — whose ledger must balance, exactly as in
+//! the batch runtime.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use scalagraph_conformance::json::{parse, Json};
+use scalagraph_runtime::{GraphCache, GraphCacheStats};
+use scalagraph_telemetry::{ServiceCounters, ServiceMetrics};
+
+use crate::executor::{Executor, ExecutorConfig, RunReply};
+use crate::http;
+use crate::memo::{MemoCache, MemoStats};
+use crate::protocol::{
+    control_response, ok_response, parse_jsonl_request, parse_scenario_strict, Control, ErrorReply,
+    Request,
+};
+
+/// Daemon knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Default per-job wall-clock deadline in milliseconds (applied when a
+    /// request carries none); 0 disables the default.
+    pub default_deadline_ms: u64,
+    /// Request body / line ceiling in bytes.
+    pub max_body_bytes: usize,
+    /// Graph cache capacity (distinct graph specs).
+    pub graph_cache_capacity: usize,
+    /// Memo capacity (distinct scenario fingerprints).
+    pub memo_capacity: usize,
+    /// Emit a metrics summary to stderr on this cadence.
+    pub summary_every: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 256,
+            default_deadline_ms: 10_000,
+            max_body_bytes: 1 << 20,
+            graph_cache_capacity: 64,
+            memo_capacity: 1024,
+            summary_every: None,
+        }
+    }
+}
+
+/// The metrics text rendering served by `GET /metrics` and the `metrics`
+/// control verb: one `name value` pair per line, stable names.
+pub fn render_metrics_text(
+    counters: &ServiceCounters,
+    graphs: &GraphCacheStats,
+    memo: &MemoStats,
+) -> String {
+    let pairs: [(&str, u64); 26] = [
+        ("connections", counters.connections),
+        ("requests_ok", counters.requests_ok),
+        ("requests_error", counters.requests_error),
+        ("jobs_submitted", counters.submitted),
+        ("jobs_completed", counters.completed),
+        ("jobs_failed", counters.failed),
+        ("jobs_cancelled", counters.cancelled),
+        ("jobs_rejected", counters.rejected),
+        ("deadline_kills", counters.deadline_kills),
+        ("panics_contained", counters.panics_contained),
+        ("queue_depth", counters.queue_depth),
+        ("queue_peak", counters.queue_peak),
+        ("graph_cache_hits", counters.graph_cache_hits),
+        ("graph_cache_misses", counters.graph_cache_misses),
+        ("graph_cache_builds", graphs.builds),
+        ("graph_cache_evictions", graphs.evictions),
+        ("graph_cache_resident_bytes", graphs.resident_bytes),
+        ("memo_hits", counters.memo_hits),
+        ("memo_misses", counters.memo_misses),
+        ("memo_inserted", memo.inserted),
+        ("memo_evictions", memo.evictions),
+        ("memo_abandoned", memo.abandoned),
+        ("bytes_in", counters.bytes_in),
+        ("bytes_out", counters.bytes_out),
+        ("ledger_balanced", u64::from(counters.balanced())),
+        ("workers_busy", 0), // reserved; kept for line-format stability
+    ];
+    let mut out = String::new();
+    for (name, value) in pairs {
+        out.push_str("scalagraph_serve_");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+struct Shared {
+    metrics: Arc<ServiceMetrics>,
+    graphs: Arc<GraphCache>,
+    memo: Arc<MemoCache>,
+    executor: Executor,
+    stop: AtomicBool,
+    max_body_bytes: usize,
+}
+
+impl Shared {
+    fn metrics_text(&self) -> String {
+        render_metrics_text(
+            &self.metrics.snapshot(),
+            &self.graphs.stats(),
+            &self.memo.stats(),
+        )
+    }
+
+    /// Handles one parsed request and returns the single-line response
+    /// body. Blocking: a `run` request waits for its terminal reply.
+    fn answer(&self, request: Request) -> String {
+        match request {
+            Request::Control(Control::Ping) => control_response("pong", None),
+            Request::Control(Control::Metrics) => {
+                control_response("metrics", Some(("text", Json::Str(self.metrics_text()))))
+            }
+            Request::Control(Control::Shutdown) => {
+                self.stop.store(true, Ordering::Release);
+                control_response("shutdown", None)
+            }
+            Request::Run {
+                scenario,
+                priority,
+                deadline_ms,
+            } => {
+                let (tx, rx) = channel();
+                if let Err(refusal) = self.executor.submit(*scenario, priority, deadline_ms, tx) {
+                    return refusal.to_response();
+                }
+                match rx.recv() {
+                    Ok(RunReply::Done {
+                        result,
+                        memo_hit,
+                        wall_ms,
+                    }) => ok_response(&result, memo_hit, wall_ms),
+                    Ok(RunReply::Refused(refusal)) => refusal.to_response(),
+                    // The worker died without replying — contained panics
+                    // still reply, so this is a runtime bug, answered as a
+                    // typed error rather than a dropped connection.
+                    Err(_) => ErrorReply::internal("job reply channel lost").to_response(),
+                }
+            }
+        }
+    }
+
+    fn count_response(&self, body: &str) {
+        if body.starts_with("{\"ok\":true") {
+            self.metrics.request_ok();
+        } else {
+            self.metrics.request_error();
+        }
+    }
+}
+
+enum LineRead {
+    Line(Vec<u8>),
+    Eof,
+    Oversized,
+    Stopped,
+}
+
+/// Reads one `\n`-terminated line from a stream with a read timeout,
+/// polling the stop flag between timeouts and refusing lines over `cap`
+/// bytes. `pending` carries bytes already read (sniffing, previous line
+/// overshoot) across calls.
+fn read_line(
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    cap: usize,
+    stop: &AtomicBool,
+) -> LineRead {
+    loop {
+        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = pending.drain(..=pos).collect();
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return LineRead::Line(line);
+        }
+        if pending.len() > cap {
+            return LineRead::Oversized;
+        }
+        if stop.load(Ordering::Acquire) {
+            return LineRead::Stopped;
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if pending.iter().any(|b| !b.is_ascii_whitespace()) {
+                    // A final unterminated line still counts as a request.
+                    LineRead::Line(std::mem::take(pending))
+                } else {
+                    LineRead::Eof
+                };
+            }
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // re-check stop, then block again
+            }
+            Err(_) => return LineRead::Eof,
+        }
+    }
+}
+
+/// One jsonl session: every line in, one response line out.
+fn serve_jsonl(shared: &Shared, mut stream: TcpStream, mut pending: Vec<u8>) {
+    use std::io::Write as _;
+    let write_line = |stream: &mut TcpStream, body: &str| -> bool {
+        shared.count_response(body);
+        let framed = format!("{body}\n");
+        shared.metrics.add_bytes_out(framed.len() as u64);
+        stream.write_all(framed.as_bytes()).is_ok() && stream.flush().is_ok()
+    };
+    loop {
+        match read_line(
+            &mut stream,
+            &mut pending,
+            shared.max_body_bytes,
+            &shared.stop,
+        ) {
+            LineRead::Eof | LineRead::Stopped => return,
+            LineRead::Oversized => {
+                // Framing is lost past an oversized line: answer, then close.
+                let body = ErrorReply::oversized(shared.max_body_bytes).to_response();
+                let _ = write_line(&mut stream, &body);
+                return;
+            }
+            LineRead::Line(raw) => {
+                if raw.iter().all(|b| b.is_ascii_whitespace()) {
+                    continue;
+                }
+                shared.metrics.add_bytes_in(raw.len() as u64);
+                let text = String::from_utf8_lossy(&raw).into_owned();
+                let response = match parse_jsonl_request(&text) {
+                    Ok(request) => {
+                        let is_shutdown = matches!(request, Request::Control(Control::Shutdown));
+                        let body = shared.answer(request);
+                        let ok = write_line(&mut stream, &body);
+                        if is_shutdown || !ok {
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(refusal) => refusal.to_response(),
+                };
+                if !write_line(&mut stream, &response) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One HTTP exchange: route, answer, close.
+fn serve_http(shared: &Shared, mut stream: TcpStream, pending: Vec<u8>) {
+    let request = match http::read_request(&pending, &mut stream, shared.max_body_bytes) {
+        Ok(request) => request,
+        Err(http::HttpError::Oversized { unread }) => {
+            let refusal = ErrorReply::oversized(shared.max_body_bytes);
+            respond_http(shared, &mut stream, &refusal.to_response(), Some(&refusal));
+            http::drain(&mut stream, unread);
+            return;
+        }
+        Err(http::HttpError::Malformed(message)) => {
+            let refusal = ErrorReply::bad_request(message);
+            respond_http(shared, &mut stream, &refusal.to_response(), Some(&refusal));
+            return;
+        }
+        Err(http::HttpError::Io(_)) => return,
+    };
+    shared.metrics.add_bytes_in(request.body.len() as u64);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/run") => {
+            let body = match parse(&request.body)
+                .map_err(ErrorReply::malformed_json)
+                .and_then(|v| parse_scenario_strict(&v))
+            {
+                Ok(scenario) => shared.answer(Request::Run {
+                    scenario: Box::new(scenario),
+                    priority: scalagraph_runtime::Priority::Normal,
+                    deadline_ms: None,
+                }),
+                Err(refusal) => refusal.to_response(),
+            };
+            respond_http(shared, &mut stream, &body, None);
+        }
+        ("GET", "/metrics") => {
+            let text = shared.metrics_text();
+            shared.count_response("{\"ok\":true");
+            let written =
+                http::write_response(&mut stream, 200, "OK", "text/plain; charset=utf-8", &text);
+            if let Ok(n) = written {
+                shared.metrics.add_bytes_out(n);
+            }
+        }
+        ("POST", "/shutdown") => {
+            let body = shared.answer(Request::Control(Control::Shutdown));
+            respond_http(shared, &mut stream, &body, None);
+        }
+        (method, path @ ("/run" | "/metrics" | "/shutdown")) => {
+            let refusal = ErrorReply::method_not_allowed(method, path);
+            respond_http(shared, &mut stream, &refusal.to_response(), Some(&refusal));
+        }
+        (_, path) => {
+            let refusal = ErrorReply::not_found(path);
+            respond_http(shared, &mut stream, &refusal.to_response(), Some(&refusal));
+        }
+    }
+}
+
+/// Writes a JSON body with the right status line and counts it.
+fn respond_http(shared: &Shared, stream: &mut TcpStream, body: &str, refusal: Option<&ErrorReply>) {
+    shared.count_response(body);
+    let (status, reason) = match refusal {
+        Some(refusal) => refusal.http_status(),
+        None => {
+            if body.starts_with("{\"ok\":true") {
+                (200, "OK")
+            } else {
+                // A run that was refused downstream (queue full, shutdown)
+                // carries its own kind; recover the status from the body.
+                status_from_body(body)
+            }
+        }
+    };
+    if let Ok(n) = http::write_response(stream, status, reason, "application/json", body) {
+        shared.metrics.add_bytes_out(n);
+    }
+}
+
+fn status_from_body(body: &str) -> (u16, &'static str) {
+    match parse(body)
+        .ok()
+        .and_then(|v| {
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(|k| k.as_str().map(str::to_string))
+        })
+        .as_deref()
+    {
+        Some("queue_full") => (429, "Too Many Requests"),
+        Some("shutting_down") => (503, "Service Unavailable"),
+        Some("internal") | None => (500, "Internal Server Error"),
+        Some(_) => (400, "Bad Request"),
+    }
+}
+
+/// Sniffs the transport and dispatches the connection.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    // Read until the first bytes disambiguate the transport.
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        if pending.len() >= 8 || pending.contains(&b'\n') {
+            break;
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+    let is_http = [
+        &b"GET "[..],
+        b"POST ",
+        b"PUT ",
+        b"HEAD ",
+        b"DELETE ",
+        b"PATCH ",
+    ]
+    .iter()
+    .any(|verb| pending.starts_with(verb));
+    if is_http {
+        serve_http(shared, stream, pending);
+    } else if !pending.is_empty() {
+        serve_jsonl(shared, stream, pending);
+    }
+}
+
+/// A running daemon. Start with [`Server::start`], end with a `shutdown`
+/// request or [`Server::stop`], then [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    summary: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, verbatim.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let graphs = Arc::new(GraphCache::new(config.graph_cache_capacity));
+        let memo = Arc::new(MemoCache::new(config.memo_capacity));
+        let executor = Executor::start(
+            ExecutorConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                default_deadline: (config.default_deadline_ms > 0)
+                    .then(|| Duration::from_millis(config.default_deadline_ms)),
+                poll_interval: Duration::from_millis(2),
+            },
+            Arc::clone(&metrics),
+            Arc::clone(&graphs),
+            Arc::clone(&memo),
+        );
+        let shared = Arc::new(Shared {
+            metrics,
+            graphs,
+            memo,
+            executor,
+            stop: AtomicBool::new(false),
+            max_body_bytes: config.max_body_bytes,
+        });
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || loop {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        shared.metrics.conn_opened();
+                        let shared = Arc::clone(&shared);
+                        let handle = std::thread::spawn(move || serve_connection(&shared, stream));
+                        if let Ok(mut conns) = connections.lock() {
+                            conns.push(handle);
+                            // Opportunistically reap finished handlers so a
+                            // long-lived daemon doesn't accumulate them.
+                            let mut alive = Vec::new();
+                            for h in conns.drain(..) {
+                                if h.is_finished() {
+                                    let _ = h.join();
+                                } else {
+                                    alive.push(h);
+                                }
+                            }
+                            *conns = alive;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            })
+        };
+
+        // Periodic stderr summary, built from short sleeps so shutdown
+        // stays prompt.
+        let summary = config.summary_every.map(|every| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let step = Duration::from_millis(100);
+                let mut elapsed = Duration::ZERO;
+                while !shared.stop.load(Ordering::Acquire) {
+                    std::thread::sleep(step);
+                    elapsed += step;
+                    if elapsed >= every {
+                        elapsed = Duration::ZERO;
+                        eprintln!("[scalagraph-serve] {}", shared.metrics.snapshot());
+                    }
+                }
+            })
+        });
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            summary,
+            connections,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared metrics handle.
+    pub fn metrics(&self) -> Arc<ServiceMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Requests a graceful shutdown (same effect as a `shutdown` control
+    /// request over either transport).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+
+    /// Blocks until a shutdown is requested, then drains everything in
+    /// dependency order and returns the final counters: accept loop first
+    /// (no new connections), then the executor (queued jobs refused,
+    /// in-flight jobs cancelled — which unblocks connection handlers
+    /// waiting on replies), then the connection threads.
+    pub fn join(mut self) -> ServiceCounters {
+        while !self.shared.stop.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Executor teardown releases every connection handler blocked on a
+        // job reply, so it must run before joining connection threads.
+        self.shared.executor.shutdown();
+        let handles: Vec<JoinHandle<()>> = match self.connections.lock() {
+            Ok(mut conns) => conns.drain(..).collect(),
+            Err(poisoned) => poisoned.into_inner().drain(..).collect(),
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(summary) = self.summary.take() {
+            let _ = summary.join();
+        }
+        self.shared.metrics.snapshot()
+    }
+}

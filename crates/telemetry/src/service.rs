@@ -34,6 +34,17 @@ pub struct ServiceMetrics {
     breaker_opened: AtomicU64,
     queue_depth: AtomicU64,
     queue_peak: AtomicU64,
+    // Serve-side counters: a long-lived daemon watches its wire traffic and
+    // its caches with the same metrics bag its executor already bumps.
+    connections: AtomicU64,
+    requests_ok: AtomicU64,
+    requests_error: AtomicU64,
+    graph_cache_hits: AtomicU64,
+    graph_cache_misses: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
 }
 
 macro_rules! bump {
@@ -79,6 +90,30 @@ impl ServiceMetrics {
         job_quarantined => quarantined,
         /// A circuit breaker transitioned closed -> open.
         breaker_opened => breaker_opened,
+        /// A client connection was accepted by the serve listener.
+        conn_opened => connections,
+        /// A request was answered with a protocol-level success.
+        request_ok => requests_ok,
+        /// A request was answered with a typed error response.
+        request_error => requests_error,
+        /// A job's graph was served from the shared immutable graph cache.
+        graph_cache_hit => graph_cache_hits,
+        /// A job's graph had to be built (cache miss / first build).
+        graph_cache_miss => graph_cache_misses,
+        /// A request was answered from the scenario-memoization layer.
+        memo_hit => memo_hits,
+        /// A request missed the memoization layer and executed.
+        memo_miss => memo_misses,
+    }
+
+    /// Adds request bytes read off the wire.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds response bytes written to the wire.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records a job entering the admission queue.
@@ -119,6 +154,15 @@ impl ServiceMetrics {
             breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_error: self.requests_error.load(Ordering::Relaxed),
+            graph_cache_hits: self.graph_cache_hits.load(Ordering::Relaxed),
+            graph_cache_misses: self.graph_cache_misses.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
         }
     }
 }
@@ -152,6 +196,24 @@ pub struct ServiceCounters {
     pub queue_depth: u64,
     /// High-water mark of the admission queue.
     pub queue_peak: u64,
+    /// Client connections accepted by the serve listener.
+    pub connections: u64,
+    /// Requests answered with a protocol-level success.
+    pub requests_ok: u64,
+    /// Requests answered with a typed error response.
+    pub requests_error: u64,
+    /// Jobs whose graph came from the shared graph cache.
+    pub graph_cache_hits: u64,
+    /// Jobs whose graph had to be built.
+    pub graph_cache_misses: u64,
+    /// Requests answered from the memoization layer.
+    pub memo_hits: u64,
+    /// Requests that missed the memoization layer and executed.
+    pub memo_misses: u64,
+    /// Request bytes read off the wire.
+    pub bytes_in: u64,
+    /// Response bytes written to the wire.
+    pub bytes_out: u64,
 }
 
 impl ServiceCounters {
@@ -187,7 +249,26 @@ impl std::fmt::Display for ServiceCounters {
             f,
             "pressure: queue peak {}, {} quarantined, {} breaker trips",
             self.queue_peak, self.quarantined, self.breaker_opened
-        )
+        )?;
+        // The serve line only appears once the metrics have actually seen
+        // wire traffic, so batch-mode output is unchanged.
+        if self.connections > 0 || self.requests_ok + self.requests_error > 0 {
+            write!(
+                f,
+                "\nserve: {} conns, {} ok + {} error responses, graph cache {}/{} hit, \
+                 memo {}/{} hit, {} B in / {} B out",
+                self.connections,
+                self.requests_ok,
+                self.requests_error,
+                self.graph_cache_hits,
+                self.graph_cache_hits + self.graph_cache_misses,
+                self.memo_hits,
+                self.memo_hits + self.memo_misses,
+                self.bytes_in,
+                self.bytes_out
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -240,6 +321,35 @@ mod tests {
         let c = m.snapshot();
         assert_eq!(c.queue_depth, 1);
         assert_eq!(c.queue_peak, 1);
+    }
+
+    #[test]
+    fn serve_counters_accumulate_and_render_only_when_used() {
+        let m = ServiceMetrics::new();
+        assert!(
+            !format!("{}", m.snapshot()).contains("serve:"),
+            "idle metrics must not grow a serve line"
+        );
+        m.conn_opened();
+        m.request_ok();
+        m.request_ok();
+        m.request_error();
+        m.graph_cache_miss();
+        m.graph_cache_hit();
+        m.memo_miss();
+        m.memo_hit();
+        m.add_bytes_in(120);
+        m.add_bytes_out(480);
+        let c = m.snapshot();
+        assert_eq!(c.connections, 1);
+        assert_eq!(c.requests_ok, 2);
+        assert_eq!(c.requests_error, 1);
+        assert_eq!((c.graph_cache_hits, c.graph_cache_misses), (1, 1));
+        assert_eq!((c.memo_hits, c.memo_misses), (1, 1));
+        assert_eq!((c.bytes_in, c.bytes_out), (120, 480));
+        let line = format!("{c}");
+        assert!(line.contains("serve: 1 conns"), "{line}");
+        assert!(line.contains("memo 1/2 hit"), "{line}");
     }
 
     #[test]

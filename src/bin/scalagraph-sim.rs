@@ -517,11 +517,21 @@ fn cmd_batch(rest: &[String]) -> ! {
         config.workers,
         config.queue_capacity
     );
-    let report = BatchRuntime::new(config).run(specs);
+    let runtime = BatchRuntime::new(config);
+    let report = runtime.run(specs);
     for outcome in &report.outcomes {
         println!("{outcome}");
     }
     println!("\n{}", report.render());
+    let cache = runtime.graph_cache().stats();
+    println!(
+        "graph cache: {} builds, {} hits / {} fetches, {} evictions, ~{} KiB resident",
+        cache.builds,
+        cache.hits,
+        cache.hits + cache.misses,
+        cache.evictions,
+        cache.resident_bytes / 1024
+    );
 
     let balanced = report.balanced();
     let leak_free = report.workers_joined == report.workers_spawned;

@@ -13,4 +13,5 @@ pub use scalagraph_hwmodel as hwmodel;
 pub use scalagraph_mem as mem;
 pub use scalagraph_noc as noc;
 pub use scalagraph_runtime as runtime;
+pub use scalagraph_serve as serve;
 pub use scalagraph_telemetry as telemetry;

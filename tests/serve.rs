@@ -1,0 +1,279 @@
+//! End-to-end acceptance tests for the `scalagraph-serve` daemon, pinned
+//! across the crate boundary on real sockets (ephemeral ports):
+//!
+//! 1. Identical concurrent HTTP `POST /run` requests produce byte-identical
+//!    result JSON from exactly one graph build, with at least one memo hit.
+//! 2. Malformed JSON, oversized bodies, unknown fields, and
+//!    `validate()`-rejected scenarios all come back as typed protocol
+//!    errors with the right HTTP status — never a dropped connection or a
+//!    daemon panic — and the daemon keeps serving afterwards.
+//! 3. A single jsonl session can mix control verbs and runs, survive a
+//!    malformed line, and end with a `shutdown` that leaves the final
+//!    service ledger balanced.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use scalagraph_suite::conformance::scenario::{
+    AlgoSpec, ConfigSpec, Expectation, Family, ModeMatrix,
+};
+use scalagraph_suite::conformance::{GraphSpec, Scenario};
+use scalagraph_suite::serve::protocol::extract_result;
+use scalagraph_suite::serve::{ServeConfig, Server};
+
+fn healthy(name: &str) -> Scenario {
+    Scenario {
+        name: name.into(),
+        graph: GraphSpec {
+            family: Family::Uniform {
+                vertices: 64,
+                edges: 256,
+                seed: 7,
+            },
+            symmetrize: false,
+            max_weight: 0,
+            weight_seed: 0,
+        },
+        algo: AlgoSpec::Bfs { root: 0 },
+        config: ConfigSpec::small(),
+        fault_seed: 0,
+        faults: Vec::new(),
+        modes: ModeMatrix::sim_only(),
+        expect: Expectation::Converge,
+        strict_frontier: None,
+        synthetic_bug: false,
+    }
+}
+
+fn start_server() -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// One HTTP exchange on a fresh connection; returns (status, body).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("header separator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, payload.to_string())
+}
+
+fn post_run(addr: &str, scenario_json: &str) -> (u16, String) {
+    http(addr, "POST", "/run", scenario_json)
+}
+
+/// Scrapes one counter from `GET /metrics` text.
+fn metric(addr: &str, name: &str) -> u64 {
+    let (status, text) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "metrics endpoint must answer");
+    let key = format!("scalagraph_serve_{name} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&key))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+}
+
+#[test]
+fn identical_concurrent_http_runs_share_one_build_and_replay_bytes() {
+    let server = start_server();
+    let addr = server.local_addr().to_string();
+    let body = healthy("serve-e2e-shared").to_json_string();
+
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = body.clone();
+            std::thread::spawn(move || post_run(&addr, &body))
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+
+    let mut results = Vec::new();
+    for (status, response) in &responses {
+        assert_eq!(*status, 200, "run must succeed: {response}");
+        assert!(
+            response.starts_with("{\"ok\":true"),
+            "protocol-level ok: {response}"
+        );
+        assert!(
+            response.contains("\"status\":\"completed\""),
+            "simulation completed: {response}"
+        );
+        results.push(
+            extract_result(response)
+                .expect("result payload")
+                .to_string(),
+        );
+    }
+    assert_eq!(
+        results[0], results[1],
+        "identical scenarios must replay byte-identical result JSON"
+    );
+
+    assert_eq!(
+        metric(&addr, "graph_cache_builds"),
+        1,
+        "one CSR build total"
+    );
+    assert!(metric(&addr, "memo_hits") >= 1, "second request memoized");
+    assert_eq!(metric(&addr, "jobs_completed"), 2);
+
+    let (status, response) = http(&addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200, "shutdown acknowledged: {response}");
+    let counters = server.join();
+    assert!(counters.balanced(), "final ledger unbalanced: {counters}");
+}
+
+#[test]
+fn wire_errors_are_typed_and_never_kill_the_daemon() {
+    let server = start_server();
+    let addr = server.local_addr().to_string();
+
+    // Malformed JSON.
+    let (status, body) = post_run(&addr, "{not json");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\":\"malformed_json\""), "{body}");
+
+    // Unknown field at the scenario level (strict parsing).
+    let mut with_extra = healthy("serve-e2e-extra").to_json_string();
+    with_extra = with_extra.replacen('{', "{\n  \"surprise\": 1,", 1);
+    let (status, body) = post_run(&addr, &with_extra);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\":\"unknown_field\""), "{body}");
+    assert!(body.contains("surprise"), "{body}");
+
+    // Scenario that parses but fails validate(): a 1-vertex graph.
+    let mut tiny = healthy("serve-e2e-tiny");
+    tiny.graph.family = Family::Uniform {
+        vertices: 1,
+        edges: 0,
+        seed: 7,
+    };
+    let (status, body) = post_run(&addr, &tiny.to_json_string());
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\":\"invalid_scenario\""), "{body}");
+
+    // Oversized body (limit shrunk via config is overkill; the default is
+    // 1 MiB, so send 1 MiB + slack of padding).
+    let huge = format!("{{\"pad\":\"{}\"}}", "x".repeat((1 << 20) + 1024));
+    let (status, body) = post_run(&addr, &huge);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("\"kind\":\"oversized\""), "{body}");
+
+    // Unknown path and wrong method.
+    let (status, body) = http(&addr, "GET", "/nope", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("\"kind\":\"not_found\""), "{body}");
+    let (status, body) = http(&addr, "DELETE", "/run", "");
+    assert_eq!(status, 405, "{body}");
+    assert!(body.contains("\"kind\":\"method_not_allowed\""), "{body}");
+
+    // After all of that abuse the daemon still completes a healthy run.
+    let (status, body) = post_run(&addr, &healthy("serve-e2e-after").to_json_string());
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"completed\""), "{body}");
+
+    assert!(metric(&addr, "requests_error") >= 6);
+    server.stop();
+    let counters = server.join();
+    assert!(counters.balanced(), "final ledger unbalanced: {counters}");
+}
+
+#[test]
+fn a_jsonl_session_mixes_controls_runs_and_survives_garbage() {
+    let server = start_server();
+    let addr = server.local_addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut request = |line: &str| -> String {
+        use std::io::BufRead as _;
+        stream.write_all(line.as_bytes()).expect("write line");
+        stream.write_all(b"\n").expect("write newline");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        assert!(
+            response.ends_with('\n'),
+            "responses are newline-framed: {response:?}"
+        );
+        response.trim_end().to_string()
+    };
+
+    assert_eq!(
+        request("{\"control\":\"ping\"}"),
+        "{\"ok\":true,\"control\":\"pong\"}"
+    );
+
+    // A malformed line gets a typed error and the session continues.
+    let response = request("{broken");
+    assert!(
+        response.contains("\"kind\":\"malformed_json\""),
+        "{response}"
+    );
+
+    // An envelope-level unknown key is refused, strictly.
+    let response = request("{\"run\":{},\"priority\":\"high\",\"turbo\":true}");
+    assert!(
+        response.contains("\"kind\":\"unknown_field\""),
+        "{response}"
+    );
+    assert!(response.contains("turbo"), "{response}");
+
+    // Two identical runs on the same session: the second is a memo hit.
+    let scenario = healthy("serve-e2e-jsonl")
+        .to_json_string()
+        .replace('\n', " ");
+    let envelope = format!("{{\"run\":{scenario}}}");
+    let first = request(&envelope);
+    assert!(first.contains("\"memo_hit\":false"), "{first}");
+    assert!(first.contains("\"status\":\"completed\""), "{first}");
+    let second = request(&envelope);
+    assert!(second.contains("\"memo_hit\":true"), "{second}");
+    assert_eq!(
+        extract_result(&first).expect("first result"),
+        extract_result(&second).expect("second result"),
+        "memoized replay must be byte-identical"
+    );
+
+    // Metrics over jsonl.
+    let response = request("{\"control\":\"metrics\"}");
+    assert!(
+        response.contains("scalagraph_serve_memo_hits"),
+        "{response}"
+    );
+
+    // Shutdown: acknowledged, then the daemon drains and the ledger closes.
+    let response = request("{\"control\":\"shutdown\"}");
+    assert!(response.contains("\"control\":\"shutdown\""), "{response}");
+    let counters = server.join();
+    assert!(counters.balanced(), "final ledger unbalanced: {counters}");
+    assert_eq!(counters.submitted, 2, "two runs were admitted");
+    assert_eq!(counters.completed, 2);
+    assert!(counters.memo_hits >= 1);
+}
