@@ -62,7 +62,7 @@ pub const OUTCOME_HEADERS: [&str; 5] = ["scenario", "status", "attempts", "cycle
 mod tests {
     use super::*;
     use scalagraph_conformance::scenario::{AlgoSpec, ConfigSpec, Expectation, Family, ModeMatrix};
-    use scalagraph_conformance::GraphSpec;
+    use scalagraph_conformance::{GraphSource, GraphSpec};
 
     fn scenario(name: &str, vertices: usize) -> Scenario {
         Scenario {
@@ -76,6 +76,7 @@ mod tests {
                 symmetrize: false,
                 max_weight: 0,
                 weight_seed: 0,
+                source: GraphSource::Generate,
             },
             algo: AlgoSpec::Bfs { root: 0 },
             config: ConfigSpec::small(),

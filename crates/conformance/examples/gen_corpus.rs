@@ -12,8 +12,8 @@
 use scalagraph::fault::LinkDir;
 use scalagraph::Mapping;
 use scalagraph_conformance::{
-    AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSpec, MemorySpec,
-    ModeMatrix, Scenario,
+    AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSource, GraphSpec,
+    MemorySpec, ModeMatrix, Scenario,
 };
 
 fn unit_graph(family: Family) -> GraphSpec {
@@ -22,6 +22,7 @@ fn unit_graph(family: Family) -> GraphSpec {
         symmetrize: false,
         max_weight: 0,
         weight_seed: 0,
+        source: GraphSource::Generate,
     }
 }
 
@@ -118,6 +119,7 @@ fn corpus() -> Vec<Scenario> {
                 symmetrize: false,
                 max_weight: 32,
                 weight_seed: 5,
+                source: GraphSource::Generate,
             },
             algo: AlgoSpec::Sssp { root: 7 },
             config: ConfigSpec {

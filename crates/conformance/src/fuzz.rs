@@ -14,8 +14,8 @@
 
 use crate::oracle::{run_scenario, Report};
 use crate::scenario::{
-    AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSpec, MemorySpec,
-    ModeMatrix, Scenario,
+    AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSource, GraphSpec,
+    MemorySpec, ModeMatrix, Scenario,
 };
 use crate::shrink::{shrink, ShrinkOutcome};
 use scalagraph::fault::LinkDir;
@@ -104,6 +104,7 @@ pub fn sample_scenario(rng: &mut SplitMix64, index: usize) -> Scenario {
         symmetrize: rng.chance(30),
         max_weight: if weighted { rng.range(2, 64) as u32 } else { 0 },
         weight_seed: rng.next_u64(),
+        source: GraphSource::Generate,
     };
 
     let root = rng.below(n) as u32;

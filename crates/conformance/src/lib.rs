@@ -42,7 +42,7 @@ pub mod shrink;
 pub use fuzz::{fuzz, sample_scenario, FuzzFailure, FuzzReport, SplitMix64};
 pub use oracle::{run_scenario, Mismatch, Observation, Outcome, Report};
 pub use scenario::{
-    AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSpec, MemorySpec,
-    ModeMatrix, Scenario,
+    AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSource, GraphSpec,
+    MemorySpec, ModeMatrix, Scenario,
 };
 pub use shrink::{shrink, signature, ShrinkOutcome, Signature};

@@ -856,7 +856,7 @@ fn push_ne<T: PartialEq + std::fmt::Display>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{ConfigSpec, Family, GraphSpec, ModeMatrix};
+    use crate::scenario::{ConfigSpec, Family, GraphSource, GraphSpec, ModeMatrix};
 
     fn converge_scenario(name: &str) -> Scenario {
         Scenario {
@@ -870,6 +870,7 @@ mod tests {
                 symmetrize: false,
                 max_weight: 0,
                 weight_seed: 0,
+                source: GraphSource::Generate,
             },
             algo: AlgoSpec::Bfs { root: 0 },
             config: ConfigSpec::small(),

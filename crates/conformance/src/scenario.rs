@@ -15,7 +15,7 @@
 use crate::json::{obj, parse, Json};
 use scalagraph::fault::{Fault, FaultKind, FaultPlan, LinkDir};
 use scalagraph::{Mapping, MemoryPreset, ScalaGraphConfig};
-use scalagraph_graph::{generators, Csr, EdgeList};
+use scalagraph_graph::{generators, Csr, EdgeList, PackedCsr};
 use scalagraph_mem::HbmConfig;
 
 /// The graph generator family plus its size/seed parameters.
@@ -89,12 +89,33 @@ impl Family {
     }
 }
 
+/// Where the scenario's graph bytes come from.
+///
+/// `Generate` (the default, and what every corpus scenario uses) builds the
+/// graph from the family generators. `PackedFile` opens a packed delta+varint
+/// CSR container written by `scalagraph-sim graph pack`, validates it against
+/// the family's declared shape, and decodes it — trading a regeneration for a
+/// checksummed mmap read, which is what makes paper-scale graphs restart in
+/// milliseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub enum GraphSource {
+    /// Build from the family generators (pure function of the spec).
+    #[default]
+    Generate,
+    /// Load a packed CSR container from this path.
+    PackedFile {
+        /// Filesystem path of the container.
+        path: String,
+    },
+}
+
 /// How the scenario builds its graph.
 ///
 /// `GraphSpec` is `Hash + Eq` so it can key an immutable graph cache: two
 /// equal specs build byte-identical CSRs (generation is a pure function of
-/// the spec), so one cached build can serve every scenario that shares it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// the spec, and a packed file is validated against the declared family
+/// shape), so one cached build can serve every scenario that shares it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GraphSpec {
     /// Generator family and parameters.
     pub family: Family,
@@ -104,6 +125,8 @@ pub struct GraphSpec {
     pub max_weight: u32,
     /// Seed of the weight randomization.
     pub weight_seed: u64,
+    /// Where the graph bytes come from (generate vs. packed file).
+    pub source: GraphSource,
 }
 
 impl GraphSpec {
@@ -112,6 +135,9 @@ impl GraphSpec {
         let v = self.family.vertices();
         if v < 2 {
             return Err(format!("graph must have at least 2 vertices, got {v}"));
+        }
+        if let GraphSource::PackedFile { path } = &self.source {
+            return Self::load_packed(path, v, self.max_weight > 0);
         }
         let edges = match self.family {
             Family::Rmat {
@@ -142,7 +168,45 @@ impl GraphSpec {
         Ok(Csr::from_edge_list(&list))
     }
 
-    fn to_json(self) -> Json {
+    /// Opens a packed container, checks it against the declared family
+    /// shape, and decodes it into an in-memory CSR. Every failure — missing
+    /// file, corruption, shape mismatch — is a typed message the serve
+    /// daemon forwards as a `malformed` wire error instead of panicking.
+    fn load_packed(
+        path: &str,
+        expect_vertices: usize,
+        expect_weighted: bool,
+    ) -> Result<Csr, String> {
+        let packed = PackedCsr::open(path).map_err(|e| format!("packed graph `{path}`: {e}"))?;
+        if packed.num_vertices() != expect_vertices {
+            return Err(format!(
+                "packed graph `{path}` has {} vertices but the scenario family declares {}",
+                packed.num_vertices(),
+                expect_vertices
+            ));
+        }
+        if packed.is_weighted() != expect_weighted {
+            return Err(format!(
+                "packed graph `{path}` is {} but the scenario expects {} (max_weight {})",
+                if packed.is_weighted() {
+                    "weighted"
+                } else {
+                    "unweighted"
+                },
+                if expect_weighted {
+                    "weighted"
+                } else {
+                    "unweighted"
+                },
+                if expect_weighted { ">0" } else { "0" },
+            ));
+        }
+        packed
+            .to_csr()
+            .map_err(|e| format!("packed graph `{path}`: {e}"))
+    }
+
+    fn to_json(&self) -> Json {
         let mut members: Vec<(&str, Json)> = Vec::new();
         let (name, rest): (&str, Vec<(&str, Json)>) = match self.family {
             Family::Rmat {
@@ -188,6 +252,11 @@ impl GraphSpec {
         members.push(("symmetrize", Json::Bool(self.symmetrize)));
         members.push(("max_weight", Json::Int(u64::from(self.max_weight))));
         members.push(("weight_seed", Json::Int(self.weight_seed)));
+        // Emitted only for packed sources: corpus files (all `Generate`)
+        // stay byte-identical to their pre-`GraphSource` form.
+        if let GraphSource::PackedFile { path } = &self.source {
+            members.push(("packed_path", Json::Str(path.clone())));
+        }
         obj(members)
     }
 
@@ -218,11 +287,21 @@ impl GraphSpec {
             },
             other => return Err(format!("unknown graph family `{other}`")),
         };
+        let source = match v.get("packed_path") {
+            None => GraphSource::Generate,
+            Some(p) => GraphSource::PackedFile {
+                path: p
+                    .as_str()
+                    .ok_or("key `packed_path` must be a string")?
+                    .to_string(),
+            },
+        };
         Ok(GraphSpec {
             family,
             symmetrize: v.opt_bool("symmetrize", false)?,
             max_weight: v.opt_u64("max_weight", 0)? as u32,
             weight_seed: v.opt_u64("weight_seed", 0)?,
+            source,
         })
     }
 }
@@ -952,6 +1031,7 @@ mod tests {
                 symmetrize: true,
                 max_weight: 255,
                 weight_seed: 3,
+                source: GraphSource::Generate,
             },
             algo: AlgoSpec::Sssp { root: 1 },
             config: ConfigSpec {
@@ -1005,6 +1085,34 @@ mod tests {
         assert_eq!(back, s);
         // Canonical form: re-serialization is byte-identical.
         assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn packed_source_round_trips_and_generate_stays_byte_stable() {
+        let mut s = sample();
+        let generate_text = s.to_json_string();
+        assert!(
+            !generate_text.contains("packed_path"),
+            "Generate specs must serialize exactly as before the key existed"
+        );
+        s.graph.source = GraphSource::PackedFile {
+            path: "graphs/pokec-22.sgpk".into(),
+        };
+        let text = s.to_json_string();
+        assert!(text.contains("packed_path"));
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn packed_source_with_missing_file_is_a_typed_build_error() {
+        let mut spec = sample().graph;
+        spec.source = GraphSource::PackedFile {
+            path: "/nonexistent/g.sgpk".into(),
+        };
+        let err = spec.build().unwrap_err();
+        assert!(err.contains("packed graph"), "got: {err}");
     }
 
     #[test]

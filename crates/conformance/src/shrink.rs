@@ -253,7 +253,7 @@ fn with_vertices(s: &Scenario, target: usize) -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{Expectation, Family, GraphSpec, ModeMatrix};
+    use crate::scenario::{Expectation, Family, GraphSource, GraphSpec, ModeMatrix};
     use scalagraph::Mapping;
 
     fn failing_scenario() -> Scenario {
@@ -268,6 +268,7 @@ mod tests {
                 symmetrize: true,
                 max_weight: 16,
                 weight_seed: 2,
+                source: GraphSource::Generate,
             },
             algo: AlgoSpec::Bfs { root: 150 },
             config: ConfigSpec {

@@ -35,7 +35,7 @@ use crate::mapping::Mapping;
 use crate::slab::TagSlab;
 use crate::stats::{SimResult, SimStats};
 use scalagraph_algo::{Algorithm, EdgeCtx};
-use scalagraph_graph::{Csr, VertexId, EDGES_PER_LINE, LINE_BYTES};
+use scalagraph_graph::{Csr, GraphRead, VertexId, EDGES_PER_LINE, LINE_BYTES};
 use scalagraph_mem::{Hbm, MemRequest};
 use scalagraph_telemetry::{
     Collector, HbmChannelSample, InstantKind, NullCollector, SpanName, TileSample, Topology,
@@ -211,14 +211,14 @@ enum Phase {
 /// assert_eq!(result.properties[1], 1);
 /// assert!(result.stats.cycles > 0);
 /// ```
-pub struct Simulator<'a, A: Algorithm> {
+pub struct Simulator<'a, A: Algorithm, G: GraphRead = Csr> {
     algo: &'a A,
-    graph: &'a Csr,
+    graph: &'a G,
     config: ScalaGraphConfig,
     device: DeviceGraph,
 }
 
-impl<'a, A: Algorithm> Simulator<'a, A> {
+impl<'a, A: Algorithm, G: GraphRead> Simulator<'a, A, G> {
     /// Prepares a simulator: validates the configuration and lays the
     /// graph out across tiles (and slices, if it exceeds on-chip
     /// capacity).
@@ -228,7 +228,7 @@ impl<'a, A: Algorithm> Simulator<'a, A> {
     /// Panics if the configuration is inconsistent (see
     /// [`ScalaGraphConfig::validate`]); [`Simulator::try_new`] reports the
     /// same conditions as a [`SimError`] instead.
-    pub fn new(algo: &'a A, graph: &'a Csr, config: ScalaGraphConfig) -> Self {
+    pub fn new(algo: &'a A, graph: &'a G, config: ScalaGraphConfig) -> Self {
         match Self::try_new(algo, graph, config) {
             Ok(sim) => sim,
             Err(e) => panic!("{e}"),
@@ -243,11 +243,7 @@ impl<'a, A: Algorithm> Simulator<'a, A> {
     ///
     /// Returns [`SimError::ConfigInvalid`] when
     /// [`ScalaGraphConfig::validate`] does.
-    pub fn try_new(
-        algo: &'a A,
-        graph: &'a Csr,
-        config: ScalaGraphConfig,
-    ) -> Result<Self, SimError> {
+    pub fn try_new(algo: &'a A, graph: &'a G, config: ScalaGraphConfig) -> Result<Self, SimError> {
         config.validate()?;
         let device = DeviceGraph::prepare(graph, &config);
         Ok(Simulator {
@@ -372,7 +368,11 @@ impl<'a, A: Algorithm> Simulator<'a, A> {
 }
 
 /// Convenience one-shot run with a fresh simulator.
-pub fn run_on<A: Algorithm>(algo: &A, graph: &Csr, config: ScalaGraphConfig) -> SimResult<A::Prop> {
+pub fn run_on<A: Algorithm, G: GraphRead>(
+    algo: &A,
+    graph: &G,
+    config: ScalaGraphConfig,
+) -> SimResult<A::Prop> {
     Simulator::new(algo, graph, config).run()
 }
 
@@ -383,9 +383,9 @@ pub fn run_on<A: Algorithm>(algo: &A, graph: &Csr, config: ScalaGraphConfig) -> 
 ///
 /// Returns [`SimError`] when the configuration is invalid or the run
 /// cannot complete.
-pub fn try_run_on<A: Algorithm>(
+pub fn try_run_on<A: Algorithm, G: GraphRead>(
     algo: &A,
-    graph: &Csr,
+    graph: &G,
     config: ScalaGraphConfig,
 ) -> Result<SimResult<A::Prop>, SimError> {
     Simulator::try_new(algo, graph, config)?.try_run()
@@ -634,9 +634,9 @@ impl TelScratch {
     }
 }
 
-struct Engine<'a, A: Algorithm, C: Collector> {
+struct Engine<'a, A: Algorithm, G: GraphRead, C: Collector> {
     algo: &'a A,
-    graph: &'a Csr,
+    graph: &'a G,
     cfg: &'a ScalaGraphConfig,
     dev: &'a DeviceGraph,
     col: &'a mut C,
@@ -702,10 +702,10 @@ struct Engine<'a, A: Algorithm, C: Collector> {
     ctl: Option<&'a CancelToken>,
 }
 
-impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
+impl<'a, A: Algorithm, G: GraphRead, C: Collector> Engine<'a, A, G, C> {
     fn new(
         algo: &'a A,
-        graph: &'a Csr,
+        graph: &'a G,
         cfg: &'a ScalaGraphConfig,
         dev: &'a DeviceGraph,
         col: &'a mut C,
@@ -1613,7 +1613,6 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
 
     fn step_memory(&mut self) {
         let dev = self.dev;
-        let graph = self.graph;
         let placement = self.cfg.placement;
         let slice = self.slice;
         let ev_on = self.ev.on;
@@ -1635,8 +1634,12 @@ impl<'a, A: Algorithm, C: Collector> Engine<'a, A, C> {
                             let range = csr.edge_range(av.v);
                             // The vertex record carries the *global*
                             // out-degree (PageRank normalizes by it), not
-                            // this tile partition's share.
-                            let degree = graph.out_degree(av.v) as u32;
+                            // this tile partition's share. Read it from
+                            // the device table: on a packed backing the
+                            // graph's own `out_degree` is a block decode,
+                            // and prefetch batches return in an order that
+                            // thrashes the one-block scratch.
+                            let degree = dev.out_degree(av.v) as u32;
                             tile.records_ready.push_back(EdgeCursor {
                                 av,
                                 cursor: range.start,

@@ -7,7 +7,7 @@
 //! factor so cycle-accurate simulation stays tractable (see DESIGN.md,
 //! "Substitutions").
 
-use crate::{generators, Csr, EdgeList, VertexId};
+use crate::{pargen, Csr, EdgeList, GraphError, VertexId};
 
 /// The family of random model used to synthesize a dataset stand-in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -143,49 +143,124 @@ impl Dataset {
     }
 
     /// Generates the synthetic stand-in at `1/scale` of the paper size as an
-    /// edge list (weights all zero).
+    /// edge list (weights all zero), fanning generation chunks across the
+    /// available cores.
+    ///
+    /// The output is a pure function of `(self, scale, seed)`: generation is
+    /// chunked with per-chunk seeded streams ([`crate::pargen`]), so thread
+    /// count and scheduling cannot change a single bit —
+    /// [`Dataset::edge_list_serial`] produces the identical list on one
+    /// thread. Each vertex's adjacency is emitted in canonical ascending
+    /// order, which is what the packed container's delta encoder compresses.
+    pub fn try_edge_list(&self, scale: u64, seed: u64) -> Result<EdgeList, GraphError> {
+        self.edge_list_mode(scale, seed, true)
+    }
+
+    /// Panicking convenience wrapper around [`Dataset::try_edge_list`].
     ///
     /// # Panics
     ///
     /// Panics if `scale == 0`.
     pub fn edge_list(&self, scale: u64, seed: u64) -> EdgeList {
-        assert!(scale > 0, "scale divisor must be positive");
+        match self.try_edge_list(scale, seed) {
+            Ok(list) => list,
+            Err(e) => panic!("invalid dataset request: {e}"),
+        }
+    }
+
+    /// Single-threaded reference generation: bit-identical to
+    /// [`Dataset::edge_list`], using a plain binary search per destination
+    /// draw and running every chunk in order on the calling thread. This is
+    /// the baseline `bench_datasets` measures the parallel path against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`.
+    pub fn edge_list_serial(&self, scale: u64, seed: u64) -> EdgeList {
+        match self.edge_list_mode(scale, seed, false) {
+            Ok(list) => list,
+            Err(e) => panic!("invalid dataset request: {e}"),
+        }
+    }
+
+    fn edge_list_mode(
+        &self,
+        scale: u64,
+        seed: u64,
+        parallel: bool,
+    ) -> Result<EdgeList, GraphError> {
+        if scale == 0 {
+            return Err(GraphError::InvalidScale);
+        }
         let spec = self.spec();
         let v = (spec.paper_vertices / scale).max(64) as usize;
         let e = (spec.paper_edges / scale).max(256) as usize;
         let edges = match spec.family {
             GraphFamily::PowerLaw { alpha_milli } => {
                 // Cap per-vertex edge share at 0.2% — the hub concentration
-                // regime of the paper-scale originals (see
-                // generators::power_law_capped).
-                generators::power_law_capped(v, e, alpha_milli as f64 / 1000.0, 0.002, seed)
+                // regime of the paper-scale originals (same model as
+                // generators::power_law_capped, chunk-parallel).
+                pargen::power_law_capped_chunked(
+                    v,
+                    e,
+                    alpha_milli as f64 / 1000.0,
+                    0.002,
+                    seed,
+                    parallel,
+                )
             }
             GraphFamily::Rmat => {
                 // Recurse to the paper's scale-24 depth and fold ids, so
                 // the stand-in keeps RMAT24's hub concentration instead of
-                // the (far higher) skew of a shallow small R-MAT.
-                let mut edges = generators::rmat_with_depth(v, e, 0.57, 0.19, 0.19, 24, seed);
+                // the (far higher) skew of a shallow small R-MAT. Self-loops
+                // are dropped and the adjacency canonicalized to sorted
+                // order like the power-law path.
+                let mut edges =
+                    pargen::rmat_folded_chunked(v, e, 0.57, 0.19, 0.19, 24, seed, parallel);
                 edges.retain(|ed| ed.src != ed.dst);
-                edges
+                pargen::canonicalize_adjacency(v, edges)
             }
         };
         match EdgeList::from_vec(v, edges) {
-            Ok(list) => list,
+            Ok(list) => Ok(list),
             Err(e) => panic!("generator produced out-of-range endpoint: {e}"),
         }
     }
 
     /// Generates the synthetic stand-in as a CSR graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`; use [`Dataset::try_generate`] for a typed
+    /// error.
     pub fn generate(&self, scale: u64, seed: u64) -> Csr {
         Csr::from_edge_list(&self.edge_list(scale, seed))
     }
 
+    /// Fallible variant of [`Dataset::generate`].
+    pub fn try_generate(&self, scale: u64, seed: u64) -> Result<Csr, GraphError> {
+        Ok(Csr::from_edge_list(&self.try_edge_list(scale, seed)?))
+    }
+
     /// Generates a weighted CSR (uniform random weights `0..=255`), the
     /// paper's SSSP configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`; use [`Dataset::try_generate_weighted`] for a
+    /// typed error.
     pub fn generate_weighted(&self, scale: u64, seed: u64) -> Csr {
-        let mut list = self.edge_list(scale, seed);
+        match self.try_generate_weighted(scale, seed) {
+            Ok(g) => g,
+            Err(e) => panic!("invalid dataset request: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Dataset::generate_weighted`].
+    pub fn try_generate_weighted(&self, scale: u64, seed: u64) -> Result<Csr, GraphError> {
+        let mut list = self.try_edge_list(scale, seed)?;
         list.randomize_weights(255, seed.wrapping_add(1));
-        Csr::from_edge_list(&list)
+        Ok(Csr::from_edge_list(&list))
     }
 
     /// A vertex guaranteed to have outgoing edges, used as the BFS/SSSP
@@ -264,5 +339,44 @@ mod tests {
     #[test]
     fn display_uses_abbrev() {
         assert_eq!(Dataset::Twitter.to_string(), "TW");
+    }
+
+    #[test]
+    fn zero_scale_is_a_typed_error() {
+        assert_eq!(
+            Dataset::Pokec.try_edge_list(0, 1).unwrap_err(),
+            GraphError::InvalidScale
+        );
+        assert_eq!(
+            Dataset::Rmat24.try_generate(0, 1).unwrap_err(),
+            GraphError::InvalidScale
+        );
+        assert_eq!(
+            Dataset::Twitter.try_generate_weighted(0, 1).unwrap_err(),
+            GraphError::InvalidScale
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_reference() {
+        for ds in [Dataset::Pokec, Dataset::Rmat24] {
+            let parallel = ds.edge_list(4096, 11);
+            let serial = ds.edge_list_serial(4096, 11);
+            assert_eq!(parallel, serial, "{ds} diverged from serial reference");
+        }
+    }
+
+    #[test]
+    fn adjacency_is_canonically_sorted() {
+        for ds in [Dataset::LiveJournal, Dataset::Rmat24] {
+            let g = ds.generate(8192, 13);
+            for v in g.vertices() {
+                let nbrs = g.neighbors(v);
+                assert!(
+                    nbrs.windows(2).all(|w| w[0] <= w[1]),
+                    "{ds} vertex {v} adjacency unsorted"
+                );
+            }
+        }
     }
 }

@@ -34,6 +34,30 @@ pub enum GraphError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// A dataset down-scaling divisor was zero (the divisor must be a
+    /// positive integer; `scale == 1` is full paper size).
+    InvalidScale,
+    /// A packed-CSR container is structurally invalid: bad magic,
+    /// unsupported version, truncated section, or inconsistent block index.
+    PackedFormat {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A packed-CSR container failed checksum verification (bit rot or
+    /// truncation past the structural checks).
+    PackedChecksum {
+        /// Checksum declared by the container header.
+        expected: u64,
+        /// Checksum computed over the container body.
+        found: u64,
+    },
+    /// A filesystem operation on a graph container failed.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// The underlying I/O error, stringified (keeps `GraphError: Clone`).
+        detail: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -56,6 +80,20 @@ impl fmt::Display for GraphError {
             ),
             GraphError::InvalidPartition { detail } => {
                 write!(f, "invalid partition request: {detail}")
+            }
+            GraphError::InvalidScale => {
+                write!(f, "scale divisor must be a positive integer")
+            }
+            GraphError::PackedFormat { detail } => {
+                write!(f, "malformed packed CSR container: {detail}")
+            }
+            GraphError::PackedChecksum { expected, found } => write!(
+                f,
+                "packed CSR checksum mismatch: header declares {expected:#018x}, \
+                 body hashes to {found:#018x}"
+            ),
+            GraphError::Io { path, detail } => {
+                write!(f, "i/o error on {path}: {detail}")
             }
         }
     }

@@ -14,7 +14,13 @@
 //! * [`io`] — SNAP-style text edge lists and a compact binary CSR format,
 //!   for running the real datasets where available.
 //! * [`datasets`] — presets matching the paper's evaluation datasets
-//!   (Table I / Table III) at a configurable down-scaling factor.
+//!   (Table I / Table III) at a configurable down-scaling factor, generated
+//!   chunk-parallel with bit-identical serial/parallel output.
+//! * [`packed`] — the delta+varint compressed on-disk CSR container with an
+//!   mmap-backed zero-copy reader, for paper-scale graphs that should load
+//!   in milliseconds instead of regenerating.
+//! * [`read`] — the [`GraphRead`] trait that lets the simulator consume
+//!   either backing bit-identically.
 //! * [`partition`] — Graphicionado-style vertex-interval slicing used when a
 //!   graph's vertex properties do not fit on-chip (Section III-A).
 //! * [`relayout`] — the degree-aware edge re-layout of Section IV-C: edges of
@@ -44,7 +50,10 @@ pub mod edgelist;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod packed;
+mod pargen;
 pub mod partition;
+pub mod read;
 pub mod relayout;
 pub mod stats;
 pub mod transform;
@@ -53,7 +62,9 @@ pub use csr::{Csr, CsrBuilder};
 pub use datasets::{Dataset, DatasetSpec};
 pub use edgelist::{Edge, EdgeList};
 pub use error::GraphError;
+pub use packed::PackedCsr;
 pub use partition::{Partitioner, VertexInterval};
+pub use read::GraphRead;
 pub use stats::DegreeStats;
 
 /// Identifier of a vertex. The paper represents each edge in 4 bytes, which

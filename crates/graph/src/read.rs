@@ -1,0 +1,133 @@
+//! Backing-agnostic read access to a directed graph.
+//!
+//! The simulator's hot loop streams edges out of the per-tile CSRs that
+//! [`DeviceGraph`-style] preparation builds, so the *input* graph is only
+//! consulted for global shape (vertex/edge counts), per-vertex out-degrees,
+//! and one full edge sweep at prepare time. [`GraphRead`] captures exactly
+//! that surface, which lets the engine run bit-identically over either the
+//! in-memory [`Csr`] or the compressed on-disk [`crate::packed::PackedCsr`]
+//! without the packed reader having to materialize flat arrays.
+//!
+//! The trait is object-safe (edge iteration takes a `&mut dyn FnMut`
+//! visitor instead of returning an iterator), so algorithm hooks can accept
+//! `&dyn GraphRead` and stay dyn-dispatched while the engine itself remains
+//! generic — the `Csr` path monomorphizes to the same code as before.
+
+use crate::{Csr, Edge, VertexId};
+
+/// Read-only access to a directed, optionally weighted graph.
+///
+/// Implementations must present a *stable* view: repeated calls observe the
+/// same graph, and `for_each_edge` visits edges in ascending source order
+/// with each source's adjacency in its storage order — the order
+/// [`Csr::edges`] uses, which device preparation depends on for
+/// bit-identical tile construction across backings.
+pub trait GraphRead {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of directed edges.
+    fn num_edges(&self) -> usize;
+
+    /// Whether edge weights are stored.
+    fn is_weighted(&self) -> bool;
+
+    /// Out-degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `v >= num_vertices()`.
+    fn out_degree(&self, v: VertexId) -> usize;
+
+    /// Visits every `(src, dst, weight)` triple in CSR order (ascending
+    /// source, storage order within a source).
+    fn for_each_edge(&self, visit: &mut dyn FnMut(Edge));
+
+    /// All vertex identifiers, in ascending order.
+    fn vertex_ids(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+}
+
+impl GraphRead for Csr {
+    fn num_vertices(&self) -> usize {
+        Csr::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        Csr::num_edges(self)
+    }
+
+    fn is_weighted(&self) -> bool {
+        Csr::is_weighted(self)
+    }
+
+    fn out_degree(&self, v: VertexId) -> usize {
+        Csr::out_degree(self, v)
+    }
+
+    fn for_each_edge(&self, visit: &mut dyn FnMut(Edge)) {
+        for e in self.edges() {
+            visit(e);
+        }
+    }
+}
+
+impl<G: GraphRead + ?Sized> GraphRead for &G {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    fn is_weighted(&self) -> bool {
+        (**self).is_weighted()
+    }
+
+    fn out_degree(&self, v: VertexId) -> usize {
+        (**self).out_degree(v)
+    }
+
+    fn for_each_edge(&self, visit: &mut dyn FnMut(Edge)) {
+        (**self).for_each_edge(visit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_edges(
+            4,
+            &[
+                Edge::weighted(0, 1, 3),
+                Edge::weighted(0, 2, 1),
+                Edge::weighted(2, 3, 9),
+            ],
+        )
+    }
+
+    #[test]
+    fn csr_impl_mirrors_inherent_api() {
+        let g = sample();
+        let r: &dyn GraphRead = &g;
+        assert_eq!(r.num_vertices(), 4);
+        assert_eq!(r.num_edges(), 3);
+        assert!(r.is_weighted());
+        assert_eq!(r.out_degree(0), 2);
+        assert_eq!(r.out_degree(3), 0);
+        assert_eq!(r.vertex_ids(), 0..4);
+    }
+
+    #[test]
+    fn for_each_edge_matches_edges_iterator() {
+        let g = sample();
+        let mut seen = Vec::new();
+        GraphRead::for_each_edge(&g, &mut |e| seen.push(e));
+        let expect: Vec<Edge> = g.edges().collect();
+        assert_eq!(seen, expect);
+    }
+}

@@ -532,7 +532,7 @@ mod tests {
     use scalagraph_conformance::scenario::{
         AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, ModeMatrix,
     };
-    use scalagraph_conformance::{GraphSpec, Scenario};
+    use scalagraph_conformance::{GraphSource, GraphSpec, Scenario};
 
     fn healthy(name: &str) -> Scenario {
         Scenario {
@@ -546,6 +546,7 @@ mod tests {
                 symmetrize: false,
                 max_weight: 0,
                 weight_seed: 0,
+                source: GraphSource::Generate,
             },
             algo: AlgoSpec::Bfs { root: 0 },
             config: ConfigSpec::small(),

@@ -12,7 +12,7 @@
 //! [`FailureReason::OverBudget`].
 
 use scalagraph_conformance::scenario::{AlgoSpec, Family};
-use scalagraph_conformance::{GraphSpec, Scenario};
+use scalagraph_conformance::{GraphSource, GraphSpec, Scenario};
 
 use crate::job::FailureReason;
 
@@ -127,7 +127,17 @@ impl ResourceBudgets {
         let mut planned = scenario.clone();
         let mut degraded = false;
         if let Some(budget) = self.max_graph_bytes {
+            // A packed-file graph is immutable on disk: halving its family
+            // would desynchronize the spec from the file's actual contents,
+            // so a packed spec either fits its budget or is refused whole.
+            let packed = matches!(planned.graph.source, GraphSource::PackedFile { .. });
             while estimated_graph_bytes(&planned.graph) > budget {
+                if packed {
+                    return Err(FailureReason::OverBudget {
+                        estimated: estimated_graph_bytes(&planned.graph),
+                        budget,
+                    });
+                }
                 match halve(planned.graph.family) {
                     Some(smaller) => {
                         planned.graph.family = smaller;
@@ -166,6 +176,7 @@ mod tests {
                 symmetrize: false,
                 max_weight: 0,
                 weight_seed: 0,
+                source: GraphSource::Generate,
             },
             algo: AlgoSpec::Bfs { root: 40 },
             config: ConfigSpec::small(),
@@ -258,6 +269,34 @@ mod tests {
             }
             other => panic!("wrong reason: {other:?}"),
         }
+    }
+
+    #[test]
+    fn packed_specs_are_never_degraded() {
+        let mut s = scenario(Family::Uniform {
+            vertices: 4096,
+            edges: 65_536,
+            seed: 3,
+        });
+        s.graph.source = GraphSource::PackedFile {
+            path: "g.sgpk".into(),
+        };
+        let err = ResourceBudgets {
+            max_cycles: None,
+            max_graph_bytes: Some(20_000),
+        }
+        .plan(&s)
+        .unwrap_err();
+        assert!(matches!(err, FailureReason::OverBudget { .. }));
+        // Within budget, a packed spec passes through untouched.
+        let plan = ResourceBudgets {
+            max_cycles: None,
+            max_graph_bytes: Some(1 << 30),
+        }
+        .plan(&s)
+        .unwrap();
+        assert!(!plan.degraded);
+        assert_eq!(plan.scenario, s);
     }
 
     #[test]

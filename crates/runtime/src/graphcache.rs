@@ -18,16 +18,16 @@
 //! cached too (`Failed`), so a storm of identical malformed specs fails
 //! fast instead of re-deriving the same error.
 //!
-//! Eviction is LRU over a bounded entry count. `Building` placeholders are
-//! never evicted — a waiter is parked on them.
+//! Eviction is LRU over **resident bytes** (each finished graph's actual
+//! CSR heap size) with a secondary bounded entry count, so one paper-scale
+//! graph cannot silently pin N× memory behind an entry-count-only policy.
+//! `Building` placeholders are never evicted — a waiter is parked on them.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use scalagraph_conformance::GraphSpec;
 use scalagraph_graph::Csr;
-
-use crate::budget::estimated_graph_bytes;
 
 /// Counters describing the cache's behaviour since construction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,15 +41,22 @@ pub struct GraphCacheStats {
     pub misses: u64,
     /// Ready entries evicted by the LRU policy.
     pub evictions: u64,
-    /// Estimated resident bytes of currently cached graphs.
+    /// Actual resident bytes of currently cached graphs (sum of each
+    /// cached CSR's heap footprint).
     pub resident_bytes: u64,
+    /// Configured resident-byte budget; 0 when the cache is unbounded.
+    pub byte_budget: u64,
 }
 
 enum Entry {
     /// A builder is constructing this graph right now; wait, don't build.
     Building,
-    /// The finished graph, with an LRU stamp.
-    Ready { graph: Arc<Csr>, last_used: u64 },
+    /// The finished graph, with an LRU stamp and its measured heap size.
+    Ready {
+        graph: Arc<Csr>,
+        last_used: u64,
+        bytes: u64,
+    },
     /// The spec deterministically fails to build; cached so repeat
     /// offenders fail fast.
     Failed { message: String, last_used: u64 },
@@ -66,6 +73,7 @@ pub struct GraphCache {
     state: Mutex<State>,
     published: Condvar,
     capacity: usize,
+    byte_budget: u64,
 }
 
 /// What [`GraphCache::fetch`] resolved.
@@ -85,8 +93,18 @@ fn recover<'a>(
 }
 
 impl GraphCache {
-    /// A cache holding at most `capacity` finished entries (minimum 1).
+    /// A cache holding at most `capacity` finished entries (minimum 1),
+    /// with no resident-byte budget.
     pub fn new(capacity: usize) -> Self {
+        GraphCache::with_byte_budget(capacity, u64::MAX)
+    }
+
+    /// A cache bounded by both a finished-entry count and a resident-byte
+    /// budget: eviction runs until both constraints hold (the entry just
+    /// published is never evicted, so a single over-budget graph still
+    /// serves its own fetch). A `byte_budget` of 0 keeps at most the
+    /// in-flight graph resident.
+    pub fn with_byte_budget(capacity: usize, byte_budget: u64) -> Self {
         GraphCache {
             state: Mutex::new(State {
                 entries: HashMap::new(),
@@ -95,12 +113,23 @@ impl GraphCache {
             }),
             published: Condvar::new(),
             capacity: capacity.max(1),
+            byte_budget,
         }
     }
 
-    /// A cache with the default capacity (64 graphs).
+    /// A cache with the default capacity (64 graphs, unbounded bytes).
     pub fn with_default_capacity() -> Self {
         GraphCache::new(64)
+    }
+
+    /// The configured resident-byte budget (`u64::MAX` when unbounded).
+    pub fn byte_budget(&self) -> u64 {
+        self.byte_budget
+    }
+
+    /// Actual bytes currently held by finished graphs.
+    pub fn resident_bytes(&self) -> u64 {
+        recover(self.state.lock()).stats.resident_bytes
     }
 
     /// Resolves `spec` to its graph, building it at most once per cached
@@ -116,7 +145,9 @@ impl GraphCache {
             state.tick += 1;
             let tick = state.tick;
             match state.entries.get_mut(spec) {
-                Some(Entry::Ready { graph, last_used }) => {
+                Some(Entry::Ready {
+                    graph, last_used, ..
+                }) => {
                     *last_used = tick;
                     let graph = Arc::clone(graph);
                     state.stats.hits += 1;
@@ -135,7 +166,7 @@ impl GraphCache {
                     state = recover(self.published.wait(state));
                 }
                 None => {
-                    state.entries.insert(*spec, Entry::Building);
+                    state.entries.insert(spec.clone(), Entry::Building);
                     state.stats.misses += 1;
                     break;
                 }
@@ -152,21 +183,23 @@ impl GraphCache {
         let tick = state.tick;
         let outcome = match result {
             Ok(csr) => {
+                let bytes = csr.storage_bytes();
                 let graph = Arc::new(csr);
                 state.stats.builds += 1;
-                state.stats.resident_bytes += estimated_graph_bytes(spec);
+                state.stats.resident_bytes += bytes;
                 state.entries.insert(
-                    *spec,
+                    spec.clone(),
                     Entry::Ready {
                         graph: Arc::clone(&graph),
                         last_used: tick,
+                        bytes,
                     },
                 );
                 Ok(Fetched { graph, built: true })
             }
             Err(message) => {
                 state.entries.insert(
-                    *spec,
+                    spec.clone(),
                     Entry::Failed {
                         message: message.clone(),
                         last_used: tick,
@@ -175,17 +208,20 @@ impl GraphCache {
                 Err(message)
             }
         };
-        self.evict_over_capacity(&mut state, spec);
+        self.evict_to_fit(&mut state, spec);
         drop(state);
         self.published.notify_all();
         outcome
     }
 
-    /// Evicts least-recently-used finished entries until the cache fits its
-    /// capacity. Never evicts `Building` placeholders or `keep` (the entry
-    /// just published, which the caller is about to hand out).
-    fn evict_over_capacity(&self, state: &mut State, keep: &GraphSpec) {
-        while state.entries.len() > self.capacity {
+    /// Evicts least-recently-used finished entries until the cache fits
+    /// both its entry capacity and its resident-byte budget. Never evicts
+    /// `Building` placeholders or `keep` (the entry just published, which
+    /// the caller is about to hand out) — so one graph larger than the
+    /// whole budget still serves its own fetch and is dropped on the next
+    /// publication.
+    fn evict_to_fit(&self, state: &mut State, keep: &GraphSpec) {
+        while state.entries.len() > self.capacity || state.stats.resident_bytes > self.byte_budget {
             let victim = state
                 .entries
                 .iter()
@@ -193,19 +229,17 @@ impl GraphCache {
                     Entry::Ready { last_used, .. } | Entry::Failed { last_used, .. }
                         if k != keep =>
                     {
-                        Some((*last_used, *k))
+                        Some((*last_used, k.clone()))
                     }
                     _ => None,
                 })
                 .min_by_key(|(last_used, _)| *last_used);
             match victim {
                 Some((_, key)) => {
-                    if matches!(state.entries.remove(&key), Some(Entry::Ready { .. })) {
+                    if let Some(Entry::Ready { bytes, .. }) = state.entries.remove(&key) {
                         state.stats.evictions += 1;
-                        state.stats.resident_bytes = state
-                            .stats
-                            .resident_bytes
-                            .saturating_sub(estimated_graph_bytes(&key));
+                        state.stats.resident_bytes =
+                            state.stats.resident_bytes.saturating_sub(bytes);
                     }
                 }
                 None => break, // everything left is Building or `keep`
@@ -213,9 +247,16 @@ impl GraphCache {
         }
     }
 
-    /// Point-in-time counters.
+    /// Point-in-time counters (plus the configured byte budget, reported
+    /// as 0 when unbounded).
     pub fn stats(&self) -> GraphCacheStats {
-        recover(self.state.lock()).stats
+        let mut stats = recover(self.state.lock()).stats;
+        stats.byte_budget = if self.byte_budget == u64::MAX {
+            0
+        } else {
+            self.byte_budget
+        };
+        stats
     }
 
     /// Finished entries currently cached.
@@ -237,6 +278,7 @@ impl GraphCache {
 mod tests {
     use super::*;
     use scalagraph_conformance::scenario::Family;
+    use scalagraph_conformance::GraphSource;
 
     fn spec(seed: u64) -> GraphSpec {
         GraphSpec {
@@ -248,6 +290,7 @@ mod tests {
             symmetrize: false,
             max_weight: 0,
             weight_seed: 0,
+            source: GraphSource::Generate,
         }
     }
 
@@ -327,6 +370,7 @@ mod tests {
             symmetrize: false,
             max_weight: 0,
             weight_seed: 0,
+            source: GraphSource::Generate,
         };
         let first = cache.fetch(&bad).unwrap_err();
         assert!(first.contains("at least 2"), "{first}");
@@ -349,6 +393,43 @@ mod tests {
             full,
             "one evicted, one inserted, same family size"
         );
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn resident_bytes_are_actual_csr_heap_sizes() {
+        let cache = GraphCache::new(8);
+        let a = cache.fetch(&spec(1)).unwrap();
+        let b = cache.fetch(&spec(2)).unwrap();
+        assert_eq!(
+            cache.resident_bytes(),
+            (a.graph.storage_bytes() + b.graph.storage_bytes()) as u64
+        );
+    }
+
+    #[test]
+    fn byte_budget_evicts_even_under_entry_capacity() {
+        // Budget fits exactly one of these graphs; entry capacity is ample.
+        let probe = spec(1).build().unwrap().storage_bytes();
+        let cache = GraphCache::with_byte_budget(64, probe + probe / 2);
+        cache.fetch(&spec(1)).unwrap();
+        cache.fetch(&spec(2)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1, "byte budget forced an eviction");
+        assert!(stats.resident_bytes <= probe + probe / 2);
+        assert_eq!(cache.len(), 1);
+        // The newest entry survived.
+        assert!(!cache.fetch(&spec(2)).unwrap().built);
+    }
+
+    #[test]
+    fn oversized_graph_still_serves_its_own_fetch() {
+        let cache = GraphCache::with_byte_budget(8, 1);
+        let f = cache.fetch(&spec(1)).unwrap();
+        assert!(f.built);
+        assert_eq!(f.graph.num_vertices(), 64);
+        // The next publication evicts it (it is no longer `keep`).
+        cache.fetch(&spec(2)).unwrap();
         assert_eq!(cache.stats().evictions, 1);
     }
 }

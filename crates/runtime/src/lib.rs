@@ -25,7 +25,7 @@
 //! ```
 //! use scalagraph_runtime::{BatchRuntime, JobSpec, RuntimeConfig};
 //! # use scalagraph_conformance::scenario::{AlgoSpec, ConfigSpec, Expectation, Family, ModeMatrix};
-//! # use scalagraph_conformance::{GraphSpec, Scenario};
+//! # use scalagraph_conformance::{GraphSource, GraphSpec, Scenario};
 //! # let scenario = Scenario {
 //! #     name: "doc".into(),
 //! #     graph: GraphSpec {
@@ -33,6 +33,7 @@
 //! #         symmetrize: false,
 //! #         max_weight: 0,
 //! #         weight_seed: 0,
+//! #         source: GraphSource::Generate,
 //! #     },
 //! #     algo: AlgoSpec::Bfs { root: 0 },
 //! #     config: ConfigSpec::small(),

@@ -156,7 +156,7 @@ fn run_typed<A: Algorithm>(
 mod tests {
     use super::*;
     use scalagraph_conformance::scenario::{ConfigSpec, Expectation, Family, ModeMatrix};
-    use scalagraph_conformance::GraphSpec;
+    use scalagraph_conformance::{GraphSource, GraphSpec};
 
     fn scenario() -> Scenario {
         Scenario {
@@ -170,6 +170,7 @@ mod tests {
                 symmetrize: false,
                 max_weight: 0,
                 weight_seed: 0,
+                source: GraphSource::Generate,
             },
             algo: AlgoSpec::Bfs { root: 0 },
             config: ConfigSpec::small(),

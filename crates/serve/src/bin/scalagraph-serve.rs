@@ -8,6 +8,7 @@
 //!   --deadline-ms <ms>        default per-job deadline, 0=none [10000]
 //!   --max-body-bytes <n>      request body / line ceiling      [1048576]
 //!   --graph-cache <n>         graph cache capacity (specs)     [64]
+//!   --graph-cache-bytes <n>   graph cache byte budget, 0=off   [0]
 //!   --memo-cap <n>            memo capacity (fingerprints)     [1024]
 //!   --summary-secs <n>        stderr metrics cadence, 0=off    [10]
 //! ```
@@ -72,6 +73,9 @@ fn parse_config() -> ServeConfig {
             }
             "--graph-cache" => {
                 config.graph_cache_capacity = parse_u64("--graph-cache", value()).max(1) as usize
+            }
+            "--graph-cache-bytes" => {
+                config.graph_cache_bytes = parse_u64("--graph-cache-bytes", value())
             }
             "--memo-cap" => config.memo_capacity = parse_u64("--memo-cap", value()).max(1) as usize,
             "--summary-secs" => {

@@ -39,7 +39,7 @@ pub use server::{render_metrics_text, ServeConfig, Server};
 #[cfg(test)]
 pub(crate) mod test_support {
     use scalagraph_conformance::scenario::{AlgoSpec, ConfigSpec, Expectation, Family, ModeMatrix};
-    use scalagraph_conformance::{GraphSpec, Scenario};
+    use scalagraph_conformance::{GraphSource, GraphSpec, Scenario};
 
     /// A small scenario that converges quickly; the standard fixture for
     /// serve-side unit tests.
@@ -55,6 +55,7 @@ pub(crate) mod test_support {
                 symmetrize: false,
                 max_weight: 0,
                 weight_seed: 0,
+                source: GraphSource::Generate,
             },
             algo: AlgoSpec::Bfs { root: 0 },
             config: ConfigSpec::small(),

@@ -52,6 +52,9 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Graph cache capacity (distinct graph specs).
     pub graph_cache_capacity: usize,
+    /// Graph cache resident-byte budget; 0 disables the byte bound (the
+    /// entry-count capacity still applies).
+    pub graph_cache_bytes: u64,
     /// Memo capacity (distinct scenario fingerprints).
     pub memo_capacity: usize,
     /// Emit a metrics summary to stderr on this cadence.
@@ -67,6 +70,7 @@ impl Default for ServeConfig {
             default_deadline_ms: 10_000,
             max_body_bytes: 1 << 20,
             graph_cache_capacity: 64,
+            graph_cache_bytes: 0,
             memo_capacity: 1024,
             summary_every: None,
         }
@@ -80,7 +84,7 @@ pub fn render_metrics_text(
     graphs: &GraphCacheStats,
     memo: &MemoStats,
 ) -> String {
-    let pairs: [(&str, u64); 26] = [
+    let pairs: [(&str, u64); 27] = [
         ("connections", counters.connections),
         ("requests_ok", counters.requests_ok),
         ("requests_error", counters.requests_error),
@@ -98,6 +102,7 @@ pub fn render_metrics_text(
         ("graph_cache_builds", graphs.builds),
         ("graph_cache_evictions", graphs.evictions),
         ("graph_cache_resident_bytes", graphs.resident_bytes),
+        ("graph_cache_byte_budget", graphs.byte_budget),
         ("memo_hits", counters.memo_hits),
         ("memo_misses", counters.memo_misses),
         ("memo_inserted", memo.inserted),
@@ -441,7 +446,14 @@ impl Server {
     /// The bind error, verbatim.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let metrics = Arc::new(ServiceMetrics::new());
-        let graphs = Arc::new(GraphCache::new(config.graph_cache_capacity));
+        let graphs = Arc::new(GraphCache::with_byte_budget(
+            config.graph_cache_capacity,
+            if config.graph_cache_bytes == 0 {
+                u64::MAX
+            } else {
+                config.graph_cache_bytes
+            },
+        ));
         let memo = Arc::new(MemoCache::new(config.memo_capacity));
         let executor = Executor::start(
             ExecutorConfig {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Dataset-pack smoke: the full packed-graph pipeline end to end.
+#
+#   1. Parallel-generate a mid-scale dataset stand-in and pack it into the
+#      delta+varint container (`scalagraph-sim graph pack`).
+#   2. Mmap-open the container and print its header (`graph info`) — this
+#      exercises open-time validation (magic/version/checksum/structure).
+#   3. Replay a conformance corpus scenario with `--packed`, which re-runs
+#      the scenario on a packed on-disk backing and fails unless the
+#      replayed report is bit-identical to the in-memory run.
+#   4. Re-measure the dataset benchmarks and gate against the checked-in
+#      BENCH_datasets.json (pack ratio >10% worse, or gen/cold-open
+#      speedups below half their recorded values, fail the job).
+#
+# Usage: scripts/dataset_pack_smoke.sh [--skip-bench]
+#   --skip-bench  run only the pack/info/replay smoke (fast path)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_BENCH=0
+for a in "$@"; do
+  case "$a" in
+    --skip-bench) SKIP_BENCH=1 ;;
+    *) echo "unknown flag: $a" >&2; exit 2 ;;
+  esac
+done
+
+SIM=(cargo run --release --bin scalagraph-sim --)
+CONTAINER=$(mktemp -t scalagraph-smoke-XXXXXX.sgpk)
+trap 'rm -f "$CONTAINER"' EXIT
+
+echo "== pack: Pokec/4 (parallel generation -> packed container) =="
+"${SIM[@]}" graph pack --graph PK --scale 4 --seed 42 --out "$CONTAINER"
+
+echo "== info: mmap-open and validate the container =="
+"${SIM[@]}" graph info "$CONTAINER"
+
+echo "== replay: corpus scenario on packed backing must be bit-identical =="
+"${SIM[@]}" replay --packed corpus/converge-pagerank-dense.json
+
+if [ "$SKIP_BENCH" = 0 ]; then
+  echo "== bench: regression gates vs checked-in BENCH_datasets.json =="
+  cargo run --release -p scalagraph-bench --bin bench_datasets -- \
+    --out BENCH_datasets.ci.json --check BENCH_datasets.json
+fi
+
+echo "dataset-pack smoke: OK"

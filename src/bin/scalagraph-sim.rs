@@ -10,9 +10,21 @@
 //!   deterministic per (budget, seed). Minimized repros are written to
 //!   --out as corpus-ready JSON. Exits non-zero if any scenario diverges.
 //!
-//! scalagraph-sim replay <scenario.json> [...]
+//! scalagraph-sim replay [--packed] <scenario.json> [...]
 //!   replay checked-in conformance scenarios through the differential
 //!   oracle and print each report. Exits non-zero on any mismatch.
+//!   --packed  additionally round-trip each scenario's graph through the
+//!             packed on-disk container and assert the replayed report is
+//!             bit-identical to the in-memory run.
+//!
+//! scalagraph-sim graph pack --graph <PK|LJ|OR|RM|TW|FL> --out <path>
+//!                           [--scale <n>] [--seed <n>] [--weighted]
+//!                           [--block-size <n>]
+//!   generate a dataset stand-in (in parallel) and write it as a packed
+//!   delta+varint CSR container; prints the raw/packed sizes and ratio.
+//!
+//! scalagraph-sim graph info <path>
+//!   print the header of a packed CSR container.
 //!
 //! scalagraph-sim batch [options] <scenario.json | dir> [...]
 //!   run conformance scenarios through the resilient batch runtime
@@ -28,6 +40,7 @@
 //!   --breaker <n>             breaker threshold, 0 disables     [3]
 //!   --max-cycles <n>          per-job simulated-cycle budget    [none]
 //!   --max-graph-bytes <n>     per-job graph-memory budget       [none]
+//!   --graph-cache-bytes <n>   shared graph-cache byte budget    [unbounded]
 //!   --inject-panic <name>     panic the worker on this scenario (test hook)
 //!   --strict                  exit 1 unless every job completed
 //!
@@ -69,13 +82,14 @@
 use scalagraph_suite::algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
 use scalagraph_suite::algo::Algorithm;
 use scalagraph_suite::baselines::{GraphDyns, GraphDynsConfig};
-use scalagraph_suite::conformance::{self, Scenario};
-use scalagraph_suite::graph::{io, Csr, Dataset, EdgeList};
-use scalagraph_suite::runtime::{BatchRuntime, JobSpec, JobStatus, RuntimeConfig};
+use scalagraph_suite::conformance::{self, GraphSource, Scenario};
+use scalagraph_suite::graph::{io, packed, Csr, Dataset, EdgeList, PackedCsr};
+use scalagraph_suite::runtime::{BatchRuntime, GraphCache, JobSpec, JobStatus, RuntimeConfig};
 use scalagraph_suite::scalagraph::{Mapping, ScalaGraphConfig, SimResult, Simulator};
 use scalagraph_suite::telemetry::Recorder;
 use std::collections::HashMap;
 use std::process::exit;
+use std::sync::Arc;
 
 /// Flags that take no value.
 const SWITCHES: &[&str] = &[
@@ -371,7 +385,18 @@ fn cmd_fuzz(rest: &[String]) -> ! {
 }
 
 /// `scalagraph-sim replay`: replay conformance scenarios from JSON files.
-fn cmd_replay(paths: &[String]) -> ! {
+fn cmd_replay(rest: &[String]) -> ! {
+    let mut packed_check = false;
+    let mut paths: Vec<&String> = Vec::new();
+    for a in rest {
+        match a.as_str() {
+            "--packed" => packed_check = true,
+            other if other.starts_with("--") => {
+                usage_and_exit(&format!("unknown replay flag `{other}`"))
+            }
+            _ => paths.push(a),
+        }
+    }
     if paths.is_empty() {
         usage_and_exit("replay needs at least one scenario file");
     }
@@ -389,6 +414,15 @@ fn cmd_replay(paths: &[String]) -> ! {
             Ok(report) => {
                 print!("{}", report.render());
                 failed |= !report.passed();
+                if packed_check {
+                    match replay_on_packed_backing(&scenario, &report.render()) {
+                        Ok(()) => println!("packed backing: bit-identical report"),
+                        Err(e) => {
+                            eprintln!("error: packed replay of `{}`: {e}", scenario.name);
+                            failed = true;
+                        }
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("error: scenario `{}` is malformed: {e}", scenario.name);
@@ -399,11 +433,133 @@ fn cmd_replay(paths: &[String]) -> ! {
     exit(if failed { 1 } else { 0 })
 }
 
+/// Re-runs `scenario` with its graph packed to a temporary on-disk
+/// container and loaded back through the mmap reader, asserting the
+/// replayed report is byte-identical to `baseline`.
+fn replay_on_packed_backing(scenario: &Scenario, baseline: &str) -> Result<(), String> {
+    let graph = scenario.graph.build()?;
+    let tmp = std::env::temp_dir().join(format!(
+        "scalagraph-replay-{}-{}.sgpk",
+        std::process::id(),
+        scenario.name
+    ));
+    packed::write_packed(&graph, &tmp, packed::DEFAULT_BLOCK_SIZE).map_err(|e| e.to_string())?;
+    let mut on_packed = scenario.clone();
+    on_packed.graph.source = GraphSource::PackedFile {
+        path: tmp.to_string_lossy().into_owned(),
+    };
+    let outcome = conformance::run_scenario(&on_packed);
+    let _ = std::fs::remove_file(&tmp);
+    let report = outcome.map_err(|e| e.to_string())?;
+    if report.render() != baseline {
+        return Err("report diverged from the in-memory backing".into());
+    }
+    Ok(())
+}
+
+/// `scalagraph-sim graph`: pack datasets into the on-disk container and
+/// inspect existing containers.
+fn cmd_graph(rest: &[String]) -> ! {
+    match rest.first().map(String::as_str) {
+        Some("pack") => cmd_graph_pack(&rest[1..]),
+        Some("info") => cmd_graph_info(&rest[1..]),
+        _ => usage_and_exit("graph needs a verb: pack | info"),
+    }
+}
+
+fn cmd_graph_pack(rest: &[String]) -> ! {
+    let mut name: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut scale = 2048u64;
+    let mut seed = 42u64;
+    let mut weighted = false;
+    let mut block_size = packed::DEFAULT_BLOCK_SIZE;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| usage_and_exit(&format!("{flag} needs a value")))
+        };
+        let parse_u64 = |flag: &str, v: String| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| usage_and_exit(&format!("{flag} needs a non-negative integer")))
+        };
+        match a.as_str() {
+            "--graph" => name = Some(value("--graph")),
+            "--out" => out = Some(value("--out")),
+            "--scale" => scale = parse_u64("--scale", value("--scale")),
+            "--seed" => seed = parse_u64("--seed", value("--seed")),
+            "--weighted" => weighted = true,
+            "--block-size" => {
+                block_size = parse_u64("--block-size", value("--block-size")).max(1) as u32
+            }
+            other => usage_and_exit(&format!("unknown graph pack flag `{other}`")),
+        }
+    }
+    let name = name.unwrap_or_else(|| usage_and_exit("graph pack needs --graph <abbrev>"));
+    let out = out.unwrap_or_else(|| usage_and_exit("graph pack needs --out <path>"));
+    let dataset = Dataset::ALL
+        .iter()
+        .find(|d| d.spec().abbrev.eq_ignore_ascii_case(&name))
+        .copied()
+        .unwrap_or_else(|| usage_and_exit(&format!("unknown dataset `{name}`")));
+    let graph = if weighted {
+        dataset.try_generate_weighted(scale, seed)
+    } else {
+        dataset.try_generate(scale, seed)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2)
+    });
+    let raw = graph.storage_bytes();
+    let written = packed::write_packed(&graph, &out, block_size).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1)
+    });
+    println!(
+        "packed {dataset} scale {scale} seed {seed}: |V|={} |E|={}{}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        if weighted { " (weighted)" } else { "" }
+    );
+    println!(
+        "  raw CSR {raw} B -> packed {written} B ({:.1}% , {:.2} B/edge) -> {out}",
+        written as f64 / raw as f64 * 100.0,
+        written as f64 / graph.num_edges().max(1) as f64
+    );
+    exit(0)
+}
+
+fn cmd_graph_info(rest: &[String]) -> ! {
+    let [path] = rest else {
+        usage_and_exit("graph info needs exactly one container path");
+    };
+    let g = PackedCsr::open(path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1)
+    });
+    println!("packed CSR container {path}");
+    println!("  vertices     : {}", g.num_vertices());
+    println!("  edges        : {}", g.num_edges());
+    println!("  weighted     : {}", g.is_weighted());
+    println!("  block size   : {}", g.block_size());
+    println!("  blocks       : {}", g.num_blocks());
+    println!("  container    : {} B", g.container_bytes());
+    println!(
+        "  bytes/edge   : {:.2}",
+        g.container_bytes() as f64 / g.num_edges().max(1) as f64
+    );
+    exit(0)
+}
+
 /// `scalagraph-sim batch`: run scenarios through the resilient batch
 /// runtime.
 fn cmd_batch(rest: &[String]) -> ! {
     let mut config = RuntimeConfig::default();
     let mut strict = false;
+    let mut graph_cache_bytes: Option<u64> = None;
     let mut inject_panic: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
     let mut it = rest.iter();
@@ -449,6 +605,10 @@ fn cmd_batch(rest: &[String]) -> ! {
             "--max-graph-bytes" => {
                 config.budgets.max_graph_bytes =
                     Some(parse_u64("--max-graph-bytes", value("--max-graph-bytes")))
+            }
+            "--graph-cache-bytes" => {
+                graph_cache_bytes =
+                    Some(parse_u64("--graph-cache-bytes", value("--graph-cache-bytes")).max(1))
             }
             "--inject-panic" => inject_panic = Some(value("--inject-panic")),
             "--strict" => strict = true,
@@ -517,7 +677,13 @@ fn cmd_batch(rest: &[String]) -> ! {
         config.workers,
         config.queue_capacity
     );
-    let runtime = BatchRuntime::new(config);
+    let runtime = match graph_cache_bytes {
+        Some(bytes) => BatchRuntime::with_graph_cache(
+            config,
+            Arc::new(GraphCache::with_byte_budget(64, bytes)),
+        ),
+        None => BatchRuntime::new(config),
+    };
     let report = runtime.run(specs);
     for outcome in &report.outcomes {
         println!("{outcome}");
@@ -562,6 +728,7 @@ fn main() {
         Some("fuzz") => cmd_fuzz(&raw[1..]),
         Some("replay") => cmd_replay(&raw[1..]),
         Some("batch") => cmd_batch(&raw[1..]),
+        Some("graph") => cmd_graph(&raw[1..]),
         _ => {}
     }
     let args = parse_args();

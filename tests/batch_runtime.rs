@@ -23,7 +23,7 @@ use scalagraph_suite::algo::algorithms::Bfs;
 use scalagraph_suite::conformance::scenario::{
     AlgoSpec, ConfigSpec, Expectation, Family, ModeMatrix,
 };
-use scalagraph_suite::conformance::{GraphSpec, Scenario};
+use scalagraph_suite::conformance::{GraphSource, GraphSpec, Scenario};
 use scalagraph_suite::graph::{generators, Csr};
 use scalagraph_suite::runtime::{BatchRuntime, FailureReason, JobSpec, JobStatus, RuntimeConfig};
 use scalagraph_suite::scalagraph::{ScalaGraphConfig, SimError, Simulator};
@@ -62,6 +62,7 @@ fn healthy(name: &str, seed: u64) -> Scenario {
             symmetrize: false,
             max_weight: 0,
             weight_seed: 0,
+            source: GraphSource::Generate,
         },
         algo: AlgoSpec::Bfs { root: 0 },
         config: ConfigSpec::small(),

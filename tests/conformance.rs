@@ -8,8 +8,8 @@
 //! serialization so a drive-by edit cannot silently de-canonicalize them.
 
 use scalagraph_suite::conformance::{
-    fuzz, run_scenario, shrink, signature, AlgoSpec, ConfigSpec, Expectation, Family, GraphSpec,
-    ModeMatrix, Outcome, Scenario,
+    fuzz, run_scenario, shrink, signature, AlgoSpec, ConfigSpec, Expectation, Family, GraphSource,
+    GraphSpec, ModeMatrix, Outcome, Scenario,
 };
 
 fn corpus_files() -> Vec<(String, String)> {
@@ -85,6 +85,7 @@ fn empty_apply_work_waves_count_identically_everywhere() {
                     symmetrize: false,
                     max_weight: 0,
                     weight_seed: 0,
+                    source: GraphSource::Generate,
                 },
                 algo: AlgoSpec::Bfs { root },
                 config: ConfigSpec {
@@ -223,6 +224,7 @@ fn shrinker_reduces_a_synthetic_bug_to_a_trivial_graph() {
             symmetrize: true,
             max_weight: 64,
             weight_seed: 1,
+            source: GraphSource::Generate,
         },
         algo: AlgoSpec::Sssp { root: 200 },
         config: ConfigSpec {

@@ -1,0 +1,199 @@
+//! Integration tests of the packed-CSR container (`graph::packed`):
+//! property-based round-trips through the compressed format, and corruption
+//! handling — every malformed container must come back as a typed
+//! [`GraphError`], never a panic, because packed files arrive from disk and
+//! the network, not from this process.
+
+use proptest::prelude::*;
+use scalagraph_suite::graph::error::GraphError;
+use scalagraph_suite::graph::{packed, Csr, Edge, PackedCsr};
+
+/// Random graph, optionally weighted, with duplicate edges and self-loops
+/// allowed — everything `Csr::from_edges` accepts must round-trip.
+fn arb_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = Csr> {
+    (2..max_v, any::<bool>()).prop_flat_map(move |(v, weighted)| {
+        prop::collection::vec((0..v as u32, 0..v as u32, 0u32..1024), 0..max_e).prop_map(
+            move |triples| {
+                let edges: Vec<Edge> = triples
+                    .into_iter()
+                    .map(|(s, d, w)| {
+                        if weighted {
+                            Edge::weighted(s, d, w)
+                        } else {
+                            Edge::new(s, d)
+                        }
+                    })
+                    .collect();
+                Csr::from_edges(v, &edges)
+            },
+        )
+    })
+}
+
+/// Mirrors the container's trailer checksum (word-wise FNV-1a over the
+/// body) so corruption tests can damage the payload and re-seal the file —
+/// exactly what the checksum cannot catch and the structural walk must.
+fn reseal(bytes: &mut [u8]) {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const HEADER_LEN: usize = 56;
+    let body = &bytes[HEADER_LEN..];
+    let mut h = OFFSET;
+    let mut i = 0;
+    while i < body.len() {
+        let take = (body.len() - i).min(8);
+        let mut w = [0u8; 8];
+        w[..take].copy_from_slice(&body[i..i + take]);
+        h = (h ^ u64::from_le_bytes(w)).wrapping_mul(PRIME);
+        i += take;
+    }
+    let sum = (h ^ body.len() as u64).wrapping_mul(PRIME);
+    bytes[48..56].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn sample_container() -> Vec<u8> {
+    let edges: Vec<Edge> = (0u32..64)
+        .flat_map(|s| [(s, (s * 7 + 1) % 64), (s, (s * 13 + 5) % 64)])
+        .map(|(s, d)| Edge::weighted(s, d, s + d + 1))
+        .collect();
+    packed::pack_to_vec(&Csr::from_edges(64, &edges), 16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The packed container reproduces the CSR bit-for-bit through every
+    /// read accessor, across block sizes small enough to force many
+    /// blocks.
+    #[test]
+    fn packed_roundtrip_matches_csr(g in arb_graph(60, 400), block in 1u32..48) {
+        let p = PackedCsr::from_bytes(packed::pack_to_vec(&g, block))
+            .expect("freshly packed container must open");
+        prop_assert_eq!(p.num_vertices(), g.num_vertices());
+        prop_assert_eq!(p.num_edges(), g.num_edges());
+        prop_assert_eq!(p.is_weighted(), g.is_weighted());
+        for v in g.vertices() {
+            prop_assert_eq!(p.out_degree(v), g.out_degree(v));
+            prop_assert_eq!(p.edge_range(v), g.edge_range(v));
+            prop_assert_eq!(&*p.neighbors(v), g.neighbors(v));
+            if g.is_weighted() {
+                let pw = p.edge_weights(v).expect("weighted container has weights");
+                let gw = g.edge_weights(v).expect("weighted csr has weights");
+                prop_assert_eq!(&*pw, gw);
+            }
+        }
+        prop_assert_eq!(p.to_csr().expect("container round-trips"), g);
+    }
+
+    /// Truncation at *any* byte boundary is rejected with a typed error.
+    #[test]
+    fn truncation_never_panics(g in arb_graph(24, 120), block in 1u32..16) {
+        let bytes = packed::pack_to_vec(&g, block);
+        for len in 0..bytes.len() {
+            let err = PackedCsr::from_bytes(bytes[..len].to_vec())
+                .err()
+                .expect("truncated container must not open");
+            prop_assert!(matches!(
+                err,
+                GraphError::PackedFormat { .. } | GraphError::PackedChecksum { .. }
+            ));
+        }
+    }
+}
+
+/// A single damaged bit anywhere in the body fails checksum verification
+/// (structural checks may also fire first for index bytes — either way the
+/// error is typed).
+#[test]
+fn bit_rot_is_detected() {
+    let bytes = sample_container();
+    assert!(PackedCsr::from_bytes(bytes.clone()).is_ok());
+    for pos in (56..bytes.len()).step_by(29) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x40;
+        let err = PackedCsr::from_bytes(bad)
+            .err()
+            .unwrap_or_else(|| panic!("flip at byte {pos} must be detected"));
+        assert!(
+            matches!(
+                err,
+                GraphError::PackedFormat { .. } | GraphError::PackedChecksum { .. }
+            ),
+            "flip at byte {pos}: unexpected error {err:?}"
+        );
+    }
+}
+
+/// Damaging the payload *and* re-sealing the checksum forces the
+/// structural walk to catch the damage: every single-byte corruption is
+/// either still a well-formed container or a typed error — never a panic,
+/// and any neighbor pushed out of range is reported as such.
+#[test]
+fn resealed_corruption_yields_typed_errors() {
+    let bytes = sample_container();
+    let mut saw_out_of_range = false;
+    let mut saw_rejection = false;
+    for pos in 56..bytes.len() {
+        for val in [bytes[pos] ^ 0xff, 0xff, 0x07] {
+            let mut bad = bytes.clone();
+            bad[pos] = val;
+            reseal(&mut bad);
+            match PackedCsr::from_bytes(bad) {
+                Ok(p) => {
+                    // Still structurally valid: every accessor must keep
+                    // working (the open-time walk certifies decode).
+                    for v in 0..p.num_vertices() as u32 {
+                        let _ = p.neighbors(v);
+                    }
+                }
+                Err(GraphError::VertexOutOfRange { num_vertices, .. }) => {
+                    saw_out_of_range = true;
+                    assert_eq!(num_vertices, 64);
+                }
+                Err(
+                    GraphError::PackedFormat { .. }
+                    | GraphError::PackedChecksum { .. }
+                    | GraphError::MalformedOffsets { .. },
+                ) => saw_rejection = true,
+                Err(other) => panic!("corruption at byte {pos}: unexpected error {other:?}"),
+            }
+        }
+    }
+    assert!(
+        saw_out_of_range,
+        "no corruption produced an out-of-range id"
+    );
+    assert!(
+        saw_rejection,
+        "no corruption produced a structural rejection"
+    );
+}
+
+#[test]
+fn file_open_round_trips_and_rejects_damage() {
+    let edges: Vec<Edge> = (0u32..100).map(|s| Edge::new(s, (s + 1) % 100)).collect();
+    let g = Csr::from_edges(100, &edges);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("scalagraph-it-packed-{}.sgpk", std::process::id()));
+
+    let written = packed::write_packed(&g, &path, 32).expect("write container");
+    let p = PackedCsr::open(&path).expect("open container");
+    assert_eq!(written, std::fs::metadata(&path).expect("stat").len());
+    assert_eq!(p.to_csr().expect("round-trip"), g);
+    drop(p);
+
+    // Truncate the file on disk: the mmap-backed open must reject it.
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+    let err = PackedCsr::open(&path)
+        .err()
+        .expect("truncated file must not open");
+    assert!(matches!(
+        err,
+        GraphError::PackedFormat { .. } | GraphError::PackedChecksum { .. }
+    ));
+    std::fs::remove_file(&path).expect("cleanup");
+
+    let missing = PackedCsr::open(dir.join("scalagraph-it-packed-missing.sgpk"));
+    assert!(matches!(missing, Err(GraphError::Io { .. })));
+}

@@ -18,7 +18,7 @@ use std::time::Duration;
 use scalagraph_suite::conformance::scenario::{
     AlgoSpec, ConfigSpec, Expectation, Family, ModeMatrix,
 };
-use scalagraph_suite::conformance::{GraphSpec, Scenario};
+use scalagraph_suite::conformance::{GraphSource, GraphSpec, Scenario};
 use scalagraph_suite::serve::protocol::extract_result;
 use scalagraph_suite::serve::{ServeConfig, Server};
 
@@ -34,6 +34,7 @@ fn healthy(name: &str) -> Scenario {
             symmetrize: false,
             max_weight: 0,
             weight_seed: 0,
+            source: GraphSource::Generate,
         },
         algo: AlgoSpec::Bfs { root: 0 },
         config: ConfigSpec::small(),
