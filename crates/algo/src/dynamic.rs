@@ -1,0 +1,620 @@
+//! Incremental algorithm variants for dynamic graphs: BFS/SSSP/CC repair
+//! and delta-PageRank.
+//!
+//! These are the algorithm-side half of the dynamic-graph story (the
+//! storage-side half is [`scalagraph_graph::mutate`]). After a
+//! [`MutationDelta`] is applied, instead of re-running from scratch they
+//! reprocess only the *affected* region:
+//!
+//! * [`repair_rooted`] repairs the fixpoint of any monotone `u32` lattice
+//!   algorithm (BFS, SSSP, CC, widest-path): invalidate the forward closure
+//!   of values the removed edges supported, then re-relax from the intact
+//!   boundary and the inserted edges. The result is **bit-identical** to a
+//!   full recompute — `u32` lattice fixpoints are unique, so exactness
+//!   falls out of reaching the same fixpoint.
+//! * [`delta_pagerank`] advances a per-iteration rank trace: only vertices
+//!   whose in-contribution stream changed (and, iteration by iteration, the
+//!   out-neighborhood closure of those) are recomputed; everything else is
+//!   copied from the previous run's trace. Recomputed vertices fold their
+//!   in-edges in the same flat-index order as the reference engine, so the
+//!   `f32` results are bit-identical too — the property the differential
+//!   oracle in `scalagraph-conformance` checks after every batch.
+
+use crate::algorithms::PageRank;
+use crate::model::{Algorithm, EdgeCtx};
+use scalagraph_graph::mutate::MutationDelta;
+use scalagraph_graph::{Csr, VertexId};
+
+/// Result of an incremental fixpoint repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairRun {
+    /// Final persistent property of every vertex of the new graph.
+    /// Bit-identical to a from-scratch reference run.
+    pub properties: Vec<u32>,
+    /// Vertices whose old value was invalidated (plus appended vertices) —
+    /// the region reset to `init` before re-relaxation.
+    pub affected_vertices: usize,
+    /// Edge relaxations performed; the work metric the dynamic bench
+    /// compares against full recompute's traversed edges.
+    pub relaxed_edges: u64,
+}
+
+/// Repairs the converged properties of a monotone `u32` algorithm after a
+/// mutation batch, touching only the affected region.
+///
+/// `old_props` must be the converged reference/repaired properties on
+/// `old_graph`; `new_graph` is the canonical CSR after applying the batch
+/// that produced `delta`.
+///
+/// # Algorithm contract
+///
+/// This routine is exact for algorithms where
+///
+/// 1. `apply(v, old, temp) == reduce(old, temp)` for all inputs (BFS, SSSP,
+///    CC, and widest-path all satisfy this — their `Apply` is their lattice
+///    meet/join), and
+/// 2. `process(ctx, reduce_identity()) == reduce_identity()` (an unreached
+///    source contributes nothing), and
+/// 3. the algorithm is monotone with a converging (finite-chain) lattice,
+///    running until the frontier empties (`max_iterations() == None`).
+///
+/// Under that contract the converged state is the unique extremal fixpoint
+/// of `props[v] = reduce(init(v), fold of process over in-edges)`, which is
+/// what both the reference engine and this repair compute — hence
+/// bit-identity.
+///
+/// # Phases
+///
+/// 1. **Seed**: a removed edge `(u, v)` invalidates `v` iff the removed
+///    copy supported `v`'s value (`process(u's old value) == old[v]`).
+/// 2. **Closure**: invalidation propagates forward through *tight* edges of
+///    the old graph (`process(old[src]) == old[dst]`), because a value
+///    derived from a possibly-stale value is itself possibly stale. This
+///    over-approximates the stale set, which is safe: affected vertices are
+///    reset and re-derived.
+/// 3. **Reset + relax**: affected and appended vertices reset to `init`;
+///    the worklist starts from non-identity affected vertices, sources of
+///    inserted edges, and intact boundary vertices with an edge into the
+///    affected region, then relaxes `reduce(props[dst], process(props[u]))`
+///    to the fixpoint.
+pub fn repair_rooted<A: Algorithm<Prop = u32>>(
+    algorithm: &A,
+    old_graph: &Csr,
+    old_props: &[u32],
+    new_graph: &Csr,
+    delta: &MutationDelta,
+) -> RepairRun {
+    let old_n = old_graph.num_vertices();
+    assert_eq!(old_props.len(), old_n, "old_props/old_graph size mismatch");
+    let n = new_graph.num_vertices();
+    let identity = algorithm.reduce_identity();
+
+    // Phase 1: seed invalidation from removed edges that supported their
+    // destination's value. Edges inserted and removed by the same batch can
+    // reference appended vertices; those never supported anything.
+    let mut affected = vec![false; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    for e in &delta.removed {
+        let (s, d) = (e.src as usize, e.dst as usize);
+        if s >= old_n || d >= old_n || affected[d] {
+            continue;
+        }
+        if old_props[s] == identity || old_props[d] == identity {
+            continue;
+        }
+        let ctx = EdgeCtx {
+            weight: e.weight,
+            src: e.src,
+            src_degree: old_graph.out_degree(e.src) as u32,
+        };
+        if algorithm.process(&ctx, old_props[s]) == old_props[d] {
+            affected[d] = true;
+            stack.push(e.dst);
+        }
+    }
+
+    // Phase 2: forward closure over tight old-graph edges.
+    while let Some(u) = stack.pop() {
+        let src_prop = old_props[u as usize];
+        let degree = old_graph.out_degree(u) as u32;
+        for idx in old_graph.edge_range(u) {
+            let dst = old_graph.neighbor_at(idx);
+            if affected[dst as usize] || old_props[dst as usize] == identity {
+                continue;
+            }
+            let ctx = EdgeCtx {
+                weight: old_graph.weight_at(idx),
+                src: u,
+                src_degree: degree,
+            };
+            if algorithm.process(&ctx, src_prop) == old_props[dst as usize] {
+                affected[dst as usize] = true;
+                stack.push(dst);
+            }
+        }
+    }
+    // Appended vertices have no prior value: treat them as affected so the
+    // boundary scan re-derives them.
+    for slot in affected.iter_mut().take(n).skip(old_n) {
+        *slot = true;
+    }
+    let affected_vertices = affected.iter().filter(|&&a| a).count();
+
+    // Phase 3: reset and re-relax.
+    let mut props: Vec<u32> = (0..n)
+        .map(|v| {
+            if v >= old_n || affected[v] {
+                algorithm.init(v as VertexId, new_graph)
+            } else {
+                old_props[v]
+            }
+        })
+        .collect();
+
+    let mut in_queue = vec![false; n];
+    let mut worklist: Vec<VertexId> = Vec::new();
+    let enqueue = |v: VertexId, in_queue: &mut Vec<bool>, worklist: &mut Vec<VertexId>| {
+        if !in_queue[v as usize] {
+            in_queue[v as usize] = true;
+            worklist.push(v);
+        }
+    };
+    for v in 0..n {
+        if affected[v] && props[v] != identity {
+            enqueue(v as VertexId, &mut in_queue, &mut worklist);
+        }
+    }
+    for e in &delta.inserted {
+        if props[e.src as usize] != identity {
+            enqueue(e.src, &mut in_queue, &mut worklist);
+        }
+    }
+    // Intact boundary: one linear scan of the new graph's edges. This is
+    // the fixed O(E) cost of a repair; everything after is proportional to
+    // the affected region.
+    for v in new_graph.vertices() {
+        if affected[v as usize] || props[v as usize] == identity || in_queue[v as usize] {
+            continue;
+        }
+        if new_graph.neighbors(v).iter().any(|&d| affected[d as usize]) {
+            enqueue(v, &mut in_queue, &mut worklist);
+        }
+    }
+
+    let mut relaxed = 0u64;
+    while let Some(u) = worklist.pop() {
+        in_queue[u as usize] = false;
+        let src_prop = props[u as usize];
+        if src_prop == identity {
+            continue;
+        }
+        let degree = new_graph.out_degree(u) as u32;
+        for idx in new_graph.edge_range(u) {
+            let dst = new_graph.neighbor_at(idx);
+            let ctx = EdgeCtx {
+                weight: new_graph.weight_at(idx),
+                src: u,
+                src_degree: degree,
+            };
+            let merged = algorithm.reduce(props[dst as usize], algorithm.process(&ctx, src_prop));
+            relaxed += 1;
+            if merged != props[dst as usize] {
+                props[dst as usize] = merged;
+                if !in_queue[dst as usize] {
+                    in_queue[dst as usize] = true;
+                    worklist.push(dst);
+                }
+            }
+        }
+    }
+
+    RepairRun {
+        properties: props,
+        affected_vertices,
+        relaxed_edges: relaxed,
+    }
+}
+
+/// Per-iteration rank snapshots of one PageRank run: `ranks[0]` is the
+/// initial state, `ranks[t]` the state after iteration `t`. The trace is
+/// what makes delta-PageRank exact — iteration `t` of the new run can copy
+/// iteration `t` of the old run for every unaffected vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRankTrace {
+    /// `iterations + 1` snapshots of all vertex ranks.
+    pub ranks: Vec<Vec<f32>>,
+}
+
+impl PageRankTrace {
+    /// The converged (final-iteration) ranks.
+    pub fn final_ranks(&self) -> &[f32] {
+        self.ranks.last().map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Runs PageRank from scratch, recording every iteration's ranks.
+///
+/// The loop mirrors [`ReferenceEngine::run`](crate::reference::ReferenceEngine)
+/// statement for statement (same flat-edge-order accumulation, same
+/// bit-preserving apply guard), so `final_ranks()` is bit-identical to the
+/// reference engine's `properties`.
+pub fn trace_pagerank(pr: &PageRank, graph: &Csr) -> PageRankTrace {
+    let n = graph.num_vertices();
+    let mut props: Vec<f32> = graph.vertices().map(|v| pr.init(v, graph)).collect();
+    let mut ranks = vec![props.clone()];
+    let iterations = if n == 0 {
+        0
+    } else {
+        pr.max_iterations().unwrap_or(0)
+    };
+    for _ in 0..iterations {
+        let mut temp: Vec<f32> = vec![pr.reduce_identity(); n];
+        for v in graph.vertices() {
+            let src_prop = props[v as usize];
+            let degree = graph.out_degree(v) as u32;
+            for idx in graph.edge_range(v) {
+                let dst = graph.neighbor_at(idx);
+                let ctx = EdgeCtx {
+                    weight: graph.weight_at(idx),
+                    src: v,
+                    src_degree: degree,
+                };
+                let scatter_res = pr.process(&ctx, src_prop);
+                temp[dst as usize] = pr.reduce(temp[dst as usize], scatter_res);
+            }
+        }
+        for v in 0..n {
+            let old = props[v];
+            let new = pr.apply(v as VertexId, old, temp[v], graph);
+            if new != old {
+                props[v] = new;
+            }
+        }
+        ranks.push(props.clone());
+    }
+    PageRankTrace { ranks }
+}
+
+/// Work accounting for one delta-PageRank advance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Affected-set size after the last iteration.
+    pub affected_final: usize,
+    /// Total vertex-iterations recomputed (full recompute would be
+    /// `num_vertices * iterations`).
+    pub recomputed_vertex_iterations: u64,
+    /// Whether the delta path bailed to a full trace (vertex count changed
+    /// or the old trace has the wrong shape).
+    pub full_fallback: bool,
+}
+
+/// Advances a PageRank trace across a mutation batch, recomputing only
+/// affected vertices. Returns the new trace (bit-identical to
+/// [`trace_pagerank`] on `new_graph`) and work stats.
+///
+/// The affected set starts as every vertex whose in-contribution stream
+/// changed — destinations of inserted/removed edges, plus the new-graph
+/// out-neighbors of any vertex whose out-degree changed (its per-edge
+/// contribution `rank / degree` changed even on surviving edges) — and
+/// grows by one out-neighborhood hop after each iteration, because a rank
+/// that diverged at iteration `t` contaminates its out-neighbors at
+/// `t + 1`. Every other vertex's rank is copied from `old_trace`, which is
+/// exact: an unaffected vertex has the same in-edges, in the same relative
+/// flat order, from sources with unchanged degrees and (inductively)
+/// unchanged ranks, so its `f32` accumulation reproduces the old bits.
+///
+/// Falls back to a full [`trace_pagerank`] when the vertex count changed —
+/// the initial rank `1/N` shifts globally — or when `old_trace` does not
+/// have `iterations + 1` snapshots of the right width.
+pub fn delta_pagerank(
+    pr: &PageRank,
+    old_trace: &PageRankTrace,
+    old_graph: &Csr,
+    new_graph: &Csr,
+    delta: &MutationDelta,
+) -> (PageRankTrace, DeltaStats) {
+    let n = new_graph.num_vertices();
+    let iterations = pr.max_iterations().unwrap_or(0);
+    let shape_ok = old_graph.num_vertices() == n
+        && delta.old_num_vertices == n
+        && old_trace.ranks.len() == iterations + 1
+        && old_trace.ranks.iter().all(|r| r.len() == n);
+    if !shape_ok {
+        let stats = DeltaStats {
+            affected_final: n,
+            recomputed_vertex_iterations: (n as u64) * (iterations as u64),
+            full_fallback: true,
+        };
+        return (trace_pagerank(pr, new_graph), stats);
+    }
+
+    // Reverse index over the new graph: per-destination flat edge indices,
+    // ascending — i.e. exactly the order the reference scatter folds them.
+    // Built CSR-style (counting sort) so the whole index is three flat
+    // passes over the edge array, no per-vertex allocation; scanning flat
+    // indices in ascending order makes each destination's list ascending.
+    let m = new_graph.num_edges();
+    let mut src_of: Vec<VertexId> = vec![0; m];
+    let mut rev_off: Vec<usize> = vec![0; n + 1];
+    for idx in 0..m {
+        rev_off[new_graph.neighbor_at(idx) as usize + 1] += 1;
+    }
+    for d in 0..n {
+        rev_off[d + 1] += rev_off[d];
+    }
+    let mut rev_flat: Vec<u32> = vec![0; m];
+    let mut cursor = rev_off.clone();
+    for v in new_graph.vertices() {
+        for idx in new_graph.edge_range(v) {
+            src_of[idx] = v;
+            let d = new_graph.neighbor_at(idx) as usize;
+            rev_flat[cursor[d]] = idx as u32;
+            cursor[d] += 1;
+        }
+    }
+
+    // Seed affected set.
+    let mut affected = vec![false; n];
+    let mut cur: Vec<VertexId> = Vec::new();
+    let mark = |v: VertexId, affected: &mut Vec<bool>, cur: &mut Vec<VertexId>| {
+        if !affected[v as usize] {
+            affected[v as usize] = true;
+            cur.push(v);
+        }
+    };
+    for e in delta.inserted.iter().chain(delta.removed.iter()) {
+        mark(e.dst, &mut affected, &mut cur);
+    }
+    for v in new_graph.vertices() {
+        if old_graph.out_degree(v) != new_graph.out_degree(v) {
+            for &d in new_graph.neighbors(v) {
+                mark(d, &mut affected, &mut cur);
+            }
+        }
+    }
+
+    let mut ranks: Vec<Vec<f32>> = vec![old_trace.ranks[0].clone()];
+    let mut recomputed = 0u64;
+    let mut frontier_start = 0usize;
+    for t in 1..=iterations {
+        let mut next = old_trace.ranks[t].clone();
+        let prev = &ranks[t - 1];
+        for &v in &cur {
+            let mut temp = pr.reduce_identity();
+            let (lo, hi) = (rev_off[v as usize], rev_off[v as usize + 1]);
+            for &idx in &rev_flat[lo..hi] {
+                let idx = idx as usize;
+                let src = src_of[idx];
+                let ctx = EdgeCtx {
+                    weight: new_graph.weight_at(idx),
+                    src,
+                    src_degree: new_graph.out_degree(src) as u32,
+                };
+                temp = pr.reduce(temp, pr.process(&ctx, prev[src as usize]));
+            }
+            let old = prev[v as usize];
+            let applied = pr.apply(v, old, temp, new_graph);
+            next[v as usize] = if applied != old { applied } else { old };
+            recomputed += 1;
+        }
+        // Grow by one hop: only the vertices added last round can reach
+        // anything new (earlier members' neighborhoods are already in).
+        let frontier_end = cur.len();
+        for i in frontier_start..frontier_end {
+            let v = cur[i];
+            for &d in new_graph.neighbors(v) {
+                if !affected[d as usize] {
+                    affected[d as usize] = true;
+                    cur.push(d);
+                }
+            }
+        }
+        frontier_start = frontier_end;
+        ranks.push(next);
+    }
+
+    let stats = DeltaStats {
+        affected_final: cur.len(),
+        recomputed_vertex_iterations: recomputed,
+        full_fallback: false,
+    };
+    (PageRankTrace { ranks }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bfs, ConnectedComponents, Sssp, WidestPath};
+    use crate::reference::ReferenceEngine;
+    use scalagraph_graph::mutate::{DynamicCsr, MutationBatch};
+    use scalagraph_graph::{generators, Edge, EdgeList};
+
+    fn mutate_rounds(
+        base_edges: Vec<Edge>,
+        n: usize,
+        seed: u64,
+        rounds: usize,
+    ) -> Vec<(Csr, Csr, MutationDelta)> {
+        // Deterministic xorshift batch generator; returns
+        // (old_graph, new_graph, delta) triples for chained batches.
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut g = DynamicCsr::new(Csr::from_edges(n, &base_edges));
+        let mut out = Vec::new();
+        for _ in 0..rounds {
+            let old = g.canonical().clone();
+            let nv = g.num_vertices() as u64;
+            let mut b = MutationBatch::new();
+            for _ in 0..(next() % 8) {
+                b.insert_edge(Edge::weighted(
+                    (next() % nv) as u32,
+                    (next() % nv) as u32,
+                    (next() % 9) as u32 + 1,
+                ));
+            }
+            for _ in 0..(next() % 8) {
+                b.remove_edge((next() % nv) as u32, (next() % nv) as u32);
+            }
+            if next() % 4 == 0 {
+                b.add_vertex();
+            }
+            if next() % 6 == 0 {
+                b.isolate_vertex((next() % nv) as u32);
+            }
+            let delta = g.apply(&b).unwrap();
+            out.push((old, g.canonical().clone(), delta));
+        }
+        out
+    }
+
+    fn check_repair<A: Algorithm<Prop = u32>>(algo: &A, rounds: &[(Csr, Csr, MutationDelta)]) {
+        let engine = ReferenceEngine::new();
+        let mut props = engine.run(algo, &rounds[0].0).properties;
+        for (i, (old, new, delta)) in rounds.iter().enumerate() {
+            let repaired = repair_rooted(algo, old, &props, new, delta);
+            let golden = engine.run(algo, new).properties;
+            assert_eq!(repaired.properties, golden, "{} round {i}", algo.name());
+            props = repaired.properties;
+        }
+    }
+
+    #[test]
+    fn bfs_repair_matches_reference_across_chained_batches() {
+        let rounds = mutate_rounds(generators::uniform(48, 200, 7), 48, 0xABCD, 10);
+        check_repair(&Bfs::from_root(0), &rounds);
+    }
+
+    #[test]
+    fn sssp_repair_matches_reference_across_chained_batches() {
+        let mut edges = generators::uniform(40, 180, 9);
+        for (i, e) in edges.iter_mut().enumerate() {
+            e.weight = (i % 13) as u32 + 1;
+        }
+        let rounds = mutate_rounds(edges, 40, 0x5EED, 10);
+        check_repair(&Sssp::from_root(1), &rounds);
+    }
+
+    #[test]
+    fn cc_repair_matches_reference_across_chained_batches() {
+        let mut list = EdgeList::new(36);
+        for e in generators::uniform(36, 90, 3) {
+            list.push(e);
+        }
+        list.symmetrize();
+        // CC assumes a symmetric graph only for interpretation, not for the
+        // fixpoint math; asymmetric mutations still have a unique fixpoint
+        // the repair must match.
+        let rounds = mutate_rounds(list.as_slice().to_vec(), 36, 0xC0FFEE, 8);
+        check_repair(&ConnectedComponents::new(), &rounds);
+    }
+
+    #[test]
+    fn widest_path_repair_matches_reference_across_chained_batches() {
+        let mut edges = generators::uniform(32, 140, 5);
+        for (i, e) in edges.iter_mut().enumerate() {
+            e.weight = (i % 7) as u32 + 1;
+        }
+        let rounds = mutate_rounds(edges, 32, 0x77, 8);
+        check_repair(&WidestPath::from_root(0), &rounds);
+    }
+
+    #[test]
+    fn repair_handles_disconnecting_the_root_region() {
+        // 0 -> 1 -> 2; removing 0 -> 1 must return 1 and 2 to UNREACHED.
+        let old = Csr::from_edges(3, &generators::path(3));
+        let mut g = DynamicCsr::new(old.clone());
+        let mut b = MutationBatch::new();
+        b.remove_edge(0, 1);
+        let delta = g.apply(&b).unwrap();
+        let props = ReferenceEngine::new()
+            .run(&Bfs::from_root(0), &old)
+            .properties;
+        let repaired = repair_rooted(&Bfs::from_root(0), &old, &props, g.canonical(), &delta);
+        assert_eq!(repaired.properties, vec![0, u32::MAX, u32::MAX]);
+        assert_eq!(repaired.affected_vertices, 2);
+    }
+
+    #[test]
+    fn repair_of_empty_delta_touches_nothing() {
+        let old = Csr::from_edges(16, &generators::binary_tree(16));
+        let mut g = DynamicCsr::new(old.clone());
+        let delta = g.apply(&MutationBatch::new()).unwrap();
+        let props = ReferenceEngine::new()
+            .run(&Bfs::from_root(0), &old)
+            .properties;
+        let repaired = repair_rooted(&Bfs::from_root(0), &old, &props, g.canonical(), &delta);
+        assert_eq!(repaired.properties, props);
+        assert_eq!(repaired.affected_vertices, 0);
+        assert_eq!(repaired.relaxed_edges, 0);
+    }
+
+    #[test]
+    fn trace_final_ranks_bit_match_reference_engine() {
+        let g = Csr::from_edges(64, &generators::rmat(64, 320, 11));
+        let pr = PageRank::new(12);
+        let trace = trace_pagerank(&pr, &g);
+        let reference = ReferenceEngine::new().run(&pr, &g);
+        assert_eq!(trace.ranks.len(), 13);
+        let bits: Vec<u32> = trace.final_ranks().iter().map(|r| r.to_bits()).collect();
+        let golden: Vec<u32> = reference.properties.iter().map(|r| r.to_bits()).collect();
+        assert_eq!(bits, golden);
+    }
+
+    #[test]
+    fn delta_pagerank_bit_matches_full_trace_across_chained_batches() {
+        let pr = PageRank::new(8);
+        let mut edges = generators::rmat(56, 300, 21);
+        edges.truncate(296);
+        let mut g = DynamicCsr::new(Csr::from_edges(56, &edges));
+        let mut trace = trace_pagerank(&pr, g.canonical());
+        let mut rng = 0x9E3779u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut saw_partial = false;
+        for round in 0..8 {
+            let old = g.canonical().clone();
+            let nv = g.num_vertices() as u64;
+            let mut b = MutationBatch::new();
+            b.insert_edge(Edge::new((next() % nv) as u32, (next() % nv) as u32));
+            if round % 2 == 0 {
+                b.remove_edge((next() % nv) as u32, (next() % nv) as u32);
+            }
+            let delta = g.apply(&b).unwrap();
+            let (new_trace, stats) = delta_pagerank(&pr, &trace, &old, g.canonical(), &delta);
+            let golden = trace_pagerank(&pr, g.canonical());
+            for (t, (ours, theirs)) in new_trace.ranks.iter().zip(&golden.ranks).enumerate() {
+                let a: Vec<u32> = ours.iter().map(|r| r.to_bits()).collect();
+                let b: Vec<u32> = theirs.iter().map(|r| r.to_bits()).collect();
+                assert_eq!(a, b, "round {round} iteration {t}");
+            }
+            assert!(!stats.full_fallback, "round {round} fell back");
+            saw_partial |= stats.affected_final < g.num_vertices();
+            trace = new_trace;
+        }
+        assert!(saw_partial, "delta path never did less than full work");
+    }
+
+    #[test]
+    fn delta_pagerank_falls_back_when_vertex_count_changes() {
+        let pr = PageRank::new(4);
+        let mut g = DynamicCsr::new(Csr::from_edges(8, &generators::path(8)));
+        let old = g.canonical().clone();
+        let trace = trace_pagerank(&pr, &old);
+        let mut b = MutationBatch::new();
+        b.add_vertex().insert_edge(Edge::new(8, 0));
+        let delta = g.apply(&b).unwrap();
+        let (new_trace, stats) = delta_pagerank(&pr, &trace, &old, g.canonical(), &delta);
+        assert!(stats.full_fallback);
+        let golden = trace_pagerank(&pr, g.canonical());
+        assert_eq!(new_trace, golden);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`Algorithm`] — the user-facing trait mirroring `Process` / `Reduce` /
 //!   `Apply`.
 //! * [`algorithms`] — BFS, SSSP, CC, and PageRank (Section V-A's workloads).
+//! * [`dynamic`] — incremental variants for mutated graphs: monotone
+//!   fixpoint repair (BFS/SSSP/CC/widest-path) and trace-based
+//!   delta-PageRank, both bit-identical to full recompute.
 //! * [`mod@reference`] — a golden sequential engine implementing Figure 1
 //!   verbatim; every hardware simulator in this workspace is validated
 //!   against it.
@@ -27,6 +30,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod dynamic;
 pub mod model;
 pub mod reference;
 

@@ -13,7 +13,7 @@ use scalagraph::fault::LinkDir;
 use scalagraph::Mapping;
 use scalagraph_conformance::{
     AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSource, GraphSpec,
-    MemorySpec, ModeMatrix, Scenario,
+    MemorySpec, ModeMatrix, MutationSpec, Scenario,
 };
 
 fn unit_graph(family: Family) -> GraphSpec {
@@ -45,6 +45,7 @@ fn corpus() -> Vec<Scenario> {
             expect: Expectation::Converge,
             strict_frontier: Some(true),
             synthetic_bug: false,
+            mutations: None,
         },
         // Regression: same final-wave undercount on the other edge case —
         // a path's trailing vertex has no out-edges, so the last wave of a
@@ -62,6 +63,7 @@ fn corpus() -> Vec<Scenario> {
             expect: Expectation::Converge,
             strict_frontier: Some(true),
             synthetic_bug: false,
+            mutations: None,
         },
         // A permanently pinned HBM pseudo-channel must wedge the run, the
         // watchdog must blame a unit of the faulted tile, and the stepped
@@ -104,6 +106,7 @@ fn corpus() -> Vec<Scenario> {
             },
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
         },
         // Timing-only faults (a delayed router port, a transient HBM
         // stall) must be absorbed without changing any result, on a
@@ -152,6 +155,7 @@ fn corpus() -> Vec<Scenario> {
             expect: Expectation::Converge,
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
         },
         // Float-valued properties across every engine: PageRank on a dense
         // uniform graph, with a non-default aggregation depth and a custom
@@ -178,6 +182,7 @@ fn corpus() -> Vec<Scenario> {
             expect: Expectation::Converge,
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
         },
         // Busy-dominated pipelined BFS: a dense heavy-tailed graph keeps
         // the scatter machine saturated, so the event-driven core spends
@@ -203,6 +208,7 @@ fn corpus() -> Vec<Scenario> {
             expect: Expectation::Converge,
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
         },
         // An HBM pseudo-channel pinned forever mid-run: stepped,
         // fast-forward and event-driven execution must all trip the
@@ -243,6 +249,70 @@ fn corpus() -> Vec<Scenario> {
             },
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
+        },
+        // Churn-heavy dynamic BFS: four batches each rewiring ~5% of the
+        // edges (plus vertex additions and isolations) on a sparse uniform
+        // graph. Every batch's incremental BFS repair and spliced CSR must
+        // stay bit-identical to a full recompute/rebuild, and every mutated
+        // snapshot must still agree across the declared engines. Isolating
+        // vertices near the root exercises reachability-loss repair, the
+        // hard direction for rooted algorithms.
+        Scenario {
+            name: "dynamic-churn-bfs-repair".into(),
+            graph: unit_graph(Family::Uniform {
+                vertices: 256,
+                edges: 1_024,
+                seed: 61,
+            }),
+            algo: AlgoSpec::Bfs { root: 3 },
+            config: ConfigSpec::small(),
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::sim_only(),
+            expect: Expectation::Converge,
+            strict_frontier: None,
+            synthetic_bug: false,
+            mutations: Some(MutationSpec {
+                batches: 4,
+                insert_edges: 24,
+                remove_edges: 24,
+                add_vertices: 2,
+                isolate_vertices: 1,
+                seed: 611,
+            }),
+        },
+        // Delta-PageRank divergence pin: a heavy-tailed R-MAT graph where
+        // removing and inserting edges around hubs shifts mass through
+        // multi-hop fan-outs. The delta path recomputes only the affected
+        // frontier per iteration yet must reproduce the full-recompute
+        // trace to the bit at every one of the 4 iterations of every
+        // batch — the scenario that catches any under-approximation of the
+        // affected set (degree changes redistribute 1/deg shares even when
+        // a vertex keeps its rank).
+        Scenario {
+            name: "dynamic-delta-pagerank-divergence".into(),
+            graph: unit_graph(Family::Rmat {
+                vertices: 128,
+                edges: 512,
+                seed: 23,
+            }),
+            algo: AlgoSpec::PageRank { iters: 4 },
+            config: ConfigSpec::small(),
+            fault_seed: 0,
+            faults: Vec::new(),
+            modes: ModeMatrix::sim_only(),
+            expect: Expectation::Converge,
+            strict_frontier: None,
+            synthetic_bug: false,
+            mutations: Some(MutationSpec {
+                batches: 3,
+                insert_edges: 12,
+                remove_edges: 12,
+                add_vertices: 0,
+                isolate_vertices: 1,
+                seed: 233,
+            }),
         },
     ]
 }

@@ -15,7 +15,7 @@
 use crate::oracle::{run_scenario, Report};
 use crate::scenario::{
     AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSource, GraphSpec,
-    MemorySpec, ModeMatrix, Scenario,
+    MemorySpec, ModeMatrix, MutationSpec, Scenario,
 };
 use crate::shrink::{shrink, ShrinkOutcome};
 use scalagraph::fault::LinkDir;
@@ -175,6 +175,25 @@ pub fn sample_scenario(rng: &mut SplitMix64, index: usize) -> Scenario {
         }
     }
 
+    let modes = ModeMatrix {
+        fast_forward: true,
+        recording: rng.chance(50),
+        graphdyns: rng.chance(50),
+        gunrock: rng.chance(50),
+        // `event_driven` is drawn after the older mode draws so those keep
+        // their position in the seeded stream.
+        event_driven: rng.chance(50),
+    };
+
+    // Mutation schedule draws come last (after every pre-dynamic draw) so
+    // the older portion of each scenario's stream is unchanged. ~20% of
+    // scenarios churn; fault plans are timing-only so they compose freely.
+    let mutations = if rng.chance(20) {
+        Some(sample_mutations(rng))
+    } else {
+        None
+    };
+
     Scenario {
         name: format!("fuzz-{index:04}"),
         graph,
@@ -182,18 +201,24 @@ pub fn sample_scenario(rng: &mut SplitMix64, index: usize) -> Scenario {
         config,
         fault_seed: rng.next_u64(),
         faults,
-        // `event_driven` is drawn last so the older mode draws keep their
-        // position in the seeded stream.
-        modes: ModeMatrix {
-            fast_forward: true,
-            recording: rng.chance(50),
-            graphdyns: rng.chance(50),
-            gunrock: rng.chance(50),
-            event_driven: rng.chance(50),
-        },
+        modes,
         expect: Expectation::Converge,
         strict_frontier: None,
         synthetic_bug: false,
+        mutations,
+    }
+}
+
+/// Samples a mutation schedule (used by [`sample_scenario`] and forced on
+/// every scenario by [`fuzz_dynamic`]).
+fn sample_mutations(rng: &mut SplitMix64) -> MutationSpec {
+    MutationSpec {
+        batches: rng.range(1, 4) as u32,
+        insert_edges: rng.below(9) as u32,
+        remove_edges: rng.below(9) as u32,
+        add_vertices: rng.below(3) as u32,
+        isolate_vertices: rng.below(2) as u32,
+        seed: rng.next_u64(),
     }
 }
 
@@ -273,6 +298,47 @@ pub fn fuzz(budget: usize, seed: u64) -> FuzzReport {
     };
     for index in 0..budget {
         let scenario = sample_scenario(&mut rng, index);
+        match run_scenario(&scenario) {
+            Err(_) => report.rejected += 1,
+            Ok(r) if r.passed() => report.passed += 1,
+            Ok(r) => {
+                let ShrinkOutcome {
+                    scenario: minimized,
+                    report: min_report,
+                    ..
+                } = shrink(&scenario, &r, SHRINK_MAX_RUNS);
+                report.failures.push(FuzzFailure {
+                    index,
+                    scenario,
+                    minimized,
+                    report: min_report,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Runs a fuzz campaign where **every** scenario carries a mutation
+/// schedule: the dynamic differential check (incremental CSR + incremental
+/// algorithms vs full recompute, across every enabled mode) runs on each
+/// of the `budget` cases. This is the acceptance-gate campaign for the
+/// dynamic subsystem; `fuzz` still covers the mixed static/dynamic space.
+pub fn fuzz_dynamic(budget: usize, seed: u64) -> FuzzReport {
+    let mut rng = SplitMix64::new(seed);
+    let mut report = FuzzReport {
+        budget,
+        seed,
+        passed: 0,
+        rejected: 0,
+        failures: Vec::new(),
+    };
+    for index in 0..budget {
+        let mut scenario = sample_scenario(&mut rng, index);
+        scenario.name = format!("fuzz-dyn-{index:04}");
+        if scenario.mutations.is_none() {
+            scenario.mutations = Some(sample_mutations(&mut rng));
+        }
         match run_scenario(&scenario) {
             Err(_) => report.rejected += 1,
             Ok(r) if r.passed() => report.passed += 1,

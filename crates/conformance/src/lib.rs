@@ -16,6 +16,11 @@
 //!   [`SimStats`](scalagraph::SimStats) and telemetry summaries, reporting
 //!   the first diverging field as a structured
 //!   [`Mismatch`](oracle::Mismatch).
+//! - [`dynamic`] — seeded mutation schedules: scenarios carrying a
+//!   [`MutationSpec`](scenario::MutationSpec) run as a sequence of mutated
+//!   snapshots, with incremental CSR maintenance and incremental
+//!   BFS/SSSP/CC/widest-path/PageRank checked bit-exactly against full
+//!   recompute after every batch.
 //! - [`fuzz`] — a deterministic, budget-bounded sampler over weighted
 //!   scenario generators (`fuzz(budget, seed)` is a pure function).
 //! - [`shrink`] — minimizes any divergence to the smallest scenario with
@@ -33,16 +38,18 @@
 // Result, never unwind (tests are exempt).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod dynamic;
 pub mod fuzz;
 pub mod json;
 pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 
-pub use fuzz::{fuzz, sample_scenario, FuzzFailure, FuzzReport, SplitMix64};
+pub use dynamic::materialize_batch;
+pub use fuzz::{fuzz, fuzz_dynamic, sample_scenario, FuzzFailure, FuzzReport, SplitMix64};
 pub use oracle::{run_scenario, Mismatch, Observation, Outcome, Report};
 pub use scenario::{
     AlgoSpec, ConfigSpec, Expectation, Family, FaultKindSpec, FaultSpec, GraphSource, GraphSpec,
-    MemorySpec, ModeMatrix, Scenario,
+    MemorySpec, ModeMatrix, MutationSpec, Scenario,
 };
 pub use shrink::{shrink, signature, ShrinkOutcome, Signature};

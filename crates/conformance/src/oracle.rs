@@ -262,7 +262,20 @@ pub fn run_scenario(s: &Scenario) -> Result<Report, String> {
             s.name
         ));
     }
+    // Dynamic scenarios run every batch through the same per-engine
+    // machinery via `run_static_on`, with the incremental algorithms
+    // differentially checked against each batch's full recompute.
+    if s.mutations.is_some() {
+        return crate::dynamic::run_dynamic_scenario(s);
+    }
     let graph = s.graph.build()?;
+    run_static_on(s, &graph)
+}
+
+/// Runs the per-engine comparison matrix for one (possibly mutated) graph
+/// snapshot. The caller has already performed the scenario-level sanity
+/// checks in [`run_scenario`].
+pub(crate) fn run_static_on(s: &Scenario, graph: &Csr) -> Result<Report, String> {
     let n = graph.num_vertices() as u32;
     let root_ok = |root: u32| {
         if root < n {
@@ -274,22 +287,22 @@ pub fn run_scenario(s: &Scenario) -> Result<Report, String> {
     match s.algo {
         AlgoSpec::Bfs { root } => {
             root_ok(root)?;
-            run_typed(s, &graph, &Bfs::from_root(root), Props::Ints)
+            run_typed(s, graph, &Bfs::from_root(root), Props::Ints)
         }
         AlgoSpec::Sssp { root } => {
             root_ok(root)?;
-            run_typed(s, &graph, &Sssp::from_root(root), Props::Ints)
+            run_typed(s, graph, &Sssp::from_root(root), Props::Ints)
         }
-        AlgoSpec::Cc => run_typed(s, &graph, &ConnectedComponents::new(), Props::Ints),
+        AlgoSpec::Cc => run_typed(s, graph, &ConnectedComponents::new(), Props::Ints),
         AlgoSpec::PageRank { iters } => {
             if iters == 0 {
                 return Err("pagerank needs at least 1 iteration".into());
             }
-            run_typed(s, &graph, &PageRank::new(iters), Props::Floats)
+            run_typed(s, graph, &PageRank::new(iters), Props::Floats)
         }
         AlgoSpec::WidestPath { root } => {
             root_ok(root)?;
-            run_typed(s, &graph, &WidestPath::from_root(root), Props::Ints)
+            run_typed(s, graph, &WidestPath::from_root(root), Props::Ints)
         }
     }
 }
@@ -880,6 +893,7 @@ mod tests {
             expect: Expectation::Converge,
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
         }
     }
 

@@ -818,6 +818,60 @@ impl ModeMatrix {
     }
 }
 
+/// A seeded schedule of graph mutation batches.
+///
+/// The schedule is *generative*, like [`GraphSpec`]: the concrete
+/// [`MutationBatch`](scalagraph_graph::mutate::MutationBatch)es are a pure
+/// function of this spec and the graph state they apply to, so a scenario
+/// file fully determines the dynamic run and two equal specs replay the
+/// same churn. Each of the `batches` batches draws `insert_edges` edge
+/// insertions, `remove_edges` edge removals, `add_vertices` vertex
+/// appends, and `isolate_vertices` vertex isolations from a per-batch
+/// substream of `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MutationSpec {
+    /// Number of mutation batches applied in sequence (≥ 1).
+    pub batches: u32,
+    /// Edge insertions drawn per batch.
+    pub insert_edges: u32,
+    /// Edge removals attempted per batch (draws may collide; a repeated
+    /// draw is a no-op, so the realized count can be lower).
+    pub remove_edges: u32,
+    /// Vertices appended per batch.
+    pub add_vertices: u32,
+    /// Vertices isolated per batch.
+    pub isolate_vertices: u32,
+    /// Seed of the mutation stream.
+    pub seed: u64,
+}
+
+impl MutationSpec {
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("batches", Json::Int(u64::from(self.batches))),
+            ("insert_edges", Json::Int(u64::from(self.insert_edges))),
+            ("remove_edges", Json::Int(u64::from(self.remove_edges))),
+            ("add_vertices", Json::Int(u64::from(self.add_vertices))),
+            (
+                "isolate_vertices",
+                Json::Int(u64::from(self.isolate_vertices)),
+            ),
+            ("seed", Json::Int(self.seed)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(MutationSpec {
+            batches: v.req_u64("batches")? as u32,
+            insert_edges: v.opt_u64("insert_edges", 0)? as u32,
+            remove_edges: v.opt_u64("remove_edges", 0)? as u32,
+            add_vertices: v.opt_u64("add_vertices", 0)? as u32,
+            isolate_vertices: v.opt_u64("isolate_vertices", 0)? as u32,
+            seed: v.opt_u64("seed", 0)?,
+        })
+    }
+}
+
 /// What the scenario is expected to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expectation {
@@ -883,6 +937,9 @@ pub struct Scenario {
     /// shrinker can be exercised end to end without a real engine bug.
     #[doc(hidden)]
     pub synthetic_bug: bool,
+    /// Seeded mutation schedule; `None` runs the graph as a static
+    /// snapshot (the pre-dynamic behavior, byte for byte).
+    pub mutations: Option<MutationSpec>,
 }
 
 impl Scenario {
@@ -919,6 +976,18 @@ impl Scenario {
                 }
             }
             AlgoSpec::Cc => {}
+        }
+        if let Some(m) = &self.mutations {
+            if m.batches == 0 {
+                return Err("mutation schedule needs at least 1 batch".into());
+            }
+            if matches!(self.expect, Expectation::Wedge { .. }) {
+                return Err(
+                    "mutation schedules require a converge expectation (wedge scenarios \
+                     exercise fault plans, not graph churn)"
+                        .into(),
+                );
+            }
         }
         self.config.build().map(|_| ())
     }
@@ -971,6 +1040,11 @@ impl Scenario {
             ("modes", self.modes.to_json()),
             ("expect", self.expect.to_json()),
         ];
+        // Emitted only when present: pre-dynamic corpus files stay
+        // byte-identical.
+        if let Some(m) = &self.mutations {
+            members.push(("mutations", m.to_json()));
+        }
         if let Some(strict) = self.strict_frontier {
             members.push(("strict_frontier", Json::Bool(strict)));
         }
@@ -1011,6 +1085,10 @@ impl Scenario {
             expect: Expectation::from_json(v.req("expect")?)?,
             strict_frontier,
             synthetic_bug: v.opt_bool("synthetic_bug", false)?,
+            mutations: match v.get("mutations") {
+                None => None,
+                Some(m) => Some(MutationSpec::from_json(m)?),
+            },
         })
     }
 }
@@ -1074,7 +1152,40 @@ mod tests {
             },
             strict_frontier: Some(true),
             synthetic_bug: false,
+            mutations: None,
         }
+    }
+
+    #[test]
+    fn mutation_schedule_round_trips_and_perturbs_fingerprint() {
+        let mut s = sample();
+        s.expect = Expectation::Converge;
+        s.faults.clear();
+        let static_fp = s.fingerprint();
+        let static_text = s.to_json_string();
+        assert!(!static_text.contains("mutations"));
+        s.mutations = Some(MutationSpec {
+            batches: 3,
+            insert_edges: 8,
+            remove_edges: 4,
+            add_vertices: 1,
+            isolate_vertices: 0,
+            seed: 99,
+        });
+        s.validate().unwrap();
+        let text = s.to_json_string();
+        assert!(text.contains("\"mutations\""));
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json_string(), text);
+        // The schedule is behavior: it must move the fingerprint, and every
+        // schedule change must move it again (memoization soundness).
+        assert_ne!(s.fingerprint(), static_fp);
+        let mut reseeded = s.clone();
+        if let Some(m) = &mut reseeded.mutations {
+            m.seed = 100;
+        }
+        assert_ne!(reseeded.fingerprint(), s.fingerprint());
     }
 
     #[test]

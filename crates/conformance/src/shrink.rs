@@ -285,6 +285,7 @@ mod tests {
             // Injected bug: the oracle perturbs the stepped digest, so the
             // mismatch survives any graph reduction.
             synthetic_bug: true,
+            mutations: None,
         }
     }
 

@@ -219,6 +219,11 @@ impl Csr {
         &self.neighbors
     }
 
+    /// The raw weight array, when the graph is weighted.
+    pub fn weight_array(&self) -> Option<&[Weight]> {
+        self.weights.as_deref()
+    }
+
     /// Iterator over all vertex ids.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
         0..self.num_vertices() as VertexId

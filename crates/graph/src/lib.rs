@@ -13,6 +13,9 @@
 //!   configuration model, uniform, and a set of structured test graphs).
 //! * [`io`] — SNAP-style text edge lists and a compact binary CSR format,
 //!   for running the real datasets where available.
+//! * [`mutate`] — batched graph mutations ([`mutate::MutationBatch`]) applied
+//!   against CSR storage incrementally, keeping the Section IV-C degree-aware
+//!   laid-out view valid by re-shuffling only touched vertices.
 //! * [`datasets`] — presets matching the paper's evaluation datasets
 //!   (Table I / Table III) at a configurable down-scaling factor, generated
 //!   chunk-parallel with bit-identical serial/parallel output.
@@ -50,6 +53,7 @@ pub mod edgelist;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod mutate;
 pub mod packed;
 mod pargen;
 pub mod partition;

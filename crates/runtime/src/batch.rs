@@ -556,6 +556,7 @@ mod tests {
             expect: Expectation::Converge,
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
         }
     }
 

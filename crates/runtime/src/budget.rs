@@ -186,6 +186,7 @@ mod tests {
             expect: Expectation::Converge,
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
         }
     }
 

@@ -43,6 +43,7 @@
 //! #     expect: Expectation::Converge,
 //! #     strict_frontier: None,
 //! #     synthetic_bug: false,
+//! #     mutations: None,
 //! # };
 //! let runtime = BatchRuntime::new(RuntimeConfig::default());
 //! let report = runtime.run(vec![JobSpec::new(scenario)]);

@@ -11,8 +11,10 @@
 use scalagraph::{CancelToken, SimError, Simulator};
 use scalagraph_algo::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp, WidestPath};
 use scalagraph_algo::Algorithm;
+use scalagraph_conformance::materialize_batch;
 use scalagraph_conformance::scenario::AlgoSpec;
 use scalagraph_conformance::Scenario;
+use scalagraph_graph::mutate::DynamicCsr;
 use scalagraph_graph::Csr;
 
 use crate::job::JobMetrics;
@@ -75,6 +77,19 @@ pub fn run_attempt_on(
     overrides: AttemptOverrides,
     token: &CancelToken,
 ) -> Result<JobMetrics, AttemptError> {
+    // A mutation schedule runs the simulation against the final mutated
+    // snapshot. The cached base graph stays shared and immutable: the
+    // schedule is replayed onto a private copy per attempt, while the
+    // scenario fingerprint (which covers the schedule) keeps batch/serve
+    // memoization distinct across schedules sharing one base graph.
+    let mutated;
+    let graph = match scenario.mutations {
+        Some(_) => {
+            mutated = mutated_snapshot(scenario, graph).map_err(AttemptError::Malformed)?;
+            &mutated
+        }
+        None => graph,
+    };
     let n = graph.num_vertices() as u32;
     let root_ok = |root: u32| {
         if root < n {
@@ -120,6 +135,33 @@ pub fn run_attempt_on(
             )
         }
     }
+}
+
+/// Replays the scenario's full mutation schedule onto a copy of `base`
+/// and returns the final canonical snapshot. Batches are materialized from
+/// the seeded [`MutationSpec`](scalagraph_conformance::MutationSpec)
+/// exactly the way the conformance dynamic oracle does, so runtime jobs
+/// and oracle replays agree on the graph every schedule produces.
+fn mutated_snapshot(scenario: &Scenario, base: &Csr) -> Result<Csr, String> {
+    let Some(spec) = scenario.mutations else {
+        return Ok(base.clone());
+    };
+    if spec.batches == 0 {
+        return Err("mutation schedule needs at least 1 batch".into());
+    }
+    let mut dynamic = DynamicCsr::new(base.clone());
+    for batch_index in 1..=spec.batches {
+        let batch = materialize_batch(
+            &spec,
+            scenario.graph.max_weight,
+            dynamic.canonical(),
+            batch_index,
+        );
+        dynamic
+            .apply(&batch)
+            .map_err(|e| format!("mutation batch {batch_index}: {e}"))?;
+    }
+    Ok(dynamic.canonical().clone())
 }
 
 fn run_typed<A: Algorithm>(
@@ -180,6 +222,7 @@ mod tests {
             expect: Expectation::Converge,
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
         }
     }
 
@@ -240,6 +283,96 @@ mod tests {
                 assert!(cycle >= 1, "token polled on the first stepped cycle");
             }
             other => panic!("expected cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_mutation_schedule_runs_on_the_mutated_snapshot() {
+        use scalagraph_conformance::MutationSpec;
+        let mut s = scenario();
+        s.mutations = Some(MutationSpec {
+            batches: 3,
+            insert_edges: 8,
+            remove_edges: 8,
+            add_vertices: 1,
+            isolate_vertices: 1,
+            seed: 1234,
+        });
+        let token = CancelToken::new();
+        let metrics =
+            run_attempt(&s, AttemptOverrides::default(), &token).expect("dynamic scenario runs");
+        assert!(metrics.iterations > 0);
+        assert!(metrics.traversed_edges > 0);
+
+        // The same base CSR passed through run_attempt_on must produce the
+        // same metrics: the schedule is replayed per attempt, never applied
+        // to the shared cached graph.
+        let base = s.graph.build().expect("base graph builds");
+        let via_cache_path = run_attempt_on(&s, &base, AttemptOverrides::default(), &token)
+            .expect("cached-graph path runs");
+        assert_eq!(metrics, via_cache_path);
+        assert_eq!(base.num_vertices(), 64, "base graph left untouched");
+
+        // And the run genuinely saw a different graph than the static one.
+        let static_metrics = run_attempt(&scenario(), AttemptOverrides::default(), &token)
+            .expect("static scenario runs");
+        assert_ne!(
+            metrics.traversed_edges, static_metrics.traversed_edges,
+            "mutated snapshot must change the traversal workload"
+        );
+    }
+
+    #[test]
+    fn schedules_share_a_cached_base_graph_but_not_a_fingerprint() {
+        use scalagraph_conformance::MutationSpec;
+        let spec = |seed: u64| {
+            let mut s = scenario();
+            s.mutations = Some(MutationSpec {
+                batches: 2,
+                insert_edges: 4,
+                remove_edges: 4,
+                add_vertices: 0,
+                isolate_vertices: 0,
+                seed,
+            });
+            s
+        };
+        let (a, b) = (spec(1), spec(2));
+        // Same GraphSpec: a GraphCache keyed by it hands both scenarios one
+        // shared CSR. Memoization stays sound because the scenario
+        // fingerprint covers the schedule.
+        assert_eq!(a.graph, b.graph);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), scenario().fingerprint());
+
+        let base = a.graph.build().expect("shared graph builds");
+        let token = CancelToken::new();
+        let ra = run_attempt_on(&a, &base, AttemptOverrides::default(), &token)
+            .expect("schedule A runs");
+        let rb = run_attempt_on(&b, &base, AttemptOverrides::default(), &token)
+            .expect("schedule B runs");
+        assert_ne!(
+            ra.traversed_edges, rb.traversed_edges,
+            "different schedules must diverge on the same base graph"
+        );
+    }
+
+    #[test]
+    fn an_empty_mutation_schedule_is_malformed() {
+        use scalagraph_conformance::MutationSpec;
+        let mut s = scenario();
+        s.mutations = Some(MutationSpec {
+            batches: 0,
+            insert_edges: 1,
+            remove_edges: 0,
+            add_vertices: 0,
+            isolate_vertices: 0,
+            seed: 1,
+        });
+        let token = CancelToken::new();
+        match run_attempt(&s, AttemptOverrides::default(), &token) {
+            Err(AttemptError::Malformed(msg)) => assert!(msg.contains("at least 1 batch"), "{msg}"),
+            other => panic!("expected malformed, got {other:?}"),
         }
     }
 

@@ -529,6 +529,53 @@ mod tests {
     }
 
     #[test]
+    fn mutation_schedules_memoize_per_schedule_but_share_the_base_graph() {
+        use scalagraph_conformance::MutationSpec;
+        let with_schedule = |seed: u64| {
+            let mut s = healthy_scenario("dynamic-memo");
+            s.mutations = Some(MutationSpec {
+                batches: 2,
+                insert_edges: 4,
+                remove_edges: 4,
+                add_vertices: 0,
+                isolate_vertices: 0,
+                seed,
+            });
+            s
+        };
+        let (executor, metrics) = start(ExecutorConfig::default());
+        let run = |s: Scenario| {
+            let (tx, rx) = channel();
+            executor.submit(s, Priority::Normal, None, tx).unwrap();
+            match rx.recv().expect("reply arrives") {
+                RunReply::Done {
+                    result, memo_hit, ..
+                } => (result, memo_hit),
+                other => panic!("expected done, got {other:?}"),
+            }
+        };
+        // Identical scenario + schedule: second run replays the memo.
+        let (first, hit_first) = run(with_schedule(11));
+        let (replay, hit_replay) = run(with_schedule(11));
+        assert!(!hit_first);
+        assert!(hit_replay, "identical schedule must memo-hit");
+        assert_eq!(*first, *replay, "replayed bytes are identical");
+        // Same base graph, different schedule: distinct fingerprint, so a
+        // fresh flight — a stale replay here would be unsound.
+        let (other, hit_other) = run(with_schedule(12));
+        assert!(!hit_other, "a different schedule must not memo-hit");
+        assert_ne!(*first, *other, "different schedule, different result");
+        // All three runs resolved one shared base CSR from the cache; the
+        // schedule is applied per attempt, never to the cached graph.
+        assert_eq!(executor.graph_cache().stats().builds, 1);
+        executor.shutdown();
+        let counters = metrics.snapshot();
+        assert!(counters.balanced(), "{counters}");
+        assert_eq!(counters.memo_hits, 1);
+        assert_eq!(counters.memo_misses, 2);
+    }
+
+    #[test]
     fn queue_overflow_is_a_typed_rejection_and_still_balances() {
         let (executor, metrics) = start(ExecutorConfig {
             workers: 1,

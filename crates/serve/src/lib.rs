@@ -65,6 +65,7 @@ pub(crate) mod test_support {
             expect: Expectation::Converge,
             strict_frontier: None,
             synthetic_bug: false,
+            mutations: None,
         }
     }
 }

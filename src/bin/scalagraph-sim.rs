@@ -410,6 +410,18 @@ fn cmd_replay(rest: &[String]) -> ! {
             eprintln!("error: {path} is not a valid scenario: {e}");
             exit(2)
         });
+        if let Some(m) = scenario.mutations {
+            println!(
+                "dynamic: {} mutation batch(es) (+{}e -{}e +{}v iso {}v per batch, seed {}); \
+                 every batch checked incremental vs full recompute",
+                m.batches,
+                m.insert_edges,
+                m.remove_edges,
+                m.add_vertices,
+                m.isolate_vertices,
+                m.seed
+            );
+        }
         match conformance::run_scenario(&scenario) {
             Ok(report) => {
                 print!("{}", report.render());

@@ -72,6 +72,7 @@ fn healthy(name: &str, seed: u64) -> Scenario {
         expect: Expectation::Converge,
         strict_frontier: None,
         synthetic_bug: false,
+        mutations: None,
     }
 }
 

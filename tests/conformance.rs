@@ -100,6 +100,7 @@ fn empty_apply_work_waves_count_identically_everywhere() {
                 strict_frontier: Some(true),
                 expect: Expectation::Converge,
                 synthetic_bug: false,
+                mutations: None,
             };
             let report = run_scenario(&scenario).unwrap();
             assert!(
@@ -238,6 +239,7 @@ fn shrinker_reduces_a_synthetic_bug_to_a_trivial_graph() {
         expect: Expectation::Converge,
         strict_frontier: None,
         synthetic_bug: true,
+        mutations: None,
     };
     let report = run_scenario(&scenario).unwrap();
     assert!(!report.passed(), "the synthetic bug must surface");

@@ -1,0 +1,244 @@
+//! Tier-1 dynamic-graph acceptance: the incremental mutation path is held
+//! bit-identical to independent from-scratch models at two levels.
+//!
+//! 1. **Structure** (proptest): arbitrary batch sequences against an
+//!    independent shadow adjacency model maintained by this test. After
+//!    every batch both [`DynamicCsr`] views — canonical and degree-aware
+//!    laid-out — must equal a CSR rebuilt from scratch from the shadow
+//!    (offsets, neighbor order, weights, and the Section IV-C lane
+//!    permutation), including empty batches and delete-then-reinsert.
+//! 2. **Results** (fuzz): `fuzz_dynamic` scenarios run the full dynamic
+//!    oracle — incremental BFS/SSSP/delta-PageRank vs full recompute after
+//!    every batch, on every declared engine/mode — and must all pass. A
+//!    40-case pin runs in tier-1; the 200-case acceptance sweep is
+//!    `#[ignore]`d for `--ignored` runs.
+
+use proptest::prelude::*;
+use scalagraph_suite::conformance::fuzz_dynamic;
+use scalagraph_suite::graph::mutate::{DynamicCsr, MutationBatch};
+use scalagraph_suite::graph::{relayout, Csr, Edge};
+
+/// Concrete mutation op mirrored into both the [`MutationBatch`] under test
+/// and the shadow model.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert { src: u32, dst: u32, weight: u32 },
+    Remove { src: u32, dst: u32 },
+    AddVertex,
+    Isolate { v: u32 },
+}
+
+/// Independent adjacency model: per-source `(dst, weight)` lists in
+/// canonical order (surviving originals first, inserts appended in op
+/// order). Deliberately reimplements the mutation semantics with none of
+/// the incremental machinery.
+struct Shadow {
+    adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl Shadow {
+    fn from_csr(g: &Csr) -> Self {
+        let adj = g
+            .vertices()
+            .map(|v| {
+                g.edge_range(v)
+                    .map(|i| (g.neighbor_at(i), g.weight_at(i)))
+                    .collect()
+            })
+            .collect();
+        Shadow { adj }
+    }
+
+    fn apply(&mut self, ops: &[Op]) {
+        for &op in ops {
+            match op {
+                Op::Insert { src, dst, weight } => self.adj[src as usize].push((dst, weight)),
+                Op::Remove { src, dst } => self.adj[src as usize].retain(|&(d, _)| d != dst),
+                Op::AddVertex => self.adj.push(Vec::new()),
+                Op::Isolate { v } => {
+                    self.adj[v as usize].clear();
+                    for list in &mut self.adj {
+                        list.retain(|&(d, _)| d != v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// From-scratch canonical CSR: offsets and neighbor arrays assembled
+    /// directly from the lists, weighted iff any weight is nonzero.
+    fn canonical(&self) -> Csr {
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        let mut neighbors = Vec::new();
+        let mut weights = Vec::new();
+        offsets.push(0u64);
+        for list in &self.adj {
+            for &(d, w) in list {
+                neighbors.push(d);
+                weights.push(w);
+            }
+            offsets.push(neighbors.len() as u64);
+        }
+        let weights = weights.iter().any(|&w| w != 0).then_some(weights);
+        Csr::from_raw_parts(offsets, neighbors, weights).expect("shadow CSR is well formed")
+    }
+
+    fn laidout(&self, lanes: usize) -> Csr {
+        let mut g = self.canonical();
+        relayout::degree_aware_relayout(&mut g, lanes, |d| (d as usize) % lanes);
+        g
+    }
+}
+
+fn batch_of(ops: &[Op]) -> MutationBatch {
+    let mut batch = MutationBatch::new();
+    for &op in ops {
+        match op {
+            Op::Insert { src, dst, weight } => batch.insert_edge(Edge::weighted(src, dst, weight)),
+            Op::Remove { src, dst } => batch.remove_edge(src, dst),
+            Op::AddVertex => batch.add_vertex(),
+            Op::Isolate { v } => batch.isolate_vertex(v),
+        };
+    }
+    batch
+}
+
+/// Concretizes abstract `(kind, a, b, w)` draws into in-range ops, tracking
+/// the vertex count as `AddVertex` ops land mid-batch.
+fn concretize(raw: &[(u8, u32, u32, u32)], n: &mut u32) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(raw.len());
+    for &(kind, a, b, w) in raw {
+        match kind % 4 {
+            0 => ops.push(Op::Insert {
+                src: a % *n,
+                dst: b % *n,
+                weight: w,
+            }),
+            1 => ops.push(Op::Remove {
+                src: a % *n,
+                dst: b % *n,
+            }),
+            2 => {
+                ops.push(Op::AddVertex);
+                *n += 1;
+            }
+            _ => ops.push(Op::Isolate { v: a % *n }),
+        }
+    }
+    ops
+}
+
+fn assert_views_match(dynamic: &DynamicCsr, shadow: &Shadow, ctx: &str) {
+    assert_eq!(
+        dynamic.canonical(),
+        &shadow.canonical(),
+        "canonical view diverged from the shadow rebuild ({ctx})"
+    );
+    assert_eq!(
+        dynamic.laidout(),
+        &shadow.laidout(dynamic.lanes()),
+        "laid-out view diverged from the shadow rebuild ({ctx})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary chained batches: after each one, both incremental views
+    /// equal the shadow's from-scratch rebuild bit-for-bit.
+    #[test]
+    fn incremental_views_match_shadow_rebuild(
+        v in 2usize..40,
+        base in prop::collection::vec((0u32..40, 0u32..40, 0u32..16), 0..120),
+        batches in prop::collection::vec(
+            prop::collection::vec((0u8..4, 0u32..64, 0u32..64, 0u32..16), 0..10),
+            1..5,
+        ),
+        lanes in 1usize..17,
+    ) {
+        let edges: Vec<Edge> = base
+            .into_iter()
+            .map(|(s, d, w)| Edge::weighted(s % v as u32, d % v as u32, w))
+            .collect();
+        let g = Csr::from_edges(v, &edges);
+        let mut dynamic = DynamicCsr::with_lanes(g.clone(), lanes);
+        let mut shadow = Shadow::from_csr(&g);
+        let mut n = v as u32;
+        for (k, raw) in batches.iter().enumerate() {
+            let ops = concretize(raw, &mut n);
+            dynamic.apply(&batch_of(&ops)).expect("in-range ops apply");
+            shadow.apply(&ops);
+            assert_views_match(&dynamic, &shadow, &format!("batch {k}: {ops:?}"));
+        }
+    }
+}
+
+#[test]
+fn empty_batches_and_delete_then_reinsert_are_exact() {
+    let base = vec![
+        Edge::weighted(0, 1, 3),
+        Edge::weighted(0, 2, 5),
+        Edge::weighted(1, 2, 7),
+        Edge::weighted(2, 0, 1),
+        Edge::weighted(2, 0, 9), // parallel copy: removal kills both
+    ];
+    let g = Csr::from_edges(4, &base);
+    let mut dynamic = DynamicCsr::with_lanes(g.clone(), 3);
+    let mut shadow = Shadow::from_csr(&g);
+
+    // An empty batch is a no-op on both views.
+    dynamic.apply(&MutationBatch::new()).expect("empty batch");
+    assert_views_match(&dynamic, &shadow, "empty batch");
+
+    // Delete-then-reinsert inside one batch: the reinserted copy moves to
+    // the insertion-order tail of the list, it does not resurrect in place.
+    let ops = vec![
+        Op::Remove { src: 2, dst: 0 },
+        Op::Insert {
+            src: 2,
+            dst: 0,
+            weight: 4,
+        },
+        Op::Insert {
+            src: 2,
+            dst: 3,
+            weight: 2,
+        },
+    ];
+    dynamic.apply(&batch_of(&ops)).expect("reinsert batch");
+    shadow.apply(&ops);
+    assert_views_match(&dynamic, &shadow, "delete-then-reinsert");
+    assert_eq!(dynamic.canonical().neighbors(2), &[0, 3]);
+    assert_eq!(
+        dynamic.canonical().edge_weights(2).expect("weighted"),
+        &[4, 2],
+        "the surviving copy is the reinserted one, not either original"
+    );
+}
+
+/// Tier-1 pin: 40 fuzzed dynamic scenarios through the full incremental vs
+/// full-recompute differential oracle, deterministic and all passing.
+#[test]
+fn fuzz_dynamic_pin_passes_clean() {
+    let report = fuzz_dynamic(40, 2024);
+    assert_eq!(report.budget, 40);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.passed, 40, "failures: {:?}", report.failures);
+    let again = fuzz_dynamic(40, 2024);
+    assert_eq!(report.passed, again.passed);
+    assert_eq!(
+        report.failures.is_empty(),
+        again.failures.is_empty(),
+        "fuzz_dynamic must be a pure function of (budget, seed)"
+    );
+}
+
+/// Acceptance sweep (ISSUE 10): 200 fuzzed dynamic scenarios. Run with
+/// `cargo test --test dynamic -- --ignored`.
+#[test]
+#[ignore = "long acceptance sweep; tier-1 runs the 40-case pin"]
+fn fuzz_dynamic_acceptance_sweep() {
+    let report = fuzz_dynamic(200, 7);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.passed, 200, "failures: {:?}", report.failures);
+}

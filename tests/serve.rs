@@ -44,6 +44,7 @@ fn healthy(name: &str) -> Scenario {
         expect: Expectation::Converge,
         strict_frontier: None,
         synthetic_bug: false,
+        mutations: None,
     }
 }
 
